@@ -1,0 +1,67 @@
+"""Benchmark harness support.
+
+Every file in this directory regenerates one table/figure/result of the
+paper (see DESIGN.md's experiment index). Each bench both:
+
+* asserts the *shape* of the paper's result (who wins, the reported
+  bands, the order-of-magnitude factors), and
+* prints a paper-vs-measured report line so ``pytest benchmarks/
+  --benchmark-only`` doubles as the reproduction log.
+
+Wall-clock timing is measured by pytest-benchmark with a single round —
+the interesting quantities are simulated seconds, not host seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class Report:
+    """Collects paper-vs-measured rows and prints them at session end."""
+
+    def __init__(self) -> None:
+        self.rows: list[tuple[str, str, str, str]] = []
+
+    def add(self, experiment: str, metric: str, paper: str, measured: str) -> None:
+        self.rows.append((experiment, metric, paper, measured))
+
+    def render(self) -> str:
+        if not self.rows:
+            return ""
+        widths = [
+            max(len(row[i]) for row in self.rows + [self._header])
+            for i in range(4)
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(self._header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    _header = ("experiment", "metric", "paper", "measured")
+
+
+_REPORT = Report()
+
+
+@pytest.fixture(scope="session")
+def report():
+    return _REPORT
+
+
+def pytest_sessionfinish(session, exitstatus):
+    del session, exitstatus
+    text = _REPORT.render()
+    if text:
+        print("\n\n=== Reproduction report (paper vs measured) ===")
+        print(text)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,98 @@
+"""Ablation benches: the scaling behaviour behind the paper's claims.
+
+Not a single paper table, but the design-choice sweeps DESIGN.md calls
+out: how simulated startup and convergence scale with topology size, and
+how convergence scales with injected table size (the transfer-time term
+that dominates E4b).
+"""
+
+import dataclasses
+
+from repro.core.context import ScenarioContext
+from repro.core.pipeline import ModelFreeBackend
+from repro.corpus.production import production_scenario
+from repro.kube.cluster import KubeCluster
+from repro.protocols.timers import FAST_TIMERS, PRODUCTION_TIMERS
+
+from benchmarks.conftest import run_once
+
+
+def _run(nodes: int, routes: int, rate: float):
+    scenario = production_scenario(
+        nodes, peers=2, routes_per_peer=routes, seed=5
+    )
+    timers = dataclasses.replace(PRODUCTION_TIMERS, bgp_update_rate=rate)
+    backend = ModelFreeBackend(
+        scenario.topology,
+        cluster=KubeCluster.of_size(2),
+        timers=timers,
+        quiet_period=30.0,
+    )
+    context = ScenarioContext(name="sweep", injectors=tuple(scenario.injectors))
+    snapshot = backend.run(context, seed=1)
+    return snapshot
+
+
+def test_ablation_startup_grows_with_topology_size(benchmark, report):
+    def sweep():
+        sizes = (6, 12, 24)
+        return sizes, [
+            _run(size, routes=500, rate=30_000).startup_seconds
+            for size in sizes
+        ]
+
+    sizes, startups = run_once(benchmark, sweep)
+    report.add(
+        "ablation", f"startup vs nodes {sizes}",
+        "grows with pod count (boot stagger)",
+        " / ".join(f"{s / 60:.1f}m" for s in startups),
+    )
+    assert startups[0] < startups[1] < startups[2]
+
+
+def test_ablation_convergence_grows_with_table_size(benchmark, report):
+    def sweep():
+        tables = (1_000, 4_000, 16_000)
+        # Fixed (slow) per-session rate: convergence should track the
+        # transfer term roughly linearly.
+        return tables, [
+            _run(8, routes=table, rate=400.0).convergence_seconds
+            for table in tables
+        ]
+
+    tables, times = run_once(benchmark, sweep)
+    report.add(
+        "ablation", f"convergence vs routes/peer {tables}",
+        "dominated by table transfer (linear-ish)",
+        " / ".join(f"{t:.0f}s" for t in times),
+    )
+    assert times[0] < times[1] < times[2]
+    # Quadrupling the table should not grow convergence by more than ~8x
+    # nor less than ~1.5x — transfer-dominated scaling.
+    assert 1.5 <= times[2] / times[1] <= 8.0
+
+
+def test_ablation_quiet_period_does_not_change_verdict(benchmark, report):
+    """Convergence detection is a measurement choice, not a result: the
+    extracted dataplane must be identical for different quiet windows."""
+    from repro.corpus.fig3 import fig3_scenario
+    from repro.verify.differential import differential_reachability
+
+    def sweep():
+        scenario = fig3_scenario()
+        snapshots = []
+        for quiet in (2.0, 10.0):
+            backend = ModelFreeBackend(
+                scenario.topology, timers=FAST_TIMERS, quiet_period=quiet
+            )
+            snapshots.append(backend.run(seed=0))
+        return snapshots
+
+    first, second = run_once(benchmark, sweep)
+    rows = differential_reachability(first.dataplane, second.dataplane)
+    report.add(
+        "ablation", "quiet-period sensitivity (2s vs 10s)",
+        "extracted state invariant",
+        f"{len(rows)} behavioural differences",
+    )
+    assert rows == []

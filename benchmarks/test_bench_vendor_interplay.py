@@ -1,0 +1,108 @@
+"""A1 (§2 anecdotes): vendor-implementation interplay, only visible with
+per-vendor emulation.
+
+Two §2 incidents are reproduced and quantified:
+
+* "poor interplay between RSVP-TE signaling timers in two vendors
+  resulted in very slow reconvergence after a major link-cut" — measured
+  as LSP repair time with a healthy transit build vs. one that never
+  emits PathErr;
+* "one vendor's OS produced an unusual but valid BGP advertisement that
+  caused another vendor's routing process to crash during parsing" —
+  measured as session resets and lost reachability.
+
+A single reference model has one implementation and cannot express
+either (the paper's "single separate implementation" critique).
+"""
+
+from repro.net.addr import parse_ipv4
+
+from benchmarks.conftest import run_once
+from tests.helpers import mini_net
+from tests.test_integration_interplay import run_cut_and_measure
+
+
+def test_a1_rsvp_timer_interplay(benchmark, report):
+    def measure():
+        healthy = run_cut_and_measure(quiet_transit=False)
+        mixed = run_cut_and_measure(quiet_transit=True)
+        return healthy, mixed
+
+    healthy, mixed = run_once(benchmark, measure)
+    factor = mixed / healthy
+    report.add(
+        "A1", "LSP repair after link cut: same-vendor pair",
+        "fast (local failure notification)", f"{healthy:.1f} sim-s",
+    )
+    report.add(
+        "A1", "LSP repair: mixed pair w/ quiet vendor",
+        "'very slow reconvergence'",
+        f"{mixed:.1f} sim-s ({factor:.0f}x slower)",
+    )
+    assert factor > 10
+
+
+CHATTY_R1 = """\
+hostname r1
+ip routing
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+ip prefix-list ALL seq 10 permit 0.0.0.0/0 le 32
+route-map CHATTY permit 10
+   match ip address prefix-list ALL
+   set community 65001:1 65001:2 65001:3 65001:4 65001:5 65001:6 65001:7 65001:8 65001:9 65001:10 65001:11 65001:12
+router bgp 65001
+   neighbor 10.0.0.1 remote-as 65002
+   neighbor 10.0.0.1 route-map CHATTY out
+   neighbor 10.0.0.1 send-community
+   network 10.0.0.0/31
+   network 7.7.7.0/24
+ip route 7.7.7.0/24 Null0
+"""
+
+NOKIA_R2 = "\n".join(
+    [
+        "set / system name host-name r2",
+        "set / interface ethernet-1/1 subinterface 0 ipv4 address 10.0.0.1/31",
+        "set / network-instance default protocols bgp autonomous-system 65002",
+        "set / network-instance default protocols bgp router-id 10.0.0.1",
+        "set / network-instance default protocols bgp neighbor 10.0.0.0 peer-as 65001",
+    ]
+)
+
+
+def crash_experiment(buggy_build: bool):
+    net = mini_net(
+        {"r1": CHATTY_R1, "r2": NOKIA_R2},
+        [("r1", "Ethernet1", "r2", "ethernet-1/1")],
+        vendors={"r2": "nokia"},
+        os_versions={"r2": "23.10-parsecrash"} if buggy_build else {},
+    )
+    net.kernel.run(until=120.0, max_events=2_000_000)
+    bgp = net.router("r2").bgp
+    session = next(iter(bgp.sessions.values()))
+    route = net.router("r2").rib.fib.lookup(parse_ipv4("7.7.7.7"))
+    return bgp.crash_count, session.stats.resets, route is not None
+
+
+def test_a1_bgp_parser_crash_interop(benchmark, report):
+    def measure():
+        return crash_experiment(True), crash_experiment(False)
+
+    (crashes, resets, has_route), (ok_crashes, ok_resets, ok_route) = (
+        run_once(benchmark, measure)
+    )
+    report.add(
+        "A1", "unusual advertisement vs buggy parser",
+        "session crash, traffic loss",
+        f"{crashes} crashes, {resets} resets, route installed: {has_route}",
+    )
+    report.add(
+        "A1", "same advertisement vs healthy build",
+        "no incident",
+        f"{ok_crashes} crashes, {ok_resets} resets, "
+        f"route installed: {ok_route}",
+    )
+    assert crashes >= 1 and resets >= 1 and not has_route
+    assert ok_crashes == 0 and ok_route

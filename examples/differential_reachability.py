@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Pre-deployment change verification (the paper's Fig. 2 / E1 flow).
+
+An operator is about to push a change that (unknowingly) takes down the
+eBGP session between r2 and r3 in a three-AS network. Both the current
+and the candidate configurations are run through the model-free
+pipeline, and differential reachability pinpoints exactly which traffic
+the change breaks — before anything touches production.
+
+Run:  python examples/differential_reachability.py
+"""
+
+from repro import ModelFreeBackend, Session
+from repro.corpus import fig2_scenario
+from repro.protocols.timers import FAST_TIMERS
+
+
+def main() -> None:
+    scenario = fig2_scenario()
+    print("Network: 6 Arista routers across three ASes")
+    for asn, members in scenario.as_members.items():
+        print(f"  AS{asn}: {', '.join(members)}")
+    print()
+
+    print("Emulating the CURRENT configurations...")
+    current = ModelFreeBackend(
+        scenario.topology, timers=FAST_TIMERS, quiet_period=5.0
+    ).run(snapshot_name="current")
+    print(
+        f"  converged in {current.convergence_seconds:.1f} sim-s, "
+        f"{len(current.afts)} dataplanes extracted"
+    )
+
+    print("Emulating the CANDIDATE configurations (the 'bad change')...")
+    candidate = ModelFreeBackend(
+        scenario.buggy_topology(), timers=FAST_TIMERS, quiet_period=5.0
+    ).run(snapshot_name="candidate")
+    print(f"  converged in {candidate.convergence_seconds:.1f} sim-s")
+    print()
+
+    bf = Session()
+    bf.init_snapshot(current, name="current")
+    bf.init_snapshot(candidate, name="candidate")
+    answer = bf.q.differentialReachability().answer(
+        snapshot="candidate", reference_snapshot="current"
+    )
+    print("== differentialReachability(candidate vs current) ==")
+    print(answer)
+    print()
+
+    regressed = [row for row in answer.frame() if row["Regressed"]]
+    if regressed:
+        print(
+            f"VERDICT: do not ship — the change breaks {len(regressed)} "
+            "classes of traffic, including AS65003 -> AS65002:"
+        )
+        for row in regressed:
+            print(
+                f"  {row['Ingress']} -> {row['Destination']} "
+                f"(+{row['Covered_Addresses'] - 1} more destinations): "
+                f"{row['Reference_Dispositions']} becomes "
+                f"{row['Snapshot_Dispositions']}"
+            )
+    else:
+        print("VERDICT: no reachability change — safe to ship.")
+
+
+if __name__ == "__main__":
+    main()

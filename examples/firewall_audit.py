@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Exact ACL verification over an extracted dataplane.
+
+A small edge network protects an internal service with an inbound ACL.
+The verification engine carries a full header space through the
+forwarding walk, so ACL effects are computed *exactly*: it reports the
+precise traffic slices that are denied at the edge, accepted end-to-end,
+or leaked — no packet sampling involved.
+
+Run:  python examples/firewall_audit.py
+"""
+
+from repro import ModelFreeBackend
+from repro.dataplane.forwarding import Disposition, ForwardingWalk
+from repro.net.addr import parse_ipv4
+from repro.net.headerspace import Packet
+from repro.protocols.timers import FAST_TIMERS
+from repro.topo.builder import TopologyBuilder
+
+EDGE = """\
+hostname edge
+ip routing
+router isis default
+   net 49.0001.0000.0000.0001.00
+   address-family ipv4 unicast
+ip access-list INTERNET-IN
+   10 deny tcp any any eq 22
+   20 deny tcp any any eq 23
+   30 deny ip 198.51.100.0/24 any
+   40 permit tcp any host 2.2.2.2 eq 443
+   50 permit icmp any any
+   60 deny ip any any
+interface Loopback0
+   ip address 2.2.2.1/32
+   isis enable default
+   isis passive
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+   isis enable default
+interface Ethernet2
+   no switchport
+   ip address 203.0.113.0/31
+   ip access-group INTERNET-IN in
+"""
+
+SERVER = """\
+hostname server
+ip routing
+router isis default
+   net 49.0001.0000.0000.0002.00
+   address-family ipv4 unicast
+interface Loopback0
+   ip address 2.2.2.2/32
+   isis enable default
+   isis passive
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.1/31
+   isis enable default
+"""
+
+# A stub "internet" router so packets can enter through the ACL'd port.
+INTERNET = """\
+hostname internet
+ip routing
+interface Ethernet1
+   no switchport
+   ip address 203.0.113.1/31
+ip route 2.2.2.0/24 203.0.113.0
+"""
+
+
+def main() -> None:
+    builder = TopologyBuilder("firewall-audit")
+    builder.node("edge", config=EDGE)
+    builder.node("server", config=SERVER)
+    builder.node("internet", config=INTERNET)
+    builder.link("edge", "server", a_int="Ethernet1", z_int="Ethernet1")
+    builder.link("edge", "internet", a_int="Ethernet2", z_int="Ethernet1")
+
+    backend = ModelFreeBackend(
+        builder.build(), timers=FAST_TIMERS, quiet_period=5.0
+    )
+    snapshot = backend.run()
+    walk = ForwardingWalk(snapshot.dataplane)
+    result = walk.walk("internet", parse_ipv4("2.2.2.2"))
+
+    spaces = result.spaces_by_disposition()
+    print("Traffic from the internet toward the service (2.2.2.2):\n")
+    for disposition in sorted(spaces, key=lambda d: d.value):
+        space = spaces[disposition]
+        sample = space.sample()
+        print(f"  {disposition.value:<12} e.g. {sample}")
+    print()
+
+    probes = {
+        "HTTPS to the service": Packet(
+            dst_ip=parse_ipv4("2.2.2.2"), ip_proto=6, dst_port=443
+        ),
+        "SSH to the service": Packet(
+            dst_ip=parse_ipv4("2.2.2.2"), ip_proto=6, dst_port=22
+        ),
+        "HTTPS from the blocked /24": Packet(
+            dst_ip=parse_ipv4("2.2.2.2"),
+            src_ip=parse_ipv4("198.51.100.7"),
+            ip_proto=6,
+            dst_port=443,
+        ),
+        "ICMP ping": Packet(dst_ip=parse_ipv4("2.2.2.2"), ip_proto=1),
+    }
+    print("Spot checks (decided from the exact spaces, not re-simulated):")
+    for label, packet in probes.items():
+        verdicts = [
+            disposition.value
+            for disposition, space in spaces.items()
+            if space.contains_packet(packet)
+        ]
+        print(f"  {label:<28} -> {', '.join(verdicts)}")
+
+    denied = spaces.get(Disposition.DENIED_IN)
+    accepted = spaces.get(Disposition.ACCEPTED)
+    assert denied is not None and accepted is not None
+    assert (denied & accepted).is_empty(), "slices must partition traffic"
+    print("\nThe denied and accepted slices are disjoint and exhaustive —")
+    print("that is formal ACL verification over emulation-extracted state.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""E5: the operator tooling flow — poke at the emulated control plane.
+
+An IS-IS misconfiguration (IOS syntax on an Arista box) makes
+verification report missing reachability. Instead of staring at a model
+error, the operator SSHes into the emulated router and debugs it with
+the exact commands used against production hardware.
+
+Run:  python examples/operator_debugging.py
+"""
+
+from repro import ModelFreeBackend
+from repro.protocols.timers import FAST_TIMERS
+from repro.topo.builder import TopologyBuilder
+from repro.verify.reachability import verify_pairwise_reachability_text
+
+
+def banner(text: str) -> None:
+    print()
+    print("#" * 66)
+    print("#", text)
+    print("#" * 66)
+
+
+R2 = """\
+hostname r2
+ip routing
+router isis default
+   net 49.0001.0000.0000.0002.00
+   address-family ipv4 unicast
+interface Loopback0
+   ip address 2.2.2.2/32
+   isis enable default
+   isis passive
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.1/31
+   isis enable default
+"""
+
+BROKEN_R1 = """\
+hostname r1
+ip routing
+router isis default
+   net 49.0001.0000.0000.0001.00
+   address-family ipv4 unicast
+interface Loopback0
+   ip address 2.2.2.1/32
+   isis enable default
+   isis passive
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+   ip router isis
+"""
+
+
+def build(r1: str):
+    builder = TopologyBuilder("debug-session")
+    builder.node("r1", config=r1)
+    builder.node("r2", config=R2)
+    builder.link("r1", "r2", a_int="Ethernet1", z_int="Ethernet1")
+    return builder.build()
+
+
+def main() -> None:
+    banner("1. Verify the candidate configuration")
+    backend = ModelFreeBackend(
+        build(BROKEN_R1), timers=FAST_TIMERS, quiet_period=5.0
+    )
+    snapshot = backend.run()
+    print(verify_pairwise_reachability_text(snapshot.dataplane))
+
+    banner("2. SSH into the emulated r1 and look around")
+    ssh = backend.last_run.deployment.ssh("r1")
+    for command in (
+        "show isis neighbors",
+        "show isis database",
+        "show ip route",
+        "show running-config diagnostics",
+    ):
+        print(f"r1# {command}")
+        print(ssh.execute(command))
+
+    banner("3. Diagnosis")
+    print(
+        "No IS-IS adjacency, the link prefix is missing from r1's own\n"
+        "LSP, and the config diagnostics show the router rejected\n"
+        "'ip router isis' — that is IOS syntax; EOS wants\n"
+        "'isis enable default'."
+    )
+
+    banner("4. Fix and re-verify")
+    fixed = BROKEN_R1.replace("ip router isis", "isis enable default")
+    backend2 = ModelFreeBackend(
+        build(fixed), timers=FAST_TIMERS, quiet_period=5.0
+    )
+    snapshot2 = backend2.run()
+    print(verify_pairwise_reachability_text(snapshot2.dataplane))
+
+
+if __name__ == "__main__":
+    main()

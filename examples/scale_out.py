@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""E4a: emulation scale-out on a Kubernetes-style cluster.
+
+Reproduces the paper's capacity results: 60 Arista routers on a single
+e2-standard-32, a thousand devices across a 17-node cluster, and the
+bring-up timing model behind the 12-17 minute one-time startup.
+
+Run:  python examples/scale_out.py
+"""
+
+from repro.kube.cluster import KubeCluster, e2_standard_32
+from repro.kube.kne import KneDeployment
+from repro.kube.scheduler import Scheduler, UnschedulableError
+from repro.kube.pod import Pod
+from repro.protocols.timers import FAST_TIMERS
+from repro.topo.builder import fabric_topology, wan_topology
+from repro.vendors.quirks import quirks_for
+
+
+def main() -> None:
+    quirks = quirks_for("arista")
+    print(
+        f"Arista cEOS container footprint: {quirks.container_cpu} vCPU / "
+        f"{quirks.container_memory_gb} GB (paper §5)"
+    )
+
+    # --- single-node capacity ------------------------------------------
+    single = KubeCluster(nodes=[e2_standard_32()])
+    capacity = Scheduler(single).capacity_for(
+        quirks.container_cpu, quirks.container_memory_gb
+    )
+    print(f"One e2-standard-32 fits {capacity} routers (paper: up to 60)")
+
+    # --- bring up a 60-router fabric on that node -----------------------
+    print("\nDeploying a 60-router leaf/spine fabric on one node...")
+    deployment = KneDeployment(
+        fabric_topology(6, 54), cluster=KubeCluster(nodes=[e2_standard_32()]),
+        timers=FAST_TIMERS,
+    )
+    result = deployment.deploy()
+    print(
+        f"  up in {result.startup_seconds / 60:.1f} simulated minutes "
+        f"on {result.nodes_used} node"
+    )
+
+    # --- the 61st router does not fit ------------------------------------
+    over = KneDeployment(
+        fabric_topology(6, 55), cluster=KubeCluster(nodes=[e2_standard_32()]),
+        timers=FAST_TIMERS,
+    )
+    try:
+        over.deploy()
+    except UnschedulableError as exc:
+        print(f"  61st router: {exc}")
+
+    # --- 1,000 devices on 17 nodes ---------------------------------------
+    print("\nScheduling 1,000 devices on a 17-node cluster...")
+    cluster = KubeCluster.of_size(17)
+    big = KneDeployment(
+        wan_topology(1000, degree=3, seed=3), cluster=cluster,
+        timers=FAST_TIMERS,
+    )
+    report = big.deploy()
+    per_node = {}
+    for pod_name, node in report.placements.items():
+        del pod_name
+        per_node[node] = per_node.get(node, 0) + 1
+    print(
+        f"  placed across {report.nodes_used} nodes "
+        f"(min {min(per_node.values())} / max {max(per_node.values())} "
+        f"pods per node), startup {report.startup_seconds / 60:.0f} sim-min"
+    )
+
+
+if __name__ == "__main__":
+    main()

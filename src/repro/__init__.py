@@ -1,0 +1,43 @@
+"""repro — model-free network verification.
+
+A from-scratch reproduction of "Towards Accessible Model-Free
+Verification" (HotNets '25): container-style control-plane emulation,
+gNMI/OpenConfig AFT extraction, an exhaustive dataplane verification
+engine with a Pybatfish-style frontend, and a model-based baseline to
+compare against.
+
+Quickstart::
+
+    from repro import ModelFreeBackend, Session
+    from repro.corpus import fig3_scenario
+
+    scenario = fig3_scenario()
+    snapshot = ModelFreeBackend(scenario.topology).run()
+
+    bf = Session()
+    bf.init_snapshot(snapshot, name="emulated")
+    print(bf.q.routes(nodes="r2").answer())
+"""
+
+from repro.core import (
+    ModelFreeBackend,
+    NativeBatfishBackend,
+    ScenarioContext,
+    Snapshot,
+    compare_snapshots,
+    explore_nondeterminism,
+)
+from repro.pybf import Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelFreeBackend",
+    "NativeBatfishBackend",
+    "ScenarioContext",
+    "Session",
+    "Snapshot",
+    "compare_snapshots",
+    "explore_nondeterminism",
+    "__version__",
+]

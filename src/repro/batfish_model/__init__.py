@@ -1,0 +1,17 @@
+"""The model-based verification baseline ("native Batfish" stand-in).
+
+Everything the paper argues *against* lives here, faithfully: a
+hand-written configuration parser that recognizes only a subset of the
+vendor language (and counts what it cannot parse), and an IBDP-style
+centralized control-plane model that computes a dataplane algorithmically
+instead of emulating message exchange.
+
+The two documented model defects from the paper's Fig. 3 are
+implemented deliberately (see :mod:`repro.batfish_model.issues`):
+reproducing them is reproducing the paper.
+"""
+
+from repro.batfish_model.parser import ModelParseResult, parse_with_model
+from repro.batfish_model.ibdp import ModelRun, run_model
+
+__all__ = ["ModelParseResult", "ModelRun", "parse_with_model", "run_model"]

@@ -1,0 +1,589 @@
+"""IBDP-style control-plane model.
+
+The centralized computation Batfish's Incremental Batfish Dataplane
+performs: parse configurations, derive L3 adjacency, run an algorithmic
+IS-IS SPF, then iterate a synchronous BGP exchange to a fixed point. No
+messages, no timers, no ordering — exactly the idealization the paper
+contrasts with emulation. The output is exported in the same AFT format
+the emulation produces, so the verification stage is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.batfish_model.issues import DEFAULT_ASSUMPTIONS, ModelAssumptions
+from repro.batfish_model.parser import ModelParseResult, parse_with_model
+from repro.dataplane.model import Dataplane
+from repro.device.model import DeviceConfig
+from repro.device.routing_policy import MatchResult
+from repro.gnmi.aft import AftInterface, AftSnapshot
+from repro.net.addr import Prefix, format_ipv4
+from repro.protocols.bgp_attrs import (
+    BgpPath,
+    Origin,
+    PathAttributes,
+    best_path,
+    intern_attrs,
+)
+from repro.rib.rib import Rib
+from repro.rib.route import NextHop, Protocol, Route
+
+_MAX_BGP_ROUNDS = 64
+
+
+@dataclass
+class ModelRun:
+    """Result of one model-based dataplane computation."""
+
+    parse_results: dict[str, ModelParseResult]
+    snapshots: dict[str, AftSnapshot]
+
+    @property
+    def dataplane(self) -> Dataplane:
+        return Dataplane.from_afts(self.snapshots)
+
+    def unrecognized_by_device(self) -> dict[str, int]:
+        return {
+            name: result.unrecognized_count
+            for name, result in self.parse_results.items()
+        }
+
+
+@dataclass
+class _Device:
+    name: str
+    config: DeviceConfig
+    rib: Rib = field(default_factory=Rib)
+    # BGP model state
+    adj_rib_in: dict[int, dict[Prefix, PathAttributes]] = field(
+        default_factory=dict
+    )
+    local_rib: dict[Prefix, BgpPath] = field(default_factory=dict)
+    originated: dict[Prefix, PathAttributes] = field(default_factory=dict)
+
+    def local_addresses(self) -> list[int]:
+        return self.config.local_addresses()
+
+    def router_id(self) -> int:
+        if self.config.bgp and self.config.bgp.router_id:
+            return self.config.bgp.router_id
+        loopback = self.config.loopback_address()
+        if loopback is not None:
+            return loopback
+        addresses = self.local_addresses()
+        return max(addresses) if addresses else 1
+
+
+@dataclass(frozen=True)
+class _Session:
+    local: str
+    peer: str
+    local_ip: int
+    peer_ip: int
+    is_ebgp: bool
+
+
+def run_model(
+    configs: dict[str, str],
+    assumptions: ModelAssumptions = DEFAULT_ASSUMPTIONS,
+) -> ModelRun:
+    """Compute a dataplane for ``configs`` with the reference model."""
+    parse_results = {
+        name: parse_with_model(text, assumptions)
+        for name, text in configs.items()
+    }
+    devices = {
+        name: _Device(name=name, config=result.device)
+        for name, result in parse_results.items()
+    }
+    for device in devices.values():
+        _install_kernel_routes(device)
+    _run_isis_model(devices)
+    for device in devices.values():
+        device.rib.commit()
+    _run_bgp_model(devices, assumptions)
+    for device in devices.values():
+        device.rib.commit()
+    snapshots = {
+        name: AftSnapshot.from_tables(
+            name,
+            device.rib.fib,
+            _model_interfaces(device),
+            acls={
+                acl_name: tuple(acl.rules)
+                for acl_name, acl in device.config.acls.items()
+            },
+        )
+        for name, device in devices.items()
+    }
+    return ModelRun(parse_results=parse_results, snapshots=snapshots)
+
+
+# -- kernel routes -------------------------------------------------------------
+
+
+def _install_kernel_routes(device: _Device) -> None:
+    for iface in device.config.interfaces.values():
+        prefix = iface.connected_prefix()
+        if prefix is None:
+            continue
+        device.rib.install(
+            Route(
+                prefix=prefix,
+                protocol=Protocol.CONNECTED,
+                next_hops=(NextHop(interface=iface.name),),
+            )
+        )
+        assert iface.address is not None
+        device.rib.install(
+            Route(
+                prefix=Prefix.containing(iface.address, 32),
+                protocol=Protocol.LOCAL,
+                next_hops=(NextHop(interface=iface.name),),
+            )
+        )
+    for static in device.config.static_routes:
+        if static.discard:
+            hops: tuple[NextHop, ...] = ()
+        elif static.interface is not None:
+            hops = (NextHop(ip=static.next_hop, interface=static.interface),)
+        else:
+            assert static.next_hop is not None
+            hops = (NextHop(ip=static.next_hop),)
+        device.rib.install(
+            Route(
+                prefix=static.prefix,
+                protocol=Protocol.STATIC,
+                next_hops=hops,
+                distance=static.distance,
+            )
+        )
+
+
+def _model_interfaces(device: _Device) -> list[AftInterface]:
+    out = []
+    for name in sorted(device.config.interfaces):
+        iface = device.config.interfaces[name]
+        routed = iface.is_routed
+        out.append(
+            AftInterface(
+                name=name,
+                ipv4_address=(
+                    format_ipv4(iface.address)
+                    if routed and iface.address is not None
+                    else None
+                ),
+                prefix_length=iface.prefix_length if routed else None,
+                enabled=not iface.shutdown,
+                acl_in=iface.acl_in,
+                acl_out=iface.acl_out,
+            )
+        )
+    return out
+
+
+# -- IS-IS model -------------------------------------------------------------------
+
+
+def _isis_interfaces(device: _Device) -> list:
+    if device.config.isis is None:
+        return []
+    tag = device.config.isis.tag
+    return [
+        iface
+        for iface in device.config.interfaces.values()
+        if iface.is_routed
+        and iface.isis is not None
+        and iface.isis.enabled
+        and iface.isis.tag == tag
+    ]
+
+
+def _run_isis_model(devices: dict[str, _Device]) -> None:
+    """Centralized IS-IS: one global graph, one SPF per device."""
+    # Subnet membership among active (non-passive) IS-IS interfaces.
+    members: dict[Prefix, list[tuple[str, str, int, int]]] = {}
+    advertised: dict[str, list[tuple[Prefix, int]]] = {}
+    for name, device in devices.items():
+        advertised[name] = []
+        for iface in _isis_interfaces(device):
+            prefix = iface.connected_prefix()
+            assert prefix is not None and iface.isis is not None
+            metric = iface.isis.metric
+            advertised[name].append((prefix, metric))
+            passive = iface.isis.passive or iface.is_loopback
+            if not passive and prefix.length < 32:
+                assert iface.address is not None
+                members.setdefault(prefix, []).append(
+                    (name, iface.name, iface.address, metric)
+                )
+    # Edges: devices sharing a subnet with IS-IS active on both sides.
+    graph: dict[str, dict[str, tuple[int, str, int]]] = {
+        name: {} for name in devices
+    }
+    for prefix, endpoints in members.items():
+        del prefix
+        for dev_a, if_a, addr_a, metric_a in endpoints:
+            for dev_b, _if_b, addr_b, _metric_b in endpoints:
+                if dev_a == dev_b:
+                    continue
+                current = graph[dev_a].get(dev_b)
+                if current is None or metric_a < current[0]:
+                    graph[dev_a][dev_b] = (metric_a, if_a, addr_b)
+    for name, device in devices.items():
+        if device.config.isis is None or not device.config.isis.net:
+            continue
+        distance, first_hop = _dijkstra(graph, name)
+        own = {p for p, _m in advertised[name]}
+        best: dict[Prefix, tuple[int, str]] = {}
+        for other, dist in distance.items():
+            if other == name:
+                continue
+            for prefix, metric in advertised.get(other, []):
+                if prefix in own:
+                    continue
+                total = dist + metric
+                current = best.get(prefix)
+                if current is None or total < current[0]:
+                    best[prefix] = (total, other)
+        for prefix, (metric, target) in best.items():
+            hop_device = first_hop.get(target)
+            if hop_device is None:
+                continue
+            edge = graph[name].get(hop_device)
+            if edge is None:
+                continue
+            _metric, out_iface, gateway = edge
+            device.rib.install(
+                Route(
+                    prefix=prefix,
+                    protocol=Protocol.ISIS,
+                    next_hops=(NextHop(ip=gateway, interface=out_iface),),
+                    metric=metric,
+                )
+            )
+
+
+def _dijkstra(
+    graph: dict[str, dict[str, tuple[int, str, int]]], source: str
+) -> tuple[dict[str, int], dict[str, str]]:
+    """Returns (distance, first-hop device) maps from ``source``."""
+    distance = {source: 0}
+    first_hop: dict[str, str] = {}
+    heap: list[tuple[int, str]] = [(0, source)]
+    visited: set[str] = set()
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbor, (metric, _iface, _gw) in graph.get(node, {}).items():
+            candidate = dist + metric
+            if candidate < distance.get(neighbor, 1 << 60):
+                distance[neighbor] = candidate
+                first_hop[neighbor] = neighbor if node == source else first_hop[node]
+                heapq.heappush(heap, (candidate, neighbor))
+    return distance, first_hop
+
+
+# -- BGP model -----------------------------------------------------------------------
+
+
+def _discover_sessions(
+    devices: dict[str, _Device], assumptions: ModelAssumptions
+) -> list[_Session]:
+    owner: dict[int, str] = {}
+    for name, device in devices.items():
+        for address in device.local_addresses():
+            owner[address] = name
+    sessions = []
+    for name, device in devices.items():
+        bgp = device.config.bgp
+        if bgp is None:
+            continue
+        for peer_ip, neighbor in bgp.neighbors.items():
+            if neighbor.shutdown:
+                continue
+            peer_name = owner.get(peer_ip)
+            if peer_name is None or peer_name == name:
+                continue
+            peer_bgp = devices[peer_name].config.bgp
+            if peer_bgp is None or peer_bgp.asn != neighbor.remote_as:
+                continue
+            local_ip = _session_source(device, neighbor)
+            if local_ip is None:
+                continue
+            reverse = peer_bgp.neighbors.get(local_ip)
+            if reverse is None or reverse.remote_as != bgp.asn or reverse.shutdown:
+                continue
+            is_ebgp = bgp.asn != neighbor.remote_as
+            if not is_ebgp and assumptions.assume_ibgp_transport:
+                # Model assumption: iBGP transport exists iff an IGP
+                # route covers the peer address.
+                route = device.rib.longest_match(peer_ip)
+                if route is None:
+                    continue
+            sessions.append(
+                _Session(
+                    local=name,
+                    peer=peer_name,
+                    local_ip=local_ip,
+                    peer_ip=peer_ip,
+                    is_ebgp=is_ebgp,
+                )
+            )
+    return sessions
+
+
+def _session_source(device: _Device, neighbor) -> Optional[int]:
+    if neighbor.update_source is not None:
+        iface = device.config.interfaces.get(neighbor.update_source)
+        return iface.address if iface is not None else None
+    for iface in device.config.routed_interfaces():
+        prefix = iface.connected_prefix()
+        if prefix is not None and prefix.contains(neighbor.peer_address):
+            return iface.address
+    return device.config.loopback_address()
+
+
+def _originate(device: _Device) -> None:
+    base = PathAttributes(next_hop=0, origin=Origin.IGP)
+    bgp = device.config.bgp
+    assert bgp is not None
+    for prefix in bgp.networks:
+        route = device.rib.best(prefix)
+        if route is not None and route.protocol not in (
+            Protocol.BGP_EXTERNAL,
+            Protocol.BGP_INTERNAL,
+        ):
+            device.originated[prefix] = intern_attrs(base)
+    if bgp.redistribute_connected:
+        for iface in device.config.routed_interfaces():
+            prefix = iface.connected_prefix()
+            if prefix is not None:
+                device.originated[prefix] = intern_attrs(
+                    PathAttributes(next_hop=0, origin=Origin.INCOMPLETE)
+                )
+    if bgp.redistribute_isis:
+        for route in device.rib.best_routes():
+            if route.protocol is Protocol.ISIS:
+                device.originated[route.prefix] = intern_attrs(
+                    PathAttributes(
+                        next_hop=0, origin=Origin.INCOMPLETE, med=route.metric
+                    )
+                )
+
+
+def _run_bgp_model(
+    devices: dict[str, _Device], assumptions: ModelAssumptions
+) -> None:
+    sessions = _discover_sessions(devices, assumptions)
+    by_receiver: dict[str, list[_Session]] = {}
+    for session in sessions:
+        by_receiver.setdefault(session.peer, []).append(session)
+    for device in devices.values():
+        if device.config.bgp is not None:
+            _originate(device)
+    for _round in range(_MAX_BGP_ROUNDS):
+        changed = False
+        # Phase 1: everyone exports to every session peer.
+        exports: dict[tuple[str, int], dict[Prefix, PathAttributes]] = {}
+        for session in sessions:
+            sender = devices[session.local]
+            offer: dict[Prefix, PathAttributes] = {}
+            for prefix, attrs in sender.originated.items():
+                path = BgpPath(
+                    attrs=attrs,
+                    from_ebgp=False,
+                    peer_ip=0,
+                    peer_router_id=sender.router_id(),
+                    is_local=True,
+                )
+                exported = _export(sender, session, prefix, path)
+                if exported is not None:
+                    offer[prefix] = exported
+            for prefix, path in sender.local_rib.items():
+                if path.is_local:
+                    continue
+                exported = _export(sender, session, prefix, path)
+                if exported is not None:
+                    offer[prefix] = exported
+            exports[(session.peer, session.peer_ip)] = offer
+        # Phase 2: everyone imports and re-decides.
+        for session in sessions:
+            receiver = devices[session.peer]
+            offer = exports.get((session.peer, session.peer_ip), {})
+            rib_in: dict[Prefix, PathAttributes] = {}
+            receiver_bgp = receiver.config.bgp
+            assert receiver_bgp is not None
+            reverse_neighbor = receiver_bgp.neighbors.get(session.local_ip)
+            for prefix, attrs in offer.items():
+                if session.is_ebgp and receiver_bgp.asn in attrs.as_path:
+                    continue
+                final = attrs
+                if reverse_neighbor is not None and reverse_neighbor.route_map_in:
+                    route_map = receiver.config.route_maps.get(
+                        reverse_neighbor.route_map_in
+                    )
+                    if route_map is None:
+                        continue
+                    verdict, final = route_map.evaluate(
+                        prefix, attrs, receiver.config.prefix_lists
+                    )
+                    if verdict is not MatchResult.PERMIT:
+                        continue
+                rib_in[prefix] = intern_attrs(final)
+            if receiver.adj_rib_in.get(session.local_ip) != rib_in:
+                receiver.adj_rib_in[session.local_ip] = rib_in
+                changed = True
+        for device in devices.values():
+            if device.config.bgp is None:
+                continue
+            changed |= _decide(device, devices, sessions)
+        if not changed:
+            break
+
+
+def _export(
+    sender: _Device, session: _Session, prefix: Prefix, path: BgpPath
+) -> Optional[PathAttributes]:
+    from dataclasses import replace
+
+    if not path.is_local and path.peer_ip == session.peer_ip:
+        return None
+    bgp_config = sender.config.bgp
+    assert bgp_config is not None
+    if not session.is_ebgp and not path.from_ebgp and not path.is_local:
+        # Route reflection, mirroring the live engine's rule.
+        source_neighbor = bgp_config.neighbors.get(path.peer_ip)
+        target_neighbor = bgp_config.neighbors.get(session.peer_ip)
+        source_is_client = (
+            source_neighbor is not None
+            and source_neighbor.route_reflector_client
+        )
+        target_is_client = (
+            target_neighbor is not None
+            and target_neighbor.route_reflector_client
+        )
+        if not (source_is_client or target_is_client):
+            return None
+    attrs = path.attrs
+    bgp = sender.config.bgp
+    assert bgp is not None
+    neighbor = bgp.neighbors.get(session.peer_ip)
+    if session.is_ebgp:
+        attrs = replace(
+            attrs,
+            as_path=(bgp.asn,) + attrs.as_path,
+            next_hop=session.local_ip,
+            local_pref=None,
+            med=0,
+        )
+    else:
+        updates = {}
+        if (neighbor is not None and neighbor.next_hop_self) or attrs.next_hop == 0:
+            updates["next_hop"] = session.local_ip
+        if attrs.local_pref is None:
+            updates["local_pref"] = 100
+        if updates:
+            attrs = replace(attrs, **updates)
+    if neighbor is not None and neighbor.route_map_out:
+        route_map = sender.config.route_maps.get(neighbor.route_map_out)
+        if route_map is None:
+            return None
+        verdict, attrs = route_map.evaluate(
+            prefix, attrs, sender.config.prefix_lists
+        )
+        if verdict is not MatchResult.PERMIT:
+            return None
+    if neighbor is not None and not neighbor.send_community and attrs.communities:
+        attrs = replace(attrs, communities=())
+    return intern_attrs(attrs)
+
+
+def _decide(
+    device: _Device,
+    devices: dict[str, _Device],
+    sessions: list[_Session],
+) -> bool:
+    peer_router_ids = {
+        s.local_ip: devices[s.local].router_id()
+        for s in sessions
+        if s.peer == device.name
+    }
+    session_ebgp = {
+        s.local_ip: s.is_ebgp for s in sessions if s.peer == device.name
+    }
+
+    def igp_metric(next_hop: int) -> Optional[int]:
+        if next_hop == 0:
+            return 0
+        route = device.rib.longest_match(next_hop)
+        if route is None or route.protocol in (
+            Protocol.BGP_EXTERNAL,
+            Protocol.BGP_INTERNAL,
+        ):
+            return None
+        return route.metric
+
+    prefixes: set[Prefix] = set(device.originated)
+    for rib_in in device.adj_rib_in.values():
+        prefixes.update(rib_in)
+    prefixes.update(device.local_rib)
+    changed = False
+    for prefix in prefixes:
+        paths: list[BgpPath] = []
+        local = device.originated.get(prefix)
+        if local is not None:
+            paths.append(
+                BgpPath(
+                    attrs=local,
+                    from_ebgp=False,
+                    peer_ip=0,
+                    peer_router_id=device.router_id(),
+                    is_local=True,
+                )
+            )
+        for peer_ip, rib_in in device.adj_rib_in.items():
+            attrs = rib_in.get(prefix)
+            if attrs is None:
+                continue
+            paths.append(
+                BgpPath(
+                    attrs=attrs,
+                    from_ebgp=session_ebgp.get(peer_ip, True),
+                    peer_ip=peer_ip,
+                    peer_router_id=peer_router_ids.get(peer_ip, 0),
+                )
+            )
+        new_best = best_path(paths, igp_metric)
+        old_best = device.local_rib.get(prefix)
+        if new_best == old_best:
+            continue
+        changed = True
+        if new_best is None:
+            device.local_rib.pop(prefix, None)
+        else:
+            device.local_rib[prefix] = new_best
+        device.rib.withdraw(Protocol.BGP_EXTERNAL, prefix)
+        device.rib.withdraw(Protocol.BGP_INTERNAL, prefix)
+        if new_best is not None and not new_best.is_local:
+            protocol = (
+                Protocol.BGP_EXTERNAL
+                if new_best.from_ebgp
+                else Protocol.BGP_INTERNAL
+            )
+            device.rib.install(
+                Route(
+                    prefix=prefix,
+                    protocol=protocol,
+                    next_hops=(NextHop(ip=new_best.attrs.next_hop),),
+                    metric=new_best.attrs.med,
+                    source=new_best,
+                )
+            )
+        device.rib.commit()
+    return changed

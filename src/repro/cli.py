@@ -1,0 +1,210 @@
+"""``mfv`` — the model-free verification command line.
+
+Subcommands::
+
+    mfv verify TOPOLOGY [--backend emulation|model] [--save SNAP.json]
+    mfv diff REFERENCE.json SNAPSHOT.json
+    mfv trace SNAPSHOT.json NODE DEST
+    mfv routes SNAPSHOT.json [NODE]
+    mfv demo {fig2,fig3}
+
+``verify`` takes a KNE-style topology file (see
+:mod:`repro.topo.parser`) whose nodes reference config files, runs the
+chosen backend to convergence, reports reachability health, and can
+persist the extracted snapshot for later offline queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.pipeline import ModelFreeBackend, NativeBatfishBackend
+from repro.core.snapshot import Snapshot
+from repro.pybf.session import Session
+from repro.topo.parser import load_topology
+from repro.verify.invariants import detect_blackholes, detect_loops
+from repro.verify.reachability import verify_pairwise_reachability_text
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    topology = load_topology(args.topology)
+    print(f"Loaded {topology}")
+    if args.backend == "model":
+        snapshot = NativeBatfishBackend(topology).run()
+        unrecognized = snapshot.metadata["unrecognized_lines"]
+        total = sum(unrecognized.values())
+        if total:
+            print(f"warning: model failed to parse {total} lines:")
+            for name, count in sorted(unrecognized.items()):
+                if count:
+                    print(f"  {name}: {count} unrecognized lines")
+    else:
+        backend = ModelFreeBackend(topology, quiet_period=args.quiet_period)
+        snapshot = backend.run(seed=args.seed)
+        print(
+            f"Emulation: startup {snapshot.startup_seconds / 60:.1f} sim-min, "
+            f"convergence {snapshot.convergence_seconds:.1f} sim-s"
+        )
+    dataplane = snapshot.dataplane
+    print(verify_pairwise_reachability_text(dataplane))
+    loops = detect_loops(dataplane)
+    print(f"forwarding loops: {len(loops)}")
+    for row in loops[:10]:
+        print(f"  {row}")
+    blackholes = detect_blackholes(dataplane)
+    print(f"blackholed owned destinations: {len(blackholes)}")
+    if args.save:
+        snapshot.save(args.save)
+        print(f"snapshot saved to {args.save}")
+    return 0 if not loops else 2
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    reference = Snapshot.load(args.reference)
+    snapshot = Snapshot.load(args.snapshot)
+    bf = Session()
+    bf.init_snapshot(reference, name="reference")
+    bf.init_snapshot(snapshot, name="snapshot")
+    answer = bf.q.differentialReachability().answer(
+        snapshot="snapshot", reference_snapshot="reference"
+    )
+    print(answer)
+    regressed = sum(1 for row in answer.frame() if row["Regressed"])
+    return 2 if regressed else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    snapshot = Snapshot.load(args.snapshot)
+    bf = Session()
+    bf.init_snapshot(snapshot)
+    answer = bf.q.traceroute(
+        startLocation=args.node, dst=args.destination
+    ).answer()
+    print(answer)
+    return 0
+
+
+def _cmd_routes(args: argparse.Namespace) -> int:
+    snapshot = Snapshot.load(args.snapshot)
+    bf = Session()
+    bf.init_snapshot(snapshot)
+    print(bf.q.routes(nodes=args.node).answer())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.protocols.timers import FAST_TIMERS
+
+    if args.scenario == "fig3":
+        from repro.corpus.fig3 import fig3_scenario
+
+        scenario = fig3_scenario()
+        emulated = ModelFreeBackend(
+            scenario.topology, timers=FAST_TIMERS, quiet_period=5.0
+        ).run(snapshot_name="emulated")
+        model = NativeBatfishBackend(scenario.topology).run(
+            snapshot_name="model"
+        )
+        bf = Session()
+        bf.init_snapshot(emulated, name="emulated")
+        bf.init_snapshot(model, name="model")
+        print(
+            bf.q.differentialReachability().answer(
+                snapshot="model", reference_snapshot="emulated"
+            )
+        )
+        return 0
+    if args.scenario == "production":
+        from repro.core.context import ScenarioContext
+        from repro.corpus.production import production_scenario, scaled_timers
+
+        scenario = production_scenario(
+            args.nodes, peers=2, routes_per_peer=args.routes, seed=7
+        )
+        backend = ModelFreeBackend(
+            scenario.topology,
+            timers=scaled_timers(args.routes),
+            quiet_period=30.0,
+        )
+        snapshot = backend.run(
+            ScenarioContext(name="prod", injectors=tuple(scenario.injectors))
+        )
+        print(
+            f"startup {snapshot.startup_seconds / 60:.1f} sim-min, "
+            f"convergence {snapshot.convergence_seconds / 60:.1f} sim-min, "
+            f"{snapshot.metadata['injected_routes']} routes injected"
+        )
+        sizes = sorted(len(d) for d in snapshot.dataplane.devices.values())
+        print(f"FIB sizes: min {sizes[0]}, max {sizes[-1]}")
+        loops = detect_loops(snapshot.dataplane)
+        print(f"forwarding loops: {len(loops)}")
+        return 0 if not loops else 2
+    from repro.corpus.fig2 import fig2_scenario
+
+    scenario = fig2_scenario()
+    healthy = ModelFreeBackend(
+        scenario.topology, timers=FAST_TIMERS, quiet_period=5.0
+    ).run(snapshot_name="healthy")
+    buggy = ModelFreeBackend(
+        scenario.buggy_topology(), timers=FAST_TIMERS, quiet_period=5.0
+    ).run(snapshot_name="buggy")
+    bf = Session()
+    bf.init_snapshot(healthy, name="healthy")
+    bf.init_snapshot(buggy, name="buggy")
+    print(
+        bf.q.differentialReachability().answer(
+            snapshot="buggy", reference_snapshot="healthy"
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mfv", description="Model-free network verification"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="emulate + verify a topology")
+    verify.add_argument("topology", help="KNE-style topology file")
+    verify.add_argument(
+        "--backend", choices=("emulation", "model"), default="emulation"
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--quiet-period", type=float, default=30.0)
+    verify.add_argument("--save", help="write the snapshot JSON here")
+    verify.set_defaults(func=_cmd_verify)
+
+    diff = sub.add_parser("diff", help="differential reachability")
+    diff.add_argument("reference")
+    diff.add_argument("snapshot")
+    diff.set_defaults(func=_cmd_diff)
+
+    trace = sub.add_parser("trace", help="virtual traceroute")
+    trace.add_argument("snapshot")
+    trace.add_argument("node")
+    trace.add_argument("destination")
+    trace.set_defaults(func=_cmd_trace)
+
+    routes = sub.add_parser("routes", help="show a snapshot's FIBs")
+    routes.add_argument("snapshot")
+    routes.add_argument("node", nargs="?", default=None)
+    routes.set_defaults(func=_cmd_routes)
+
+    demo = sub.add_parser("demo", help="run a built-in paper scenario")
+    demo.add_argument("scenario", choices=("fig2", "fig3", "production"))
+    demo.add_argument("--nodes", type=int, default=12)
+    demo.add_argument("--routes", type=int, default=5000)
+    demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Snapshot-level differential comparison."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.snapshot import Snapshot
+from repro.net.headerspace import HeaderSpace
+from repro.verify.differential import DifferentialRow, differential_reachability
+
+
+def compare_snapshots(
+    reference: Snapshot,
+    snapshot: Snapshot,
+    *,
+    ingress_nodes: Optional[Iterable[str]] = None,
+    dst_space: Optional[HeaderSpace] = None,
+) -> list[DifferentialRow]:
+    """Differential reachability between two snapshots.
+
+    Works across backends: comparing an emulation snapshot against a
+    model snapshot of the same configurations is the paper's E3
+    methodology for finding model defects.
+    """
+    return differential_reachability(
+        reference.dataplane,
+        snapshot.dataplane,
+        ingress_nodes=ingress_nodes,
+        dst_space=dst_space,
+    )

@@ -1,0 +1,182 @@
+"""The two verification backends.
+
+:class:`ModelFreeBackend` is the paper's system: emulate, converge,
+extract, verify. :class:`NativeBatfishBackend` is the traditional
+model-based flow over the *same inputs*, so every experiment can compare
+them on equal terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.batfish_model.ibdp import ModelRun, run_model
+from repro.batfish_model.issues import DEFAULT_ASSUMPTIONS, ModelAssumptions
+from repro.core.context import ScenarioContext
+from repro.core.snapshot import Snapshot
+from repro.corpus.routes import RouteInjector
+from repro.gnmi.server import dump_afts
+from repro.kube.cluster import KubeCluster
+from repro.kube.kne import KneDeployment
+from repro.protocols.timers import TimerProfile, PRODUCTION_TIMERS
+from repro.topo.model import Topology
+
+
+@dataclass
+class EmulationRun:
+    """A live emulation behind a snapshot (kept for operator access)."""
+
+    deployment: KneDeployment
+    injectors: list[RouteInjector] = field(default_factory=list)
+
+
+class ModelFreeBackend:
+    """Configuration + context -> converged, extracted dataplane.
+
+    The returned :class:`Snapshot` is pure data; the live deployment
+    stays accessible via :attr:`last_run` for the operator-tooling flow
+    (SSH into routers, poke at protocol state).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        cluster: Optional[KubeCluster] = None,
+        timers: TimerProfile = PRODUCTION_TIMERS,
+        quiet_period: float = 30.0,
+        convergence_max_time: float = 86_400.0,
+    ) -> None:
+        self.topology = topology
+        self.cluster = cluster
+        self.timers = timers
+        self.quiet_period = quiet_period
+        self.convergence_max_time = convergence_max_time
+        self.last_run: Optional[EmulationRun] = None
+
+    def run(
+        self,
+        context: ScenarioContext = ScenarioContext(),
+        *,
+        seed: int = 0,
+        snapshot_name: Optional[str] = None,
+    ) -> Snapshot:
+        """Execute the full upper stage once and extract AFTs."""
+        deployment = KneDeployment(
+            self.topology,
+            cluster=self.cluster or KubeCluster(),
+            timers=self.timers,
+            seed=seed,
+        )
+        deployment.deploy()
+        injectors = [
+            RouteInjector(spec, deployment.kernel, deployment.fabric,
+                          timers=self.timers)
+            for spec in context.injectors
+        ]
+        for injector in injectors:
+            injector.start()
+        for a_node, z_node in context.down_links:
+            deployment.link_down(a_node, z_node)
+        deployment.wait_converged(
+            quiet_period=self.quiet_period,
+            max_time=self.convergence_max_time,
+        )
+        afts = dump_afts(deployment)
+        self.last_run = EmulationRun(deployment=deployment, injectors=injectors)
+        return Snapshot(
+            name=snapshot_name or f"{self.topology.name}:{context.name}",
+            afts=afts,
+            backend="emulation",
+            seed=seed,
+            startup_seconds=deployment.report.startup_seconds,
+            convergence_seconds=deployment.report.convergence_seconds,
+            metadata={
+                "context": context.name,
+                "devices": len(self.topology),
+                "kube_nodes_used": deployment.report.nodes_used,
+                "injected_routes": sum(i.routes_sent for i in injectors),
+            },
+        )
+
+
+class NativeBatfishBackend:
+    """The traditional model-based flow over the same inputs."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        assumptions: ModelAssumptions = DEFAULT_ASSUMPTIONS,
+    ) -> None:
+        self.topology = topology
+        self.assumptions = assumptions
+        self.last_model_run: Optional[ModelRun] = None
+
+    def run(
+        self,
+        context: ScenarioContext = ScenarioContext(),
+        *,
+        snapshot_name: Optional[str] = None,
+    ) -> Snapshot:
+        if context.injectors:
+            raise NotImplementedError(
+                "the model baseline does not support live route injection"
+            )
+        configs = {spec.name: spec.config for spec in self.topology.nodes}
+        non_arista = [
+            spec.name for spec in self.topology.nodes if spec.vendor != "arista"
+        ]
+        if non_arista:
+            raise NotImplementedError(
+                "the reference model only ships an Arista parser; "
+                f"cannot model: {', '.join(non_arista)}"
+            )
+        model_run = run_model(configs, self.assumptions)
+        self.last_model_run = model_run
+        snapshots = model_run.snapshots
+        if context.down_links:
+            snapshots = _apply_link_cuts(self.topology, snapshots, context)
+        return Snapshot(
+            name=snapshot_name or f"{self.topology.name}:{context.name}:model",
+            afts=snapshots,
+            backend="model",
+            metadata={
+                "context": context.name,
+                "unrecognized_lines": model_run.unrecognized_by_device(),
+            },
+        )
+
+
+def _apply_link_cuts(topology, snapshots, context: ScenarioContext):
+    """The model's crude link-cut handling: disable the interfaces.
+
+    Note this (unlike emulation) does not re-run the protocols — a
+    deliberate simplification matching how operators often misuse
+    model link-cut toggles; the model recomputation path is exercised by
+    re-running :func:`run_model` on modified configs instead.
+    """
+    import copy
+
+    out = copy.deepcopy(snapshots)
+    for a_node, z_node in context.down_links:
+        link = topology.find_link(a_node, z_node)
+        if link is None:
+            continue
+        for end in link.endpoints():
+            snapshot = out.get(end.node)
+            if snapshot is None:
+                continue
+            snapshot.interfaces = [
+                iface
+                if iface.name != end.interface
+                else type(iface)(
+                    name=iface.name,
+                    ipv4_address=iface.ipv4_address,
+                    prefix_length=iface.prefix_length,
+                    enabled=False,
+                )
+                for iface in snapshot.interfaces
+            ]
+    return out

@@ -1,0 +1,76 @@
+"""Snapshots: the unit of verification."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.dataplane.model import Dataplane
+from repro.gnmi.aft import AftSnapshot
+
+
+@dataclass
+class Snapshot:
+    """A verified network state: extracted AFTs plus provenance.
+
+    ``backend`` records how the dataplane was obtained ("emulation" or
+    "model"); verification queries never need to care.
+    """
+
+    name: str
+    afts: dict[str, AftSnapshot]
+    backend: str = "emulation"
+    seed: Optional[int] = None
+    startup_seconds: float = 0.0
+    convergence_seconds: float = 0.0
+    metadata: dict = field(default_factory=dict)
+    _dataplane: Optional[Dataplane] = field(default=None, repr=False)
+
+    @property
+    def dataplane(self) -> Dataplane:
+        if self._dataplane is None:
+            self._dataplane = Dataplane.from_afts(self.afts)
+        return self._dataplane
+
+    # -- persistence -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "backend": self.backend,
+            "seed": self.seed,
+            "startup_seconds": self.startup_seconds,
+            "convergence_seconds": self.convergence_seconds,
+            "metadata": self.metadata,
+            "afts": {name: aft.to_dict() for name, aft in self.afts.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Snapshot":
+        return cls(
+            name=data["name"],
+            afts={
+                name: AftSnapshot.from_dict(raw)
+                for name, raw in data["afts"].items()
+            },
+            backend=data.get("backend", "emulation"),
+            seed=data.get("seed"),
+            startup_seconds=data.get("startup_seconds", 0.0),
+            convergence_seconds=data.get("convergence_seconds", 0.0),
+            metadata=data.get("metadata", {}),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Snapshot":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot({self.name!r}, backend={self.backend!r}, "
+            f"devices={len(self.afts)})"
+        )

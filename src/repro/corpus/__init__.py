@@ -1,0 +1,23 @@
+"""Configuration and workload corpus for every experiment.
+
+Generators, not checked-in files: each experiment's configurations are
+produced by code so tests can assert their structural properties (line
+counts in the paper's reported bands, parse coverage, etc.).
+"""
+
+from repro.corpus.fig2 import fig2_scenario, Fig2Scenario
+from repro.corpus.fig3 import fig3_scenario, Fig3Scenario
+from repro.corpus.production import production_scenario, ProductionScenario
+from repro.corpus.routes import RouteInjector, full_table, InjectorSpec
+
+__all__ = [
+    "Fig2Scenario",
+    "Fig3Scenario",
+    "InjectorSpec",
+    "ProductionScenario",
+    "RouteInjector",
+    "fig2_scenario",
+    "fig3_scenario",
+    "full_table",
+    "production_scenario",
+]

@@ -1,0 +1,88 @@
+"""The production-config "baggage": lines real WAN configs carry that a
+reference model's grammar does not cover.
+
+The paper's E2 reports 38–42 such lines per configuration — management
+daemons (PowerManager, LedPolicy, Thermostat, …), management services
+(gRPC, gNMI, SSL profiles), and MPLS / MPLS-TE enablement. The emulated
+OS accepts all of them; the model baseline counts them as unrecognized.
+"""
+
+from __future__ import annotations
+
+# Every line here is (a) accepted by the Arista emulation parser and
+# (b) outside the model baseline's grammar.
+_DAEMONS = """\
+daemon TerminAttr
+   exec /usr/bin/TerminAttr -cvaddr=apiserver:9910 -taillogs
+   no shutdown
+daemon PowerManager
+   exec /usr/bin/PowerManager
+   no shutdown
+daemon LedPolicy
+   exec /usr/bin/LedPolicy --policy=datacenter
+   no shutdown
+daemon Thermostat
+   exec /usr/bin/Thermostat --profile=quiet
+   no shutdown
+"""
+
+_MANAGEMENT = """\
+management api gnmi
+   transport grpc default
+   ssl profile gnmi-ssl
+management api http-commands
+   no shutdown
+   protocol https
+management security
+   ssl profile gnmi-ssl
+   certificate gnmi.crt key gnmi.key
+   tls versions 1.2
+"""
+
+_MPLS = """\
+mpls ip
+mpls rsvp
+   refresh interval 30
+router traffic-engineering
+   rsvp
+"""
+
+_MISC = """\
+service routing protocols model multi-agent
+transceiver qsfp default-mode 4x10G
+queue-monitor length
+hardware counter feature gre tunnel interface out
+sflow sample 16384
+sflow destination 127.0.0.1
+errdisable recovery interval 300
+event-monitor all
+platform trident mmu queue profile wan-profile
+ip icmp rate-limit-unreachable 500
+load-interval default 30
+"""
+
+# Optional extras used to vary the per-device count within the paper's
+# 38–42 band.
+_EXTRAS = [
+    "daemon Bfd\n   exec /usr/bin/BfdMonitor\n   no shutdown",
+    "queue-monitor streaming",
+    "hardware counter feature route ipv4 out",
+    "sflow polling-interval 20",
+]
+
+
+def baggage_lines(variant: int = 0) -> str:
+    """The full baggage block, with ``variant`` extra stanzas (0–4)."""
+    blocks = [_DAEMONS, _MANAGEMENT, _MPLS, _MISC]
+    for extra in _EXTRAS[: max(0, min(variant, len(_EXTRAS)))]:
+        blocks.append(extra + "\n")
+    return "".join(blocks)
+
+
+def count_config_lines(text: str) -> int:
+    """Non-blank, non-comment configuration lines."""
+    return sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("!")
+    )

@@ -1,0 +1,192 @@
+"""The paper's Fig. 2 scenario: a 6-node iBGP/eBGP/IS-IS test network.
+
+Production configurations simplified down to six Arista routers across
+three autonomous systems chained by eBGP::
+
+    AS65002          AS65003          AS65004
+    r1 -- r2  ====  r3 -- r4  ====  r5 -- r6
+          eBGP (cut in the buggy variant)
+
+Within each AS: IS-IS for loopback reachability and an iBGP session
+between loopbacks with next-hop-self at the borders. Loopbacks are
+originated into BGP, so cross-AS reachability exists only through the
+eBGP chain — cutting the r2–r3 session severs AS65003 (and AS65004)
+from AS65002, which is exactly the regression the paper's differential
+reachability query uncovers.
+
+Each configuration carries the full production "baggage"
+(:mod:`repro.corpus.baggage`) so its line count lands in the paper's
+62–82 band and the model baseline's unrecognized count lands in 38–42.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.baggage import baggage_lines
+from repro.topo.builder import TopologyBuilder
+from repro.topo.model import Topology
+
+# Router index -> (AS number, loopback).
+PLAN = {
+    1: (65002, "2.2.2.1"),
+    2: (65002, "2.2.2.2"),
+    3: (65003, "2.2.2.3"),
+    4: (65003, "2.2.2.4"),
+    5: (65004, "2.2.2.5"),
+    6: (65004, "2.2.2.6"),
+}
+
+# Chain link i joins r<i> and r<i+1> on 10.0.<i>.0/31.
+_EBGP_LINKS = {2, 4}  # links r2-r3 and r4-r5 cross AS boundaries
+
+AS_MEMBERS = {
+    65002: ("r1", "r2"),
+    65003: ("r3", "r4"),
+    65004: ("r5", "r6"),
+}
+
+
+def _link_subnet(i: int) -> tuple[str, str]:
+    return f"10.0.{i}.0", f"10.0.{i}.1"
+
+
+def _is_ebgp_link(i: int) -> bool:
+    return i in _EBGP_LINKS
+
+
+@dataclass
+class Fig2Scenario:
+    """Topology plus healthy and buggy configurations for E1."""
+    topology: Topology
+    configs: dict[str, str]
+    buggy_configs: dict[str, str]
+
+    @property
+    def loopbacks(self) -> dict[str, str]:
+        return {f"r{i}": loopback for i, (_asn, loopback) in PLAN.items()}
+
+    @property
+    def as_members(self) -> dict[int, tuple[str, ...]]:
+        return {asn: tuple(members) for asn, members in AS_MEMBERS.items()}
+
+    def buggy_topology(self) -> Topology:
+        """The same wiring with the buggy configurations applied."""
+        return _build_topology(self.buggy_configs)
+
+
+def _router_config(index: int, *, cut_r2_r3: bool) -> str:
+    asn, loopback = PLAN[index]
+    name = f"r{index}"
+    area = {65002: "49.0002", 65003: "49.0003", 65004: "49.0004"}[asn]
+    lines: list[str] = [
+        f"hostname {name}",
+        "ip routing",
+        "router isis default",
+        f"   net {area}.0000.0000.000{index}.00",
+        "   address-family ipv4 unicast",
+        "interface Loopback0",
+        f"   ip address {loopback}/32",
+        "   isis enable default",
+        "   isis passive-interface default",
+    ]
+
+    # Interfaces: Ethernet1 faces r<index-1>, Ethernet2 faces r<index+1>.
+    neighbors_ebgp: list[tuple[str, int]] = []  # (peer link ip, peer asn)
+    if index > 1:
+        left = index - 1
+        _lo, hi = _link_subnet(left)
+        lines += [
+            "interface Ethernet1",
+            f"   description to r{left}",
+            "   no switchport",
+            f"   ip address {hi}/31",
+        ]
+        if _is_ebgp_link(left):
+            peer_asn = PLAN[left][0]
+            neighbors_ebgp.append((_lo, peer_asn))
+        else:
+            lines.append("   isis enable default")
+    if index < 6:
+        right = index
+        lo, _hi = _link_subnet(right)
+        lines += [
+            "interface Ethernet2",
+            f"   description to r{index + 1}",
+            "   no switchport",
+            f"   ip address {lo}/31",
+        ]
+        if _is_ebgp_link(right):
+            peer_asn = PLAN[index + 1][0]
+            neighbors_ebgp.append((_hi, peer_asn))
+        else:
+            lines.append("   isis enable default")
+
+    lines += [
+        f"router bgp {asn}",
+        f"   router-id {loopback}",
+    ]
+    # iBGP to the other member of this AS, over loopbacks.
+    for peer_name in AS_MEMBERS[asn]:
+        if peer_name == name:
+            continue
+        peer_index = int(peer_name[1:])
+        peer_loopback = PLAN[peer_index][1]
+        lines += [
+            f"   neighbor {peer_loopback} remote-as {asn}",
+            f"   neighbor {peer_loopback} update-source Loopback0",
+            f"   neighbor {peer_loopback} next-hop-self",
+            f"   neighbor {peer_loopback} send-community",
+        ]
+    for peer_ip, peer_asn in neighbors_ebgp:
+        lines += [
+            f"   neighbor {peer_ip} remote-as {peer_asn}",
+            f"   neighbor {peer_ip} description ebgp to AS{peer_asn}",
+        ]
+        if cut_r2_r3 and {asn, peer_asn} == {65002, 65003}:
+            lines.append(f"   neighbor {peer_ip} shutdown")
+    lines.append(f"   network {loopback}/32")
+
+    # Day-one operational lines (recognized by both backends) keep the
+    # total line count inside the paper's 62-82 band.
+    lines += [
+        "ntp server 10.200.0.10",
+        "snmp-server community netops ro",
+        "logging host 10.200.0.20",
+        "spanning-tree mode mstp",
+    ]
+
+    body = "\n".join(lines) + "\n"
+    # Per-device baggage variant spreads the unrecognized-line count
+    # across the paper's 38-42 band (variant 0 -> 38, 1 -> 41, 2 -> 42).
+    variant = {1: 0, 2: 2, 3: 1, 4: 2, 5: 1, 6: 0}[index]
+    return body + baggage_lines(variant)
+
+
+def _build_topology(configs: dict[str, str]) -> Topology:
+    builder = TopologyBuilder("fig2")
+    for i in range(1, 7):
+        builder.node(
+            f"r{i}",
+            vendor="arista",
+            os_version="4.34.0F",
+            config=configs[f"r{i}"],
+        )
+    for i in range(1, 6):
+        builder.link(
+            f"r{i}", f"r{i + 1}", a_int="Ethernet2", z_int="Ethernet1"
+        )
+    return builder.build()
+
+
+def fig2_scenario() -> Fig2Scenario:
+    """Build the healthy and buggy versions of the Fig. 2 network."""
+    configs = {
+        f"r{i}": _router_config(i, cut_r2_r3=False) for i in range(1, 7)
+    }
+    buggy = {f"r{i}": _router_config(i, cut_r2_r3=True) for i in range(1, 7)}
+    return Fig2Scenario(
+        topology=_build_topology(configs),
+        configs=configs,
+        buggy_configs=buggy,
+    )

@@ -1,0 +1,109 @@
+"""The paper's Fig. 3 scenario: a 3-node IS-IS line, R1 <> R2 <> R3.
+
+R1 carries the exact configuration shape of the paper's Fig. 3 snippet —
+``ip address`` *before* ``no switchport`` on Ethernet2, plus
+``isis enable default`` — which the real router accepts and the model
+baseline mis-applies (issues #1 and #2). R2 and R3 use the conventional
+ordering, so the model divergence is localized to R1, reproducing the
+paper's observed asymmetry (model: R2→R1 dropped; emulation: full
+pairwise reachability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topo.builder import TopologyBuilder
+from repro.topo.model import Topology
+
+R1_CONFIG = """\
+hostname r1
+ip routing
+!
+router isis default ! Correctly parsed.
+   net 49.0001.1010.1040.1030.00
+   address-family ipv4 unicast
+!
+interface Loopback0 ! Correctly parsed.
+   ip address 2.2.2.1/32
+   isis enable default
+   isis passive-interface default
+!
+interface Ethernet2
+   ip address 100.64.0.1/31
+   no switchport
+   isis enable default
+!
+"""
+
+R2_CONFIG = """\
+hostname r2
+ip routing
+!
+router isis default
+   net 49.0001.1010.1040.2030.00
+   address-family ipv4 unicast
+!
+interface Loopback0
+   ip address 2.2.2.2/32
+   isis enable default
+   isis passive-interface default
+!
+interface Ethernet1
+   no switchport
+   ip address 100.64.0.0/31
+   isis enable default
+!
+interface Ethernet2
+   no switchport
+   ip address 100.64.0.2/31
+   isis enable default
+!
+"""
+
+R3_CONFIG = """\
+hostname r3
+ip routing
+!
+router isis default
+   net 49.0001.1010.1040.3030.00
+   address-family ipv4 unicast
+!
+interface Loopback0
+   ip address 2.2.2.3/32
+   isis enable default
+   isis passive-interface default
+!
+interface Ethernet1
+   no switchport
+   ip address 100.64.0.3/31
+   isis enable default
+!
+"""
+
+LOOPBACKS = {"r1": "2.2.2.1", "r2": "2.2.2.2", "r3": "2.2.2.3"}
+
+
+@dataclass
+class Fig3Scenario:
+    """Topology plus raw configurations for the Fig. 3 experiment."""
+
+    topology: Topology
+    configs: dict[str, str]
+
+    @property
+    def loopbacks(self) -> dict[str, str]:
+        return dict(LOOPBACKS)
+
+
+def fig3_scenario() -> Fig3Scenario:
+    """Build the 3-node line with the paper's configurations."""
+    configs = {"r1": R1_CONFIG, "r2": R2_CONFIG, "r3": R3_CONFIG}
+    builder = TopologyBuilder("fig3-line")
+    for name in ("r1", "r2", "r3"):
+        builder.node(name, vendor="arista", os_version="4.34.0F",
+                     config=configs[name])
+    # R1 faces R2 on Ethernet2 (as in the paper's snippet).
+    builder.link("r1", "r2", a_int="Ethernet2", z_int="Ethernet1")
+    builder.link("r2", "r3", a_int="Ethernet2", z_int="Ethernet1")
+    return Fig3Scenario(topology=builder.build(), configs=configs)

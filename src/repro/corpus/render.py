@@ -1,0 +1,158 @@
+"""Render vendor-native configuration text from a neutral spec.
+
+Used by the production-scale corpus generator, which emits Arista EOS
+for Arista nodes and SR Linux flat-``set`` for Nokia nodes — two real
+configuration languages for the same intent, as a multi-vendor replica
+requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.corpus.baggage import baggage_lines
+
+
+@dataclass
+class IfaceSpec:
+    """A rendered interface: name, address, IGP participation."""
+    name: str
+    address: str  # "a.b.c.d/len"
+    isis: bool = False
+    passive: bool = False
+    description: str = ""
+
+
+@dataclass
+class NeighborSpec:
+    """A rendered BGP neighbor statement."""
+    ip: str
+    remote_as: int
+    update_source: Optional[str] = None
+    next_hop_self: bool = False
+    description: str = ""
+    route_reflector_client: bool = False
+
+
+@dataclass
+class RouterSpec:
+    """Everything needed to render one router's config."""
+    hostname: str
+    vendor: str
+    loopback: str  # address only, /32 implied
+    isis_net: str
+    asn: int
+    neighbors: list[NeighborSpec] = field(default_factory=list)
+    interfaces: list[IfaceSpec] = field(default_factory=list)
+    networks: list[str] = field(default_factory=list)
+    baggage_variant: int = 0
+
+
+def render_config(spec: RouterSpec) -> str:
+    if spec.vendor == "arista":
+        return _render_arista(spec)
+    if spec.vendor == "nokia":
+        return _render_nokia(spec)
+    raise ValueError(f"no config renderer for vendor {spec.vendor!r}")
+
+
+def _render_arista(spec: RouterSpec) -> str:
+    lines = [
+        f"hostname {spec.hostname}",
+        "ip routing",
+        "router isis default",
+        f"   net {spec.isis_net}",
+        "   address-family ipv4 unicast",
+        "interface Loopback0",
+        f"   ip address {spec.loopback}/32",
+        "   isis enable default",
+        "   isis passive-interface default",
+    ]
+    for iface in spec.interfaces:
+        lines += [
+            f"interface {iface.name}",
+        ]
+        if iface.description:
+            lines.append(f"   description {iface.description}")
+        lines += [
+            "   no switchport",
+            f"   ip address {iface.address}",
+        ]
+        if iface.isis:
+            lines.append("   isis enable default")
+            if iface.passive:
+                lines.append("   isis passive")
+    lines += [f"router bgp {spec.asn}", f"   router-id {spec.loopback}"]
+    for neighbor in spec.neighbors:
+        lines.append(f"   neighbor {neighbor.ip} remote-as {neighbor.remote_as}")
+        if neighbor.update_source:
+            lines.append(
+                f"   neighbor {neighbor.ip} update-source {neighbor.update_source}"
+            )
+        if neighbor.next_hop_self:
+            lines.append(f"   neighbor {neighbor.ip} next-hop-self")
+        if neighbor.route_reflector_client:
+            lines.append(
+                f"   neighbor {neighbor.ip} route-reflector-client"
+            )
+        if neighbor.description:
+            lines.append(
+                f"   neighbor {neighbor.ip} description {neighbor.description}"
+            )
+    for network in spec.networks:
+        lines.append(f"   network {network}")
+    return "\n".join(lines) + "\n" + baggage_lines(spec.baggage_variant)
+
+
+def _render_nokia(spec: RouterSpec) -> str:
+    lines = [
+        f"set / system name host-name {spec.hostname}",
+        "set / system grpc-server mgmt admin-state enable",
+        "set / system gnmi-server unix-socket admin-state enable",
+        "set / system tls server-profile gnmi-ssl",
+        "set / system lldp admin-state enable",
+        f"set / interface lo0 subinterface 0 ipv4 address {spec.loopback}/32",
+        "set / network-instance default protocols isis instance default "
+        f"net {spec.isis_net}",
+        "set / network-instance default protocols isis instance default "
+        "interface lo0.0 passive true",
+    ]
+    for iface in spec.interfaces:
+        lines.append(
+            f"set / interface {iface.name} subinterface 0 ipv4 address "
+            f"{iface.address}"
+        )
+        if iface.description:
+            lines.append(
+                f'set / interface {iface.name} description "{iface.description}"'
+            )
+        if iface.isis:
+            lines.append(
+                "set / network-instance default protocols isis instance "
+                f"default interface {iface.name}.0 metric 10"
+            )
+    lines.append(
+        "set / network-instance default protocols bgp autonomous-system "
+        f"{spec.asn}"
+    )
+    lines.append(
+        f"set / network-instance default protocols bgp router-id {spec.loopback}"
+    )
+    for neighbor in spec.neighbors:
+        base = (
+            "set / network-instance default protocols bgp neighbor "
+            f"{neighbor.ip}"
+        )
+        lines.append(f"{base} peer-as {neighbor.remote_as}")
+        if neighbor.update_source:
+            lines.append(f"{base} update-source {neighbor.update_source}")
+        if neighbor.next_hop_self:
+            lines.append(f"{base} next-hop-self true")
+        if neighbor.route_reflector_client:
+            lines.append(f"{base} route-reflector-client true")
+    for network in spec.networks:
+        lines.append(
+            f"set / network-instance default protocols bgp network {network}"
+        )
+    return "\n".join(lines) + "\n"

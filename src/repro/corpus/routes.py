@@ -1,0 +1,193 @@
+"""External BGP peers and synthetic route tables.
+
+:class:`RouteInjector` is a lightweight BGP speaker (not a router OS)
+standing in for the paper's "production-recorded routes... injected from
+each BGP peer": it attaches to an edge router's subnet through the
+fabric, brings up an eBGP session, and streams a synthetic table in
+batched UPDATEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.kube.fabric import Fabric
+from repro.net.addr import Prefix, format_ipv4, parse_ipv4
+from repro.protocols.bgp import (
+    Keepalive,
+    Notification,
+    Open,
+    Update,
+    max_routes_per_update,
+)
+from repro.protocols.bgp_attrs import Origin, PathAttributes, intern_attrs
+from repro.protocols.timers import TimerProfile, PRODUCTION_TIMERS
+from repro.sim.kernel import SimKernel
+
+
+def full_table(
+    count: int,
+    *,
+    seed: int = 0,
+    base: str = "100.0.0.0",
+) -> list[Prefix]:
+    """A deterministic synthetic table of ``count`` /24s.
+
+    Consecutive /24s starting at ``base`` offset by the seed, mimicking
+    the aggregated shape of a real table without collisions between
+    peers (each seed lands in its own /8-ish region).
+    """
+    start = parse_ipv4(base) + ((seed % 64) << 22)
+    prefixes = []
+    for i in range(count):
+        network = (start + (i << 8)) & 0xFFFFFFFF
+        prefixes.append(Prefix.containing(network, 24))
+    return prefixes
+
+
+@dataclass
+class InjectorSpec:
+    """Declarative description of one external peer."""
+
+    name: str
+    asn: int
+    ip: str
+    gateway_node: str
+    gateway_port: str
+    gateway_ip: str
+    prefixes: list[Prefix] = field(default_factory=list)
+    communities: tuple = ()
+
+
+class RouteInjector:
+    """A live external BGP speaker driven by an :class:`InjectorSpec`."""
+
+    def __init__(
+        self,
+        spec: InjectorSpec,
+        kernel: SimKernel,
+        fabric: Fabric,
+        *,
+        timers: TimerProfile = PRODUCTION_TIMERS,
+        batch_size: int = 2_000,
+    ) -> None:
+        self.spec = spec
+        self.kernel = kernel
+        self.fabric = fabric
+        self.timers = timers
+        self.batch_size = batch_size
+        self.ip = parse_ipv4(spec.ip)
+        self.gateway_ip = parse_ipv4(spec.gateway_ip)
+        self.established = False
+        self.established_at: Optional[float] = None
+        self.routes_sent = 0
+        self.session_resets = 0
+        self._attrs = intern_attrs(
+            PathAttributes(
+                next_hop=self.ip,
+                as_path=(spec.asn,),
+                origin=Origin.IGP,
+                communities=tuple(spec.communities),
+            )
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self.fabric.attach_external(
+            self.spec.name,
+            self.spec.gateway_node,
+            self.spec.gateway_port,
+            self.ip,
+            self._on_datagram,
+        )
+        self._attempt_connect()
+
+    def _attempt_connect(self) -> None:
+        if self.established:
+            return
+        self._send(Open(asn=self.spec.asn, router_id=self.ip,
+                        hold_time=self.timers.bgp_hold))
+        retry = self.timers.bgp_connect_retry
+        self.kernel.schedule(
+            self.kernel.jitter(retry, retry),
+            self._attempt_connect,
+            label=f"injector-connect:{self.spec.name}",
+        )
+
+    def _send(self, payload: Any) -> bool:
+        return self.fabric.send_external(self.spec.name, self.gateway_ip, payload)
+
+    # -- session ---------------------------------------------------------------
+
+    def _on_datagram(self, remote_ip: int, local_ip: int, payload: Any) -> None:
+        del local_ip
+        if remote_ip != self.gateway_ip:
+            return
+        if isinstance(payload, Open):
+            if not self.established:
+                self.established = True
+                self.established_at = self.kernel.now
+                self._send(
+                    Open(asn=self.spec.asn, router_id=self.ip,
+                         hold_time=self.timers.bgp_hold)
+                )
+                self._send(Keepalive())
+                self._schedule_keepalive()
+                self._announce_all()
+        elif isinstance(payload, Notification):
+            self.established = False
+            self.session_resets += 1
+        # Updates/keepalives from the gateway are absorbed.
+
+    def _schedule_keepalive(self) -> None:
+        if not self.established:
+            return
+        interval = self.timers.bgp_keepalive
+        self.kernel.schedule(
+            self.kernel.jitter(interval, interval * 0.1),
+            self._keepalive_tick,
+            label=f"injector-keepalive:{self.spec.name}",
+        )
+
+    def _keepalive_tick(self) -> None:
+        if self.established:
+            self._send(Keepalive())
+            self._schedule_keepalive()
+
+    # -- route push ----------------------------------------------------------------
+
+    def _announce_all(self) -> None:
+        prefixes = self.spec.prefixes
+        rate = self.timers.bgp_update_rate
+        chunk = min(self.batch_size, max_routes_per_update(self.timers))
+        for index, offset in enumerate(range(0, len(prefixes), chunk)):
+            batch = tuple(prefixes[offset : offset + chunk])
+            update = Update(
+                announce=((self._attrs, batch),), wire_cost=len(batch) / rate
+            )
+            # Stream batches back-to-back; the fabric serializes them on
+            # the session, each carrying its route-proportional cost.
+            self.kernel.schedule(
+                0.001 * index,
+                lambda u=update: self._push(u),
+                label=f"injector-update:{self.spec.name}",
+            )
+
+    def _push(self, update: Update) -> None:
+        if self.established and self._send(update):
+            self.routes_sent += update.route_count
+
+    def withdraw(self, prefixes: list[Prefix]) -> None:
+        """Withdraw previously announced routes (what-if support)."""
+        rate = self.timers.bgp_update_rate
+        for offset in range(0, len(prefixes), self.batch_size):
+            batch = tuple(prefixes[offset : offset + self.batch_size])
+            self._send(
+                Update(withdraw=batch, wire_cost=len(batch) / rate)
+            )
+
+    def __repr__(self) -> str:
+        state = "established" if self.established else "idle"
+        return f"RouteInjector({self.spec.name!r}, {format_ipv4(self.ip)}, {state})"

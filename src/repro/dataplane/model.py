@@ -1,0 +1,226 @@
+"""Network dataplane assembled from per-device AFT snapshots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.gnmi.aft import AftSnapshot
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.trie import PrefixTrie
+
+
+@dataclass(frozen=True)
+class ResolvedHop:
+    """One forwarding alternative of a FIB entry."""
+
+    interface: str
+    gateway: Optional[int]  # next-hop IP (None = directly attached)
+
+
+@dataclass(frozen=True)
+class ForwardingEntry:
+    """One device FIB entry as the verifier sees it."""
+    prefix: Prefix
+    entry_type: str  # "forward" | "receive" | "discard"
+    hops: tuple[ResolvedHop, ...] = ()
+
+
+@dataclass(frozen=True)
+class L3Edge:
+    """A derived layer-3 adjacency."""
+
+    device: str
+    interface: str
+    peer_device: str
+    peer_interface: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.device}[{self.interface}] <=> "
+            f"{self.peer_device}[{self.peer_interface}]"
+        )
+
+
+class DeviceForwarding:
+    """One device's forwarding table plus interface addressing."""
+
+    def __init__(self, snapshot: AftSnapshot) -> None:
+        from repro.device.acl import Acl
+
+        self.name = snapshot.device
+        self.trie: PrefixTrie[ForwardingEntry] = PrefixTrie()
+        self.interface_addresses: dict[str, tuple[int, int]] = {}
+        self.local_addresses: set[int] = set()
+        self.acls: dict[str, Acl] = {
+            name: Acl(name=name, rules=list(rules))
+            for name, rules in snapshot.acls.items()
+        }
+        # interface -> (ingress ACL, egress ACL), names resolved lazily.
+        self.interface_acls: dict[str, tuple[Optional[str], Optional[str]]] = {
+            iface.name: (iface.acl_in, iface.acl_out)
+            for iface in snapshot.interfaces
+            if iface.acl_in or iface.acl_out
+        }
+        for iface in snapshot.interfaces:
+            if iface.ipv4_address is not None and iface.enabled:
+                address = parse_ipv4(iface.ipv4_address)
+                assert iface.prefix_length is not None
+                self.interface_addresses[iface.name] = (
+                    address,
+                    iface.prefix_length,
+                )
+                self.local_addresses.add(address)
+        for prefix, entry in snapshot.forward_entries():
+            hops: tuple[ResolvedHop, ...] = ()
+            if entry.entry_type == "forward" and entry.next_hop_group is not None:
+                group = snapshot.next_hop_groups[entry.next_hop_group]
+                hops = tuple(
+                    ResolvedHop(
+                        interface=snapshot.next_hops[i].interface,
+                        gateway=(
+                            parse_ipv4(snapshot.next_hops[i].ip_address)
+                            if snapshot.next_hops[i].ip_address is not None
+                            else None
+                        ),
+                    )
+                    for i in group.next_hop_indices
+                )
+            self.trie.insert(
+                prefix,
+                ForwardingEntry(
+                    prefix=prefix, entry_type=entry.entry_type, hops=hops
+                ),
+            )
+
+    def lookup(self, address: int) -> Optional[ForwardingEntry]:
+        match = self.trie.longest_match(address)
+        return match[1] if match else None
+
+    def connected_subnets(self) -> Iterator[tuple[str, Prefix]]:
+        for name, (address, length) in self.interface_addresses.items():
+            if length < 32:
+                yield name, Prefix.containing(address, length)
+
+    def ingress_acl(self, interface: str):
+        names = self.interface_acls.get(interface)
+        if names is None or names[0] is None:
+            return None
+        return self.acls.get(names[0])
+
+    def egress_acl(self, interface: str):
+        names = self.interface_acls.get(interface)
+        if names is None or names[1] is None:
+            return None
+        return self.acls.get(names[1])
+
+    def prefixes(self) -> Iterator[Prefix]:
+        yield from self.trie.keys()
+
+    def __len__(self) -> int:
+        return len(self.trie)
+
+
+class Dataplane:
+    """The whole network's forwarding state, ready for verification."""
+
+    def __init__(self, snapshots: dict[str, AftSnapshot]) -> None:
+        self.devices: dict[str, DeviceForwarding] = {
+            name: DeviceForwarding(snap) for name, snap in snapshots.items()
+        }
+        self.address_owner: dict[int, str] = {}
+        for name, device in self.devices.items():
+            for address in device.local_addresses:
+                self.address_owner[address] = name
+        self.edges: list[L3Edge] = []
+        # (device, interface) -> neighbors on the shared subnet
+        self.adjacency: dict[tuple[str, str], list[tuple[str, str, int]]] = {}
+        self._derive_edges()
+
+    @classmethod
+    def from_afts(cls, snapshots: dict[str, AftSnapshot]) -> "Dataplane":
+        return cls(snapshots)
+
+    @classmethod
+    def from_dicts(cls, raw: dict[str, dict]) -> "Dataplane":
+        return cls(
+            {name: AftSnapshot.from_dict(data) for name, data in raw.items()}
+        )
+
+    def _derive_edges(self) -> None:
+        """Infer L3 edges: enabled interfaces sharing a subnet."""
+        members: dict[Prefix, list[tuple[str, str, int]]] = {}
+        for name, device in self.devices.items():
+            for iface, subnet in device.connected_subnets():
+                address = device.interface_addresses[iface][0]
+                members.setdefault(subnet, []).append((name, iface, address))
+        for subnet, endpoints in members.items():
+            del subnet
+            for device, iface, _addr in endpoints:
+                neighbors = [
+                    (d, i, a)
+                    for d, i, a in endpoints
+                    if (d, i) != (device, iface)
+                ]
+                if neighbors:
+                    self.adjacency[(device, iface)] = neighbors
+            if len(endpoints) >= 2:
+                seen: set[frozenset] = set()
+                for a_dev, a_if, _a in endpoints:
+                    for z_dev, z_if, _z in endpoints:
+                        key = frozenset(((a_dev, a_if), (z_dev, z_if)))
+                        if (a_dev, a_if) >= (z_dev, z_if) or key in seen:
+                            continue
+                        seen.add(key)
+                        self.edges.append(
+                            L3Edge(a_dev, a_if, z_dev, z_if)
+                        )
+
+    # -- queries -------------------------------------------------------------
+
+    def device(self, name: str) -> DeviceForwarding:
+        return self.devices[name]
+
+    def node_names(self) -> list[str]:
+        return sorted(self.devices)
+
+    def neighbor_via(
+        self, device: str, interface: str, gateway: Optional[int], dst: int
+    ) -> Optional[tuple[str, str]]:
+        """Where does traffic leaving (device, interface) arrive?
+
+        Picks the subnet neighbor owning the gateway address (or, for
+        directly attached traffic, the destination itself).
+        """
+        neighbors = self.adjacency.get((device, interface))
+        if not neighbors:
+            return None
+        target = gateway if gateway is not None else dst
+        for peer_device, peer_iface, peer_addr in neighbors:
+            if peer_addr == target:
+                return peer_device, peer_iface
+        return None
+
+    def all_prefixes(self) -> set[Prefix]:
+        out: set[Prefix] = set()
+        for device in self.devices.values():
+            out.update(device.prefixes())
+            for name, (address, length) in device.interface_addresses.items():
+                del name
+                out.add(Prefix.containing(address, 32))
+                out.add(Prefix.containing(address, length))
+            # ACL destination matches partition the dst space too: an
+            # atom must not straddle an ACL dst boundary.
+            for acl in device.acls.values():
+                for rule in acl.rules:
+                    if rule.dst is not None:
+                        out.add(rule.dst)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataplane(devices={len(self.devices)}, edges={len(self.edges)})"
+        )

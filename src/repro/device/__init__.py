@@ -1,0 +1,51 @@
+"""Vendor-neutral device configuration model.
+
+Vendor config parsers (:mod:`repro.vendors`) translate native
+configuration text into these structures; the protocol engines
+(:mod:`repro.protocols`) consume them. This is the emulator's analogue of
+a router's internal configuration database — *not* a verification model:
+it holds what the operator configured, with vendor semantics applied by
+the vendor OS.
+"""
+
+from repro.device.acl import Acl, AclRule
+from repro.device.interfaces import InterfaceConfig, IsisInterfaceSettings
+from repro.device.model import (
+    BgpConfig,
+    BgpNeighborConfig,
+    DeviceConfig,
+    IsisConfig,
+    IsisInterfaceConfig,
+    MplsConfig,
+    MplsTunnelConfig,
+    StaticRouteConfig,
+)
+from repro.device.routing_policy import (
+    Community,
+    MatchResult,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+
+__all__ = [
+    "Acl",
+    "AclRule",
+    "BgpConfig",
+    "BgpNeighborConfig",
+    "Community",
+    "DeviceConfig",
+    "InterfaceConfig",
+    "IsisConfig",
+    "IsisInterfaceConfig",
+    "IsisInterfaceSettings",
+    "MatchResult",
+    "MplsConfig",
+    "MplsTunnelConfig",
+    "PrefixList",
+    "PrefixListEntry",
+    "RouteMap",
+    "RouteMapClause",
+    "StaticRouteConfig",
+]

@@ -1,0 +1,114 @@
+"""IPv4 access lists.
+
+ACLs are the one dataplane feature that matches beyond the destination
+address, which is why the verifier carries a full
+:class:`~repro.net.headerspace.HeaderSpace` through its walks: an ACL
+splits traffic into a permitted piece (which continues) and a denied
+piece (which terminates with a deny disposition) — exactly, not by
+sampling.
+
+First-match semantics with an implicit deny, like every router since
+the beginning of time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.addr import Prefix
+from repro.net.headerspace import Field, HeaderSpace, Rect
+from repro.net.intervals import IntervalSet
+
+# Protocol keywords -> IP protocol numbers.
+PROTOCOL_NUMBERS = {"icmp": 1, "tcp": 6, "udp": 17}
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """One numbered permit/deny rule."""
+
+    seq: int
+    permit: bool
+    protocol: Optional[int] = None  # None = "ip" (any protocol)
+    src: Optional[Prefix] = None  # None = any
+    dst: Optional[Prefix] = None
+    src_port: Optional[tuple[int, int]] = None  # inclusive range
+    dst_port: Optional[tuple[int, int]] = None
+
+    def match_space(self) -> HeaderSpace:
+        """The set of packets this rule matches."""
+        rect = Rect()
+        if self.protocol is not None:
+            rect = rect.with_field(Field.IP_PROTO, IntervalSet.of(self.protocol))
+        if self.src is not None:
+            rect = rect.with_field(
+                Field.SRC_IP, IntervalSet.from_prefix(self.src)
+            )
+        if self.dst is not None:
+            rect = rect.with_field(
+                Field.DST_IP, IntervalSet.from_prefix(self.dst)
+            )
+        if self.src_port is not None:
+            rect = rect.with_field(
+                Field.SRC_PORT, IntervalSet.span(*self.src_port)
+            )
+        if self.dst_port is not None:
+            rect = rect.with_field(
+                Field.DST_PORT, IntervalSet.span(*self.dst_port)
+            )
+        return HeaderSpace((rect,))
+
+    def describe(self) -> str:
+        action = "permit" if self.permit else "deny"
+        proto = {1: "icmp", 6: "tcp", 17: "udp"}.get(self.protocol, "ip")
+        src = str(self.src) if self.src else "any"
+        dst = str(self.dst) if self.dst else "any"
+        text = f"{self.seq} {action} {proto} {src} {dst}"
+        if self.dst_port:
+            lo, hi = self.dst_port
+            text += f" eq {lo}" if lo == hi else f" range {lo} {hi}"
+        return text
+
+
+@dataclass
+class Acl:
+    """A named, ordered access list."""
+
+    name: str
+    rules: list[AclRule] = field(default_factory=list)
+    _permit_cache: Optional[HeaderSpace] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def add(self, rule: AclRule) -> None:
+        self.rules.append(rule)
+        self.rules.sort(key=lambda r: r.seq)
+        self._permit_cache = None
+
+    def permit_space(self) -> HeaderSpace:
+        """The exact set of packets this ACL permits.
+
+        First-match expansion: rule *i* applies only to traffic not
+        matched by rules before it; everything unmatched hits the
+        implicit deny.
+        """
+        if self._permit_cache is not None:
+            return self._permit_cache
+        permitted = HeaderSpace.empty()
+        remaining = HeaderSpace.full()
+        for rule in self.rules:
+            matched = remaining & rule.match_space()
+            if rule.permit:
+                permitted = permitted | matched
+            remaining = remaining - rule.match_space()
+            if remaining.is_empty():
+                break
+        self._permit_cache = permitted
+        return permitted
+
+    def permits_packet(self, packet) -> bool:
+        for rule in self.rules:
+            if rule.match_space().contains_packet(packet):
+                return rule.permit
+        return False

@@ -1,0 +1,151 @@
+"""Top-level device configuration model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.device.acl import Acl
+from repro.device.interfaces import InterfaceConfig, IsisInterfaceSettings
+from repro.device.routing_policy import PrefixList, RouteMap
+from repro.net.addr import Prefix
+
+# Re-exported under the historical name used elsewhere in the package.
+IsisInterfaceConfig = IsisInterfaceSettings
+
+
+@dataclass
+class IsisConfig:
+    """``router isis <tag>`` process configuration."""
+
+    tag: str = "default"
+    net: str = ""
+    ipv4_unicast: bool = True
+    passive_default: bool = False
+    spf_delay: float = 0.2
+
+    @property
+    def system_id(self) -> str:
+        """The 6-byte system-id portion of the configured NET.
+
+        A NET like ``49.0001.1010.1040.1030.00`` decomposes as
+        area (``49.0001``) . system-id (``1010.1040.1030``) . selector.
+        """
+        parts = self.net.split(".")
+        if len(parts) < 4:
+            return ""
+        return ".".join(parts[-4:-1])
+
+    @property
+    def area(self) -> str:
+        parts = self.net.split(".")
+        if len(parts) < 4:
+            return ""
+        return ".".join(parts[: len(parts) - 4])
+
+
+@dataclass
+class BgpNeighborConfig:
+    """One ``neighbor <ip> ...`` block."""
+
+    peer_address: int
+    remote_as: int
+    description: str = ""
+    update_source: Optional[str] = None
+    next_hop_self: bool = False
+    send_community: bool = False
+    route_map_in: Optional[str] = None
+    route_map_out: Optional[str] = None
+    ebgp_multihop: int = 0
+    shutdown: bool = False
+    route_reflector_client: bool = False
+
+
+@dataclass
+class BgpConfig:
+    """``router bgp <asn>`` process configuration."""
+
+    asn: int
+    router_id: Optional[int] = None
+    neighbors: dict[int, BgpNeighborConfig] = field(default_factory=dict)
+    networks: list[Prefix] = field(default_factory=list)
+    redistribute_connected: bool = False
+    redistribute_isis: bool = False
+    maximum_paths: int = 1
+
+
+@dataclass
+class MplsTunnelConfig:
+    """An RSVP-TE tunnel definition (head-end view)."""
+
+    name: str
+    destination: int
+    setup_priority: int = 7
+    bandwidth_mbps: float = 0.0
+
+
+@dataclass
+class MplsConfig:
+    """MPLS / traffic-engineering configuration."""
+
+    enabled: bool = False
+    traffic_eng: bool = False
+    rsvp_refresh_interval: Optional[float] = None
+    tunnels: list[MplsTunnelConfig] = field(default_factory=list)
+
+
+@dataclass
+class StaticRouteConfig:
+    """One ``ip route`` statement."""
+    prefix: Prefix
+    next_hop: Optional[int] = None
+    interface: Optional[str] = None
+    distance: int = 1
+    discard: bool = False
+
+
+@dataclass
+class DeviceConfig:
+    """Everything a vendor parser extracts from a configuration file.
+
+    ``management_services`` and ``daemons`` capture lines that have no
+    dataplane effect (gRPC/gNMI servers, SSL profiles, PowerManager and
+    friends); the emulation accepts them — unlike the model-based
+    baseline, which reports them as unrecognized.
+    """
+
+    hostname: str = ""
+    interfaces: dict[str, InterfaceConfig] = field(default_factory=dict)
+    isis: Optional[IsisConfig] = None
+    bgp: Optional[BgpConfig] = None
+    mpls: MplsConfig = field(default_factory=MplsConfig)
+    static_routes: list[StaticRouteConfig] = field(default_factory=list)
+    route_maps: dict[str, RouteMap] = field(default_factory=dict)
+    prefix_lists: dict[str, PrefixList] = field(default_factory=dict)
+    acls: dict[str, "Acl"] = field(default_factory=dict)
+    management_services: list[str] = field(default_factory=list)
+    daemons: list[str] = field(default_factory=list)
+    ip_routing: bool = True
+
+    def interface(self, name: str) -> InterfaceConfig:
+        """Get-or-create the configuration object for ``name``."""
+        if name not in self.interfaces:
+            self.interfaces[name] = InterfaceConfig(name=name)
+        return self.interfaces[name]
+
+    def routed_interfaces(self) -> list[InterfaceConfig]:
+        return [i for i in self.interfaces.values() if i.is_routed]
+
+    def local_addresses(self) -> list[int]:
+        """All addresses owned by this device."""
+        return [
+            i.address
+            for i in self.interfaces.values()
+            if i.is_routed and i.address is not None
+        ]
+
+    def loopback_address(self) -> Optional[int]:
+        for iface in self.interfaces.values():
+            if iface.is_loopback and iface.is_routed:
+                return iface.address
+        return None

@@ -1,0 +1,162 @@
+"""Routing policy: prefix lists, communities, route maps.
+
+These are evaluated by the BGP engine on import/export, with the same
+first-match semantics real routers use: clauses are tried in sequence
+number order; a matching permit clause applies its ``set`` actions; a
+matching deny clause rejects the route; a route matching no clause is
+denied (implicit deny).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addr import Prefix
+
+if TYPE_CHECKING:
+    from repro.protocols.bgp_attrs import PathAttributes
+
+
+@dataclass(frozen=True, order=True)
+class Community:
+    """A standard BGP community (asn:value)."""
+
+    asn: int
+    value: int
+
+    @classmethod
+    def parse(cls, text: str) -> "Community":
+        asn_text, _, value_text = text.partition(":")
+        try:
+            return cls(int(asn_text), int(value_text))
+        except ValueError as exc:
+            raise ValueError(f"malformed community: {text!r}") from exc
+
+    def __str__(self) -> str:
+        return f"{self.asn}:{self.value}"
+
+
+@dataclass(frozen=True)
+class PrefixListEntry:
+    """One ``seq N permit/deny prefix [ge X] [le Y]`` entry."""
+
+    seq: int
+    permit: bool
+    prefix: Prefix
+    ge: Optional[int] = None
+    le: Optional[int] = None
+
+    def matches(self, candidate: Prefix) -> bool:
+        if not self.prefix.contains_prefix(candidate):
+            return False
+        lo = self.ge if self.ge is not None else self.prefix.length
+        hi = self.le if self.le is not None else (
+            32 if self.ge is not None else self.prefix.length
+        )
+        return lo <= candidate.length <= hi
+
+
+@dataclass
+class PrefixList:
+    """An ordered prefix list with first-match semantics."""
+
+    name: str
+    entries: list[PrefixListEntry] = field(default_factory=list)
+
+    def add(self, entry: PrefixListEntry) -> None:
+        self.entries.append(entry)
+        self.entries.sort(key=lambda e: e.seq)
+
+    def permits(self, candidate: Prefix) -> bool:
+        for entry in self.entries:
+            if entry.matches(candidate):
+                return entry.permit
+        return False
+
+
+class MatchResult(enum.Enum):
+    """Outcome of evaluating a route map against a route."""
+    PERMIT = "permit"
+    DENY = "deny"
+    NO_MATCH = "no-match"
+
+
+@dataclass
+class RouteMapClause:
+    """One numbered permit/deny clause of a route map."""
+
+    seq: int
+    permit: bool
+    match_prefix_list: Optional[str] = None
+    match_community: Optional[Community] = None
+    match_as_path_contains: Optional[int] = None
+    set_local_pref: Optional[int] = None
+    set_med: Optional[int] = None
+    set_communities: tuple[Community, ...] = ()
+    set_as_path_prepend: tuple[int, ...] = ()
+    set_next_hop: Optional[int] = None
+
+    def matches(
+        self,
+        prefix: Prefix,
+        attrs: "PathAttributes",
+        prefix_lists: dict[str, PrefixList],
+    ) -> bool:
+        if self.match_prefix_list is not None:
+            plist = prefix_lists.get(self.match_prefix_list)
+            if plist is None or not plist.permits(prefix):
+                return False
+        if self.match_community is not None:
+            if self.match_community not in attrs.communities:
+                return False
+        if self.match_as_path_contains is not None:
+            if self.match_as_path_contains not in attrs.as_path:
+                return False
+        return True
+
+    def apply(self, attrs: "PathAttributes") -> "PathAttributes":
+        updated = attrs
+        if self.set_local_pref is not None:
+            updated = replace(updated, local_pref=self.set_local_pref)
+        if self.set_med is not None:
+            updated = replace(updated, med=self.set_med)
+        if self.set_communities:
+            merged = tuple(
+                sorted(set(updated.communities) | set(self.set_communities))
+            )
+            updated = replace(updated, communities=merged)
+        if self.set_as_path_prepend:
+            updated = replace(
+                updated, as_path=self.set_as_path_prepend + updated.as_path
+            )
+        if self.set_next_hop is not None:
+            updated = replace(updated, next_hop=self.set_next_hop)
+        return updated
+
+
+@dataclass
+class RouteMap:
+    """A named, ordered collection of clauses."""
+
+    name: str
+    clauses: list[RouteMapClause] = field(default_factory=list)
+
+    def add(self, clause: RouteMapClause) -> None:
+        self.clauses.append(clause)
+        self.clauses.sort(key=lambda c: c.seq)
+
+    def evaluate(
+        self,
+        prefix: Prefix,
+        attrs: "PathAttributes",
+        prefix_lists: dict[str, PrefixList],
+    ) -> tuple[MatchResult, "PathAttributes"]:
+        """Run the route map; returns (verdict, possibly-updated attrs)."""
+        for clause in self.clauses:
+            if clause.matches(prefix, attrs, prefix_lists):
+                if not clause.permit:
+                    return MatchResult.DENY, attrs
+                return MatchResult.PERMIT, clause.apply(attrs)
+        return MatchResult.NO_MATCH, attrs

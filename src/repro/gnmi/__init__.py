@@ -1,0 +1,24 @@
+"""gNMI-style management interface and OpenConfig AFT data model.
+
+The vendor-agnostic extraction boundary of the paper's system: after
+convergence, the pipeline issues a gNMI Get for the AFT subtree on every
+device and hands the resulting snapshots to the verification stage. All
+vendors export the same OpenConfig-shaped structure, which is what makes
+the verification stage vendor-independent.
+"""
+
+from repro.gnmi.aft import AftIpv4Entry, AftNextHop, AftNextHopGroup, AftSnapshot
+from repro.gnmi.paths import GnmiPath, parse_path
+from repro.gnmi.server import GnmiError, GnmiServer, dump_afts
+
+__all__ = [
+    "AftIpv4Entry",
+    "AftNextHop",
+    "AftNextHopGroup",
+    "AftSnapshot",
+    "GnmiError",
+    "GnmiPath",
+    "GnmiServer",
+    "dump_afts",
+    "parse_path",
+]

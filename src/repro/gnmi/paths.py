@@ -1,0 +1,102 @@
+"""gNMI path grammar.
+
+Paths follow the gNMI specification's string encoding: ``/`` separated
+elements, each optionally carrying ``[key=value]`` qualifiers, e.g.::
+
+    /network-instances/network-instance[name=default]/afts
+    /interfaces/interface[name=Ethernet1]/state
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class PathError(ValueError):
+    """Raised for malformed gNMI paths."""
+
+
+_ELEM_RE = re.compile(
+    r"^(?P<name>[^/\[\]]+)(?P<keys>(\[[^=\]]+=[^\]]*\])*)$"
+)
+_KEY_RE = re.compile(r"\[([^=\]]+)=([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class PathElem:
+    """One path element with optional [key=value] qualifiers."""
+    name: str
+    keys: tuple[tuple[str, str], ...] = ()
+
+    def key(self, name: str) -> str:
+        for key, value in self.keys:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __str__(self) -> str:
+        suffix = "".join(f"[{k}={v}]" for k, v in self.keys)
+        return self.name + suffix
+
+
+@dataclass(frozen=True)
+class GnmiPath:
+    """A parsed absolute gNMI path."""
+    elements: tuple[PathElem, ...]
+
+    def __str__(self) -> str:
+        return "/" + "/".join(str(e) for e in self.elements)
+
+    def __iter__(self) -> Iterator[PathElem]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(e.name for e in self.elements)
+
+    def starts_with(self, *names: str) -> bool:
+        return self.names[: len(names)] == names
+
+
+def parse_path(text: str) -> GnmiPath:
+    """Parse a gNMI string path."""
+    text = text.strip()
+    if not text.startswith("/"):
+        raise PathError(f"path must be absolute: {text!r}")
+    body = text[1:]
+    if not body:
+        return GnmiPath(elements=())
+    elements = []
+    for raw in _split_elements(body):
+        match = _ELEM_RE.match(raw)
+        if match is None:
+            raise PathError(f"malformed path element: {raw!r}")
+        keys = tuple(_KEY_RE.findall(match.group("keys") or ""))
+        elements.append(PathElem(name=match.group("name"), keys=keys))
+    return GnmiPath(elements=tuple(elements))
+
+
+def _split_elements(body: str) -> Iterator[str]:
+    """Split on '/' not inside [key=value] brackets."""
+    depth = 0
+    current: list[str] = []
+    for char in body:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth = max(0, depth - 1)
+        if char == "/" and depth == 0:
+            if not current:
+                raise PathError(f"empty path element in {body!r}")
+            yield "".join(current)
+            current = []
+        else:
+            current.append(char)
+    if not current:
+        raise PathError(f"trailing slash in {body!r}")
+    yield "".join(current)

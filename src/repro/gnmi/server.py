@@ -1,0 +1,147 @@
+"""Per-device gNMI Get service.
+
+Supports the paths the model-free pipeline uses:
+
+* ``/network-instances/network-instance[name=default]/afts`` — the AFT
+  dump (the paper's extraction step);
+* ``/interfaces`` and ``/interfaces/interface[name=X]`` — interface
+  state;
+* ``/system/state/hostname``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from repro.gnmi.aft import AftSnapshot
+from repro.gnmi.paths import GnmiPath, parse_path
+
+if TYPE_CHECKING:
+    from repro.vendors.base import RouterOS
+
+
+class GnmiError(RuntimeError):
+    """Raised for unsupported paths or unavailable targets."""
+
+
+class GnmiServer:
+    """The management RPC endpoint of one emulated router."""
+
+    def __init__(self, router: "RouterOS") -> None:
+        self.router = router
+
+    def capabilities(self) -> dict:
+        """The gNMI Capabilities response: supported models + encodings."""
+        return {
+            "supported-models": [
+                {
+                    "name": "openconfig-network-instance",
+                    "organization": "OpenConfig working group",
+                    "version": "1.3.0",
+                },
+                {
+                    "name": "openconfig-interfaces",
+                    "organization": "OpenConfig working group",
+                    "version": "3.0.0",
+                },
+                {
+                    "name": "openconfig-aft",
+                    "organization": "OpenConfig working group",
+                    "version": "2.3.0",
+                },
+            ],
+            "supported-encodings": ["JSON_IETF"],
+            "gnmi-version": "0.10.0",
+        }
+
+    def get(self, path: Union[str, GnmiPath]) -> dict:
+        """Serve a gNMI Get for ``path``."""
+        if self.router.state.value != "running":
+            raise GnmiError(f"{self.router.name}: target unavailable (booting)")
+        if isinstance(path, str):
+            path = parse_path(path)
+        if path.starts_with("network-instances"):
+            return self._get_afts(path)
+        if path.starts_with("interfaces"):
+            return self._get_interfaces(path)
+        if path.starts_with("system"):
+            return {"system": {"state": {"hostname": self.router.name}}}
+        if path.starts_with("acls"):
+            return {"acls": self._snapshot().to_dict()["acls"]}
+        raise GnmiError(f"unsupported path: {path}")
+
+    def subscribe(self, path: Union[str, GnmiPath], callback) -> "Subscription":
+        """gNMI Subscribe, ON_CHANGE mode: ``callback(update_dict)``
+        fires whenever the device FIB changes. This is how a streaming
+        pipeline watches for dataplane stabilization without polling."""
+        if isinstance(path, str):
+            path = parse_path(path)
+        return Subscription(self, path, callback)
+
+    def _snapshot(self) -> AftSnapshot:
+        return AftSnapshot.from_router(self.router, now=self.router.kernel.now)
+
+    def _get_afts(self, path: GnmiPath) -> dict:
+        if len(path) >= 2:
+            instance = path.elements[1]
+            if instance.keys and instance.key("name") != "default":
+                raise GnmiError(f"unknown network instance in {path}")
+        full = self._snapshot().to_dict()
+        return {"network-instances": full["network-instances"], "meta": full["meta"]}
+
+    def _get_interfaces(self, path: GnmiPath) -> dict:
+        full = self._snapshot().to_dict()
+        interfaces = full["interfaces"]["interface"]
+        if len(path) >= 2 and path.elements[1].keys:
+            wanted = path.elements[1].key("name")
+            interfaces = [i for i in interfaces if i["name"] == wanted]
+            if not interfaces:
+                raise GnmiError(f"no such interface: {wanted}")
+        return {"interfaces": {"interface": interfaces}}
+
+
+class Subscription:
+    """A gNMI Subscribe (ON_CHANGE) handle."""
+
+    def __init__(self, server: "GnmiServer", path, callback) -> None:
+        self._server = server
+        self._path = path
+        self._callback = callback
+        self._active = True
+        server.router.on_fib_change(self._on_change)
+        self.updates_delivered = 0
+
+    def _on_change(self, version: int) -> None:
+        if not self._active:
+            return
+        self.updates_delivered += 1
+        self._callback(
+            {
+                "timestamp": self._server.router.kernel.now,
+                "path": str(self._path),
+                "sync-version": version,
+                "update": self._server.get(self._path),
+            }
+        )
+
+    def cancel(self) -> None:
+        self._active = False
+
+
+def dump_afts(deployment) -> dict[str, AftSnapshot]:
+    """gNMI-extract AFT snapshots from every device in a deployment.
+
+    This is the upper-to-lower-stage hand-off of the paper's Fig. 1: the
+    output is pure data, decoupled from the running emulation.
+    """
+    snapshots: dict[str, AftSnapshot] = {}
+    for name, router in deployment.routers.items():
+        server = GnmiServer(router)
+        data = server.get("/network-instances/network-instance[name=default]/afts")
+        interfaces = server.get("/interfaces")
+        acls = server.get("/acls")
+        merged = dict(data)
+        merged["interfaces"] = interfaces["interfaces"]
+        merged["acls"] = acls["acls"]
+        snapshots[name] = AftSnapshot.from_dict(merged)
+    return snapshots

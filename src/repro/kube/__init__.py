@@ -1,0 +1,27 @@
+"""Kubernetes-like orchestration and the KNE-style deployment layer.
+
+This package is the substitute for the paper's Kubernetes + KNE
+substrate: a cluster resource model with a bin-packing scheduler
+(:mod:`repro.kube.scheduler`), pod lifecycle with a boot-time model
+(:mod:`repro.kube.pod`), the inter-pod routed fabric that control-plane
+sessions ride over (:mod:`repro.kube.fabric`), and the deployment
+orchestrator that brings a topology up (:mod:`repro.kube.kne`).
+"""
+
+from repro.kube.cluster import KubeCluster, KubeNode, e2_standard_32
+from repro.kube.fabric import Fabric
+from repro.kube.kne import KneDeployment
+from repro.kube.pod import Pod, PodPhase
+from repro.kube.scheduler import Scheduler, UnschedulableError
+
+__all__ = [
+    "Fabric",
+    "KneDeployment",
+    "KubeCluster",
+    "KubeNode",
+    "Pod",
+    "PodPhase",
+    "Scheduler",
+    "UnschedulableError",
+    "e2_standard_32",
+]

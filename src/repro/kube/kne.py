@@ -1,0 +1,296 @@
+"""KNE-style deployment: topology in, running emulated network out.
+
+Responsibilities, mirroring the real Kubernetes Network Emulator flow:
+
+1. build a pod per topology node (resource requests from the vendor's
+   container footprint unless the topology overrides them);
+2. schedule pods onto the cluster (bin packing — this is where the
+   paper's 60-routers-per-32-vCPU-node capacity comes from);
+3. model infrastructure startup: cluster init, image pulls, staggered
+   container creation, then per-router OS boot (the paper's 12–17 minute
+   one-time cost);
+4. wire virtual links (a :class:`~repro.sim.channel.Channel` pair per
+   topology link) and the routed :class:`~repro.kube.fabric.Fabric`;
+5. push configurations once routers finish booting;
+6. detect convergence by watching the dataplane stabilize at all
+   routers (§5: "we detect convergence to be complete once we observe
+   the dataplane to stabilize at all routers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.kube.cluster import KubeCluster
+from repro.kube.fabric import Fabric
+from repro.kube.pod import Pod, PodPhase
+from repro.kube.scheduler import Scheduler
+from repro.protocols.timers import TimerProfile, PRODUCTION_TIMERS
+from repro.rib.fib import global_fib_version
+from repro.sim.channel import Channel
+from repro.sim.kernel import SimKernel
+from repro.topo.model import Link, Topology
+from repro.vendors.base import RouterOS, SshSession
+from repro.vendors.quirks import quirks_for
+from repro.vendors.registry import create_router
+
+# Infrastructure startup model (simulated seconds).
+_CLUSTER_INIT = 240.0
+_IMAGE_PULL = 180.0
+_POD_CREATE_STAGGER = (4.0, 8.0)  # sequential per kube node
+_CONFIG_PUSH_DELAY = (20.0, 60.0)  # agent-ready + config load after boot
+
+_LINK_LATENCY = 0.0005
+_LINK_JITTER = 0.001
+
+
+@dataclass
+class DeploymentReport:
+    """Timing and placement facts about one bring-up."""
+
+    startup_seconds: float = 0.0
+    convergence_seconds: float = 0.0
+    placements: dict[str, str] = field(default_factory=dict)
+    nodes_used: int = 0
+
+
+class ConvergenceDetector:
+    """Stability poll over the process-wide FIB change counter.
+
+    The counter is bumped by every FIB mutation on every device, so a
+    single integer comparison per event scales to thousand-router
+    topologies where per-device polling would dominate the run.
+    """
+
+    def __init__(
+        self, routers: list[RouterOS], fabric: Optional[Fabric] = None
+    ) -> None:
+        self.routers = routers
+        self.fabric = fabric
+        self._snapshot = global_fib_version()
+        self._all_running = False
+
+    def poll(self) -> bool:
+        """True when nothing changed since the previous poll."""
+        current = global_fib_version()
+        if current != self._snapshot:
+            self._snapshot = current
+            return False
+        if self.fabric is not None and self.fabric.busy():
+            return False
+        if not self._all_running:
+            self._all_running = all(
+                r.state.value == "running" for r in self.routers
+            )
+        return self._all_running
+
+
+class KneDeployment:
+    """A running (emulated) instance of one topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        cluster: Optional[KubeCluster] = None,
+        kernel: Optional[SimKernel] = None,
+        timers: TimerProfile = PRODUCTION_TIMERS,
+        seed: int = 0,
+    ) -> None:
+        topology.validate()
+        self.topology = topology
+        self.kernel = kernel or SimKernel(seed=seed)
+        self.cluster = cluster or KubeCluster()
+        self.timers = timers
+        self.fabric = Fabric(self.kernel)
+        self.routers: dict[str, RouterOS] = {}
+        self.pods: dict[str, Pod] = {}
+        self._channels: dict[tuple[str, str], Channel] = {}
+        self.report = DeploymentReport()
+        self._deployed = False
+
+        for spec in topology.nodes:
+            quirks = quirks_for(spec.vendor, spec.os_version)
+            self.pods[spec.name] = Pod(
+                name=spec.name,
+                vendor=spec.vendor,
+                cpu=spec.cpu or quirks.container_cpu,
+                memory_gb=spec.memory_gb or quirks.container_memory_gb,
+            )
+
+    # -- bring-up -------------------------------------------------------------
+
+    def deploy(self) -> DeploymentReport:
+        """Schedule, boot, wire, and configure the whole topology.
+
+        Advances simulated time to the point where every router is
+        running with its configuration applied (protocol convergence
+        continues afterwards; see :meth:`wait_converged`).
+        """
+        if self._deployed:
+            raise RuntimeError("deployment already started")
+        self._deployed = True
+        scheduler = Scheduler(self.cluster)
+        self.report.placements = scheduler.schedule(list(self.pods.values()))
+        self.report.nodes_used = len(set(self.report.placements.values()))
+
+        self._create_routers()
+        self._wire_links()
+
+        # Staggered container creation per kube node, after infra init.
+        create_time: dict[str, float] = {}
+        per_node_cursor: dict[str, float] = {}
+        base = _CLUSTER_INIT + _IMAGE_PULL
+        for pod in sorted(self.pods.values(), key=lambda p: p.name):
+            assert pod.node is not None
+            cursor = per_node_cursor.get(pod.node, base)
+            cursor += self.kernel.jitter(*_POD_CREATE_STAGGER)
+            per_node_cursor[pod.node] = cursor
+            create_time[pod.name] = cursor
+
+        for name, router in self.routers.items():
+            pod = self.pods[name]
+            quirks = router.quirks
+            boot = self.kernel.rng.uniform(
+                quirks.boot_time_min, quirks.boot_time_max
+            )
+            start_at = create_time[name]
+            pod.phase = PodPhase.BOOTING
+            self.kernel.schedule_at(
+                start_at,
+                lambda r=router, b=boot: r.power_on(b),
+                label=f"pod-create:{name}",
+            )
+            config = self.topology.node(name).config
+
+            def _push(r: RouterOS = router, c: str = config, p: Pod = pod) -> None:
+                p.phase = PodPhase.RUNNING
+                p.running_at = self.kernel.now
+                delay = self.kernel.jitter(*_CONFIG_PUSH_DELAY)
+                self.kernel.schedule(
+                    delay, lambda: r.apply_config(c), label=f"config:{r.name}"
+                )
+
+            router.on_boot(_push)
+
+        # Run until every config push has happened.
+        def _all_configured() -> bool:
+            return all(r.config_text for r in self.routers.values())
+
+        self.kernel.run_until_quiet(0.0, poll=_all_configured, max_events=10_000_000)
+        # run_until_quiet with 0 window returns at the first poll success;
+        # record the startup cost now.
+        self.report.startup_seconds = self.kernel.now
+        return self.report
+
+    def _create_routers(self) -> None:
+        for spec in self.topology.nodes:
+            router = create_router(
+                spec.vendor,
+                spec.name,
+                self.kernel,
+                self.fabric,
+                os_version=spec.os_version,
+                timers=self.timers,
+            )
+            self.routers[spec.name] = router
+            self.fabric.add_router(router)
+
+    def _wire_links(self) -> None:
+        for link in self.topology.links:
+            a_router = self.routers[link.a.node]
+            z_router = self.routers[link.z.node]
+            a_port = a_router.port(link.a.interface)
+            z_port = z_router.port(link.z.interface)
+            to_z = Channel(
+                self.kernel,
+                z_port.receive,
+                latency=_LINK_LATENCY,
+                jitter=_LINK_JITTER,
+                name=f"{link.a}->{link.z}",
+            )
+            to_a = Channel(
+                self.kernel,
+                a_port.receive,
+                latency=_LINK_LATENCY,
+                jitter=_LINK_JITTER,
+                name=f"{link.z}->{link.a}",
+            )
+            a_port.attach(to_z)
+            z_port.attach(to_a)
+            self._channels[(link.a.node, link.a.interface)] = to_z
+            self._channels[(link.z.node, link.z.interface)] = to_a
+            self.fabric.add_wire(
+                link.a.node, link.a.interface, link.z.node, link.z.interface
+            )
+
+    # -- convergence ---------------------------------------------------------------
+
+    def wait_converged(
+        self,
+        *,
+        quiet_period: float = 30.0,
+        max_time: float = 86_400.0,
+    ) -> float:
+        """Run until the dataplane is stable everywhere.
+
+        Returns the convergence duration in simulated seconds, measured
+        from when this call started (i.e. excluding the quiet window and
+        excluding infrastructure startup, matching the paper's
+        convergence metric).
+        """
+        started = self.kernel.now
+        detector = ConvergenceDetector(
+            list(self.routers.values()), fabric=self.fabric
+        )
+        end = self.kernel.run_until_quiet(
+            quiet_period,
+            poll=detector.poll,
+            max_time=started + max_time,
+        )
+        converged_at = max(
+            [r.rib.fib.last_change_time for r in self.routers.values()] + [started]
+        )
+        self.report.convergence_seconds = max(0.0, converged_at - started)
+        del end
+        return self.report.convergence_seconds
+
+    # -- operator surface --------------------------------------------------------------
+
+    def ssh(self, node: str) -> SshSession:
+        """An interactive session onto an emulated router."""
+        return SshSession(self._router(node))
+
+    def router(self, node: str) -> RouterOS:
+        return self._router(node)
+
+    def _router(self, node: str) -> RouterOS:
+        router = self.routers.get(node)
+        if router is None:
+            raise KeyError(f"no such node: {node}")
+        return router
+
+    # -- scenario context (link cuts) -----------------------------------------------------
+
+    def set_link_state(self, a_node: str, z_node: str, up: bool) -> Link:
+        """Cut or restore the (first) link between two nodes."""
+        link = self.topology.find_link(a_node, z_node)
+        if link is None:
+            raise KeyError(f"no link between {a_node} and {z_node}")
+        ends = [(link.a.node, link.a.interface), (link.z.node, link.z.interface)]
+        for node, interface in ends:
+            channel = self._channels.get((node, interface))
+            if channel is not None:
+                if up:
+                    channel.set_up()
+                else:
+                    channel.set_down()
+            self.routers[node].ports[interface].set_link_state(up)
+        return link
+
+    def link_down(self, a_node: str, z_node: str) -> Link:
+        return self.set_link_state(a_node, z_node, up=False)
+
+    def link_up(self, a_node: str, z_node: str) -> Link:
+        return self.set_link_state(a_node, z_node, up=True)

@@ -1,0 +1,34 @@
+"""Pod lifecycle."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class PodPhase(enum.Enum):
+    """Pod lifecycle phases (a subset of Kubernetes')."""
+    PENDING = "pending"
+    SCHEDULED = "scheduled"
+    BOOTING = "booting"
+    RUNNING = "running"
+    FAILED = "failed"
+
+
+@dataclass
+class Pod:
+    """One router container."""
+
+    name: str
+    vendor: str
+    cpu: float
+    memory_gb: float
+    phase: PodPhase = PodPhase.PENDING
+    node: Optional[str] = None
+    scheduled_at: float = 0.0
+    running_at: float = 0.0
+
+    def __str__(self) -> str:
+        where = f" on {self.node}" if self.node else ""
+        return f"pod/{self.name} [{self.phase.value}]{where}"

@@ -1,0 +1,64 @@
+"""Pod scheduler: first-fit-decreasing bin packing over node resources."""
+
+from __future__ import annotations
+
+from repro.kube.cluster import KubeCluster
+from repro.kube.pod import Pod, PodPhase
+
+
+class UnschedulableError(RuntimeError):
+    """Raised when a pod cannot fit on any node."""
+
+    def __init__(self, pod: Pod, cluster: KubeCluster) -> None:
+        free = ", ".join(
+            f"{n.name}: {n.free_cpu:.1f} vCPU / {n.free_memory_gb:.1f} GB"
+            for n in cluster.nodes
+        )
+        super().__init__(
+            f"0/{len(cluster)} nodes can host {pod.name} "
+            f"(requests {pod.cpu} vCPU / {pod.memory_gb} GB; free: {free})"
+        )
+        self.pod = pod
+
+
+class Scheduler:
+    """Assign pods to nodes; deterministic and greedy like the default
+    kube-scheduler's bin-packing profile."""
+
+    def __init__(self, cluster: KubeCluster) -> None:
+        self.cluster = cluster
+
+    def schedule(self, pods: list[Pod]) -> dict[str, str]:
+        """Place every pod; returns pod name -> node name.
+
+        Pods are placed largest-first; each goes to the feasible node
+        with the most free CPU (spread), which mirrors how KNE topologies
+        balance across a cluster.
+        """
+        placements: dict[str, str] = {}
+        ordered = sorted(pods, key=lambda p: (-p.cpu, -p.memory_gb, p.name))
+        for pod in ordered:
+            candidates = [
+                n for n in self.cluster.nodes if n.fits(pod.cpu, pod.memory_gb)
+            ]
+            if not candidates:
+                raise UnschedulableError(pod, self.cluster)
+            target = max(candidates, key=lambda n: (n.free_cpu, n.free_memory_gb))
+            target.allocate(pod.cpu, pod.memory_gb)
+            pod.node = target.name
+            pod.phase = PodPhase.SCHEDULED
+            placements[pod.name] = target.name
+        return placements
+
+    def capacity_for(self, cpu: float, memory_gb: float) -> int:
+        """How many identical pods of this shape fit in the cluster."""
+        total = 0
+        for node in self.cluster.nodes:
+            by_cpu = int((node.free_cpu + 1e-9) // cpu) if cpu else 1 << 30
+            by_mem = (
+                int((node.free_memory_gb + 1e-9) // memory_gb)
+                if memory_gb
+                else 1 << 30
+            )
+            total += min(by_cpu, by_mem)
+        return total

@@ -1,0 +1,262 @@
+"""Sets of 32-bit integers represented as disjoint closed intervals.
+
+:class:`IntervalSet` is the workhorse of the verification engine: every
+header field (destination address, source address, ports, protocol) is a
+set of unsigned integers, and the engine's set algebra (union,
+intersection, difference, complement) reduces to interval arithmetic.
+
+Intervals are closed (``lo <= x <= hi``) and canonicalized: stored sorted,
+non-overlapping, and non-adjacent (adjacent runs are merged), so equality
+on the representation is equality on the set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.net.addr import MAX_IPV4, Prefix
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` of unsigned integers."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+        if self.lo < 0:
+            raise ValueError(f"negative interval bound: {self.lo}")
+
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def touches(self, other: "Interval") -> bool:
+        """Overlapping or directly adjacent (merge-able)."""
+        return self.lo <= other.hi + 1 and other.lo <= self.hi + 1
+
+    def __str__(self) -> str:
+        if self.lo == self.hi:
+            return str(self.lo)
+        return f"{self.lo}-{self.hi}"
+
+
+class IntervalSet:
+    """An immutable set of unsigned integers as disjoint intervals."""
+
+    __slots__ = ("_ivals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._ivals: tuple[Interval, ...] = _normalize(intervals)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return _EMPTY
+
+    @classmethod
+    def of(cls, *values: int) -> "IntervalSet":
+        return cls(Interval(v, v) for v in values)
+
+    @classmethod
+    def span(cls, lo: int, hi: int) -> "IntervalSet":
+        return cls((Interval(lo, hi),))
+
+    @classmethod
+    def full(cls, width: int = 32) -> "IntervalSet":
+        """The universe of ``width``-bit values."""
+        return cls.span(0, (1 << width) - 1)
+
+    @classmethod
+    def from_prefix(cls, prefix: Prefix) -> "IntervalSet":
+        return cls.span(prefix.first, prefix.last)
+
+    @classmethod
+    def from_prefixes(cls, prefixes: Iterable[Prefix]) -> "IntervalSet":
+        return cls(Interval(p.first, p.last) for p in prefixes)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        return self._ivals
+
+    def is_empty(self) -> bool:
+        return not self._ivals
+
+    def __bool__(self) -> bool:
+        return bool(self._ivals)
+
+    def __len__(self) -> int:
+        """Number of integers (not intervals) in the set."""
+        return sum(len(ival) for ival in self._ivals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivals)
+
+    def __contains__(self, value: int) -> bool:
+        lo, hi = 0, len(self._ivals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            ival = self._ivals[mid]
+            if value < ival.lo:
+                hi = mid - 1
+            elif value > ival.hi:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def min(self) -> int:
+        if not self._ivals:
+            raise ValueError("min() of empty IntervalSet")
+        return self._ivals[0].lo
+
+    def max(self) -> int:
+        if not self._ivals:
+            raise ValueError("max() of empty IntervalSet")
+        return self._ivals[-1].hi
+
+    def sample(self) -> int:
+        """An arbitrary representative element (the smallest)."""
+        return self.min()
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        return (self - other).is_empty()
+
+    def isdisjoint(self, other: "IntervalSet") -> bool:
+        return (self & other).is_empty()
+
+    # -- algebra --------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        if not self._ivals:
+            return other
+        if not other._ivals:
+            return self
+        return IntervalSet(self._ivals + other._ivals)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        result: list[Interval] = []
+        i = j = 0
+        a, b = self._ivals, other._ivals
+        while i < len(a) and j < len(b):
+            lo = max(a[i].lo, b[j].lo)
+            hi = min(a[i].hi, b[j].hi)
+            if lo <= hi:
+                result.append(Interval(lo, hi))
+            if a[i].hi < b[j].hi:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(result)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        result: list[Interval] = []
+        j = 0
+        b = other._ivals
+        for ival in self._ivals:
+            lo = ival.lo
+            while j < len(b) and b[j].hi < lo:
+                j += 1
+            k = j
+            while k < len(b) and b[k].lo <= ival.hi:
+                if b[k].lo > lo:
+                    result.append(Interval(lo, b[k].lo - 1))
+                lo = max(lo, b[k].hi + 1)
+                if lo > ival.hi:
+                    break
+                k += 1
+            if lo <= ival.hi:
+                result.append(Interval(lo, ival.hi))
+        return IntervalSet(result)
+
+    def complement(self, width: int = 32) -> "IntervalSet":
+        return IntervalSet.full(width) - self
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivals == other._ivals
+
+    def __hash__(self) -> int:
+        return hash(self._ivals)
+
+    # -- conversions ----------------------------------------------------
+
+    def to_prefixes(self) -> list[Prefix]:
+        """Decompose into a minimal list of aligned CIDR prefixes."""
+        prefixes: list[Prefix] = []
+        for ival in self._ivals:
+            prefixes.extend(_interval_to_prefixes(ival.lo, ival.hi))
+        return prefixes
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(ival) for ival in self._ivals)
+        return f"IntervalSet({{{body}}})"
+
+
+def _normalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    ivals = sorted(intervals)
+    merged: list[Interval] = []
+    for ival in ivals:
+        if merged and merged[-1].touches(ival):
+            last = merged[-1]
+            merged[-1] = Interval(last.lo, max(last.hi, ival.hi))
+        else:
+            merged.append(ival)
+    return tuple(merged)
+
+
+def _interval_to_prefixes(lo: int, hi: int) -> Iterator[Prefix]:
+    """Greedy CIDR decomposition of ``[lo, hi]``."""
+    while lo <= hi:
+        # Largest aligned block starting at lo that fits within hi.
+        max_align = lo & -lo if lo else 1 << 32
+        size = max_align
+        while size > hi - lo + 1:
+            size //= 2
+        length = 32 - size.bit_length() + 1
+        yield Prefix(lo, length)
+        lo += size
+        if lo > MAX_IPV4:
+            break
+
+
+_EMPTY = IntervalSet(())
+
+
+def atoms(sets: Sequence[IntervalSet], width: int = 32) -> list[IntervalSet]:
+    """Partition the ``width``-bit universe into equivalence atoms.
+
+    Returns disjoint :class:`IntervalSet` pieces such that every input set
+    is a union of pieces — the "atomic predicates" used by the verifier
+    to make exhaustive-per-packet analysis finite. Boundaries are simply
+    the endpoints of every interval in every input set.
+    """
+    universe_hi = (1 << width) - 1
+    cuts = {0, universe_hi + 1}
+    for s in sets:
+        for ival in s:
+            cuts.add(ival.lo)
+            cuts.add(ival.hi + 1)
+    ordered = sorted(cuts)
+    pieces: list[IntervalSet] = []
+    for lo, nxt in zip(ordered, ordered[1:]):
+        if lo <= universe_hi:
+            pieces.append(IntervalSet.span(lo, min(nxt - 1, universe_hi)))
+    return pieces

@@ -1,0 +1,170 @@
+"""Binary trie keyed by IPv4 prefixes with longest-prefix-match lookup.
+
+Used both by the emulated routers (FIB lookup) and by the verifier
+(collecting the network-wide prefix universe). Values are arbitrary; one
+value per exact prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.net.addr import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """A mapping from :class:`Prefix` to values with LPM queries."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix) is not None or self._has_exact(prefix)
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value at ``prefix``."""
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> Optional[V]:
+        """Remove the value at exactly ``prefix``; returns it, or None."""
+        path: list[tuple[_Node[V], int]] = []
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return None
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            return None
+        value = node.value
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        # Prune now-empty branches.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            assert child is not None
+            if child.has_value or any(child.children):
+                break
+            parent.children[bit] = None
+        return value
+
+    def clear(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, prefix: Prefix) -> Optional[V]:
+        """The value stored at exactly ``prefix``, or None."""
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def _has_exact(self, prefix: Prefix) -> bool:
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+        return node.has_value
+
+    def longest_match(self, address: int) -> Optional[tuple[Prefix, V]]:
+        """Longest-prefix match for ``address``."""
+        best: Optional[tuple[Prefix, V]] = None
+        node = self._root
+        depth = 0
+        if node.has_value:
+            best = (Prefix(0, 0), node.value)  # type: ignore[arg-type]
+        while depth < 32:
+            bit = (address >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            depth += 1
+            if node.has_value:
+                matched = Prefix.containing(address, depth)
+                best = (matched, node.value)  # type: ignore[arg-type]
+        return best
+
+    def covering(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        """All entries whose prefix contains ``prefix``, shortest first."""
+        node = self._root
+        if node.has_value:
+            yield Prefix(0, 0), node.value  # type: ignore[misc]
+        depth = 0
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return
+            node = child
+            depth += 1
+            if node.has_value:
+                yield Prefix.containing(prefix.network, depth), node.value  # type: ignore[misc]
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """All (prefix, value) pairs in lexicographic bit order."""
+        yield from self._walk(self._root, 0, 0)
+
+    def keys(self) -> Iterator[Prefix]:
+        for prefix, _ in self.items():
+            yield prefix
+
+    def values(self) -> Iterator[V]:
+        for _, value in self.items():
+            yield value
+
+    def _walk(
+        self, node: _Node[V], network: int, depth: int
+    ) -> Iterator[tuple[Prefix, V]]:
+        if node.has_value:
+            yield Prefix(network, depth), node.value  # type: ignore[misc]
+        if depth >= 32:
+            return
+        left, right = node.children
+        if left is not None:
+            yield from self._walk(left, network, depth + 1)
+        if right is not None:
+            yield from self._walk(right, network | (1 << (31 - depth)), depth + 1)
+
+
+def _bits(prefix: Prefix) -> Iterator[int]:
+    for i in range(prefix.length):
+        yield (prefix.network >> (31 - i)) & 1

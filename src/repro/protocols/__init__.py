@@ -1,0 +1,19 @@
+"""Routing protocol engines.
+
+These are *distributed* implementations: each engine instance runs on one
+emulated router, exchanges real messages over :mod:`repro.sim` channels,
+and installs routes into its router's RIB. Nothing here computes a
+network-wide answer directly — global state only emerges from message
+exchange, which is the point of model-free verification.
+"""
+
+from repro.protocols.host import Port, RouterHost
+from repro.protocols.timers import TimerProfile, FAST_TIMERS, PRODUCTION_TIMERS
+
+__all__ = [
+    "FAST_TIMERS",
+    "PRODUCTION_TIMERS",
+    "Port",
+    "RouterHost",
+    "TimerProfile",
+]

@@ -1,0 +1,173 @@
+"""BGP path attributes and the decision process.
+
+``PathAttributes`` is immutable and widely shared: a full-table peer
+announces hundreds of thousands of prefixes under a handful of distinct
+attribute bundles, so Adj-RIBs store one attributes object per bundle
+(interning keeps million-route injections affordable).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.device.routing_policy import Community
+from repro.net.addr import format_ipv4
+
+
+class Origin(enum.IntEnum):
+    """BGP ORIGIN attribute (lower wins)."""
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+@dataclass(frozen=True)
+class PathAttributes:
+    """The attribute bundle carried in an UPDATE."""
+
+    next_hop: int
+    as_path: tuple[int, ...] = ()
+    origin: Origin = Origin.IGP
+    med: int = 0
+    local_pref: Optional[int] = None
+    communities: tuple[Community, ...] = ()
+
+    @property
+    def effective_local_pref(self) -> int:
+        return self.local_pref if self.local_pref is not None else 100
+
+    @property
+    def first_as(self) -> Optional[int]:
+        return self.as_path[0] if self.as_path else None
+
+    def __str__(self) -> str:
+        path = " ".join(str(asn) for asn in self.as_path) or "(local)"
+        return f"nh={format_ipv4(self.next_hop)} path=[{path}] lp={self.effective_local_pref}"
+
+
+_INTERN: dict[PathAttributes, PathAttributes] = {}
+
+
+def intern_attrs(attrs: PathAttributes) -> PathAttributes:
+    """Return a canonical shared instance of ``attrs``."""
+    return _INTERN.setdefault(attrs, attrs)
+
+
+@dataclass(frozen=True)
+class BgpPath:
+    """One candidate path for a prefix as seen by the decision process."""
+
+    attrs: PathAttributes
+    from_ebgp: bool
+    peer_ip: int  # 0 for locally originated
+    peer_router_id: int
+    is_local: bool = False
+
+    def __str__(self) -> str:
+        kind = "local" if self.is_local else ("eBGP" if self.from_ebgp else "iBGP")
+        return f"{kind} {self.attrs} from {format_ipv4(self.peer_ip)}"
+
+
+def best_path(
+    paths: list[BgpPath],
+    igp_metric: Callable[[int], Optional[int]],
+    *,
+    prefer_higher_igp_metric: bool = False,
+) -> Optional[BgpPath]:
+    """The standard BGP decision process.
+
+    ``igp_metric`` maps a next-hop address to the IGP cost of reaching
+    it (None = unreachable; such paths are ineligible).
+
+    ``prefer_higher_igp_metric`` models the vendor regression described
+    in the paper's §2 ("a new software version that introduced an
+    incorrect route metric selection in iBGP"): when enabled, the IGP
+    tiebreak prefers the *farther* next hop.
+    """
+    eligible = []
+    for path in paths:
+        if path.is_local:
+            eligible.append((path, 0))
+            continue
+        metric = igp_metric(path.attrs.next_hop)
+        if metric is None:
+            continue
+        eligible.append((path, metric))
+    if not eligible:
+        return None
+
+    def ranking(item: tuple[BgpPath, int]):
+        path, metric = item
+        attrs = path.attrs
+        med_key = (attrs.first_as, attrs.med)
+        igp_key = -metric if prefer_higher_igp_metric else metric
+        return (
+            -attrs.effective_local_pref,  # 1. higher local-pref
+            not path.is_local,  # 2. locally originated first
+            len(attrs.as_path),  # 3. shorter AS path
+            int(attrs.origin),  # 4. lower origin
+            med_key,  # 5. lower MED (grouped by first AS)
+            not path.from_ebgp,  # 6. eBGP over iBGP
+            igp_key,  # 7. nearer IGP next hop
+            path.peer_router_id,  # 8. lower router-id
+            path.peer_ip,  # 9. lower peer address
+            # Deterministic total order even for synthetic path sets
+            # that share peer identifiers (real sessions never do):
+            attrs.as_path,
+            attrs.next_hop,
+            attrs.communities,
+        )
+
+    return min(eligible, key=ranking)[0]
+
+
+def multipath_set(
+    paths: list[BgpPath],
+    igp_metric: Callable[[int], Optional[int]],
+    *,
+    maximum_paths: int = 1,
+    prefer_higher_igp_metric: bool = False,
+) -> list[BgpPath]:
+    """The best path plus its ECMP-eligible equals.
+
+    Standard BGP multipath rules: candidates must tie with the best
+    path on every step up to and including the IGP metric (router-id
+    and peer address are ignored), share the eBGP/iBGP type, and have
+    equal-length AS paths. Returns at most ``maximum_paths`` entries,
+    best path first.
+    """
+    best = best_path(
+        paths, igp_metric, prefer_higher_igp_metric=prefer_higher_igp_metric
+    )
+    if best is None:
+        return []
+    if maximum_paths <= 1:
+        return [best]
+
+    def key(path: BgpPath):
+        metric = 0 if path.is_local else igp_metric(path.attrs.next_hop)
+        return (
+            path.attrs.effective_local_pref,
+            path.is_local,
+            len(path.attrs.as_path),
+            int(path.attrs.origin),
+            path.attrs.first_as,
+            path.attrs.med,
+            path.from_ebgp,
+            metric,
+        )
+
+    best_key = key(best)
+    equals = [best]
+    for path in paths:
+        if path is best or len(equals) >= maximum_paths:
+            continue
+        if path.is_local:
+            continue
+        if igp_metric(path.attrs.next_hop) is None:
+            continue
+        if key(path) == best_key:
+            equals.append(path)
+    return equals

@@ -1,0 +1,124 @@
+"""The surface a router OS exposes to its protocol engines.
+
+:class:`Port` is the runtime state of one interface: configuration plus
+the outgoing :class:`~repro.sim.channel.Channel` of the virtual wire it
+is plugged into. Incoming frames are dispatched to protocol handlers by
+a protocol key carried on each frame (the stand-in for an EtherType /
+IP-protocol demux).
+
+:class:`RouterHost` is the duck type protocol engines program against;
+:class:`repro.vendors.base.RouterOS` implements it. Keeping it here
+avoids a circular import between protocols and vendors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Protocol as TypingProtocol
+
+from repro.device.interfaces import InterfaceConfig
+from repro.net.addr import Prefix
+from repro.rib.rib import Rib
+from repro.sim.channel import Channel
+from repro.sim.kernel import SimKernel
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A link-layer frame: protocol demux key plus payload."""
+
+    protocol: str
+    payload: Any
+
+
+class Port:
+    """Runtime state of one interface."""
+
+    def __init__(self, config: InterfaceConfig) -> None:
+        self.config = config
+        self.channel: Optional[Channel] = None
+        self.link_up = False
+        # Carrier forced up without a modeled wire — used for edge ports
+        # facing external endpoints (route injectors) that attach
+        # through the fabric rather than a point-to-point channel.
+        self.forced_up = False
+        self._handlers: dict[str, Callable[["Port", Any], None]] = {}
+        self._link_listeners: list[Callable[[Port, bool], None]] = []
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def is_up(self) -> bool:
+        """Usable for traffic: wired, carrier up, not shut down."""
+        if self.config.shutdown:
+            return False
+        if self.config.is_loopback:
+            return True
+        if self.forced_up:
+            return True
+        return self.channel is not None and self.link_up
+
+    @property
+    def address(self) -> Optional[int]:
+        return self.config.address if self.config.is_routed else None
+
+    def connected_prefix(self) -> Optional[Prefix]:
+        return self.config.connected_prefix()
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, channel: Channel) -> None:
+        self.channel = channel
+        self.link_up = True
+
+    def set_link_state(self, up: bool) -> None:
+        if up == self.link_up:
+            return
+        self.link_up = up
+        for listener in list(self._link_listeners):
+            listener(self, up)
+
+    def on_link_change(self, listener: Callable[["Port", bool], None]) -> None:
+        self._link_listeners.append(listener)
+
+    # -- I/O ---------------------------------------------------------------
+
+    def register(
+        self, protocol: str, handler: Callable[["Port", Any], None]
+    ) -> None:
+        self._handlers[protocol] = handler
+
+    def send(self, protocol: str, payload: Any) -> None:
+        """Transmit a frame out this port (dropped if the port is down)."""
+        if self.channel is not None and self.is_up:
+            self.channel.send(Frame(protocol, payload))
+
+    def receive(self, frame: Frame) -> None:
+        if not self.is_up:
+            return
+        handler = self._handlers.get(frame.protocol)
+        if handler is not None:
+            handler(self, frame.payload)
+
+    def __repr__(self) -> str:
+        state = "up" if self.is_up else "down"
+        return f"Port({self.name!r}, {state})"
+
+
+class RouterHost(TypingProtocol):
+    """What protocol engines may assume about the device they run on."""
+
+    name: str
+    kernel: SimKernel
+    rib: Rib
+    ports: dict[str, Port]
+
+    def routed_ports(self) -> list[Port]:
+        """Ports that are up and have an IP address."""
+        ...
+
+    def after_protocol_event(self) -> None:
+        """Commit RIB changes and refresh derived state (AFTs)."""
+        ...

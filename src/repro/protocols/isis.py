@@ -1,0 +1,379 @@
+"""IS-IS: hello adjacencies, LSP flooding, and SPF.
+
+A deliberately real (if compact) link-state implementation:
+
+* periodic hellos per enabled non-passive interface, with hold-timer
+  expiry tearing adjacencies down;
+* link-state PDUs with sequence numbers, flooded hop by hop;
+* delayed, coalesced SPF runs (Dijkstra over the LSDB with the standard
+  two-way connectivity check) installing ECMP routes into the RIB.
+
+Convergence therefore emerges from message exchange and timers, not from
+a global computation — which is what lets the emulation exhibit effects
+(ordering, partial convergence, hold-time-bounded failure detection)
+that hand-written models abstract away.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.device.model import DeviceConfig, IsisConfig
+from repro.net.addr import Prefix
+from repro.protocols.host import Port, RouterHost
+from repro.protocols.timers import TimerProfile
+from repro.rib.route import NextHop, Protocol, Route
+
+PROTO_KEY = "isis"
+
+
+@dataclass(frozen=True)
+class Hello:
+    """IIH PDU (point-to-point)."""
+
+    system_id: str
+    source_ip: Optional[int]
+    hold_time: float
+
+
+@dataclass(frozen=True)
+class Lsp:
+    """A link-state PDU."""
+
+    system_id: str
+    sequence: int
+    neighbors: tuple[tuple[str, int], ...]  # (neighbor system-id, metric)
+    prefixes: tuple[tuple[Prefix, int], ...]  # (prefix, metric)
+
+    def is_newer_than(self, other: Optional["Lsp"]) -> bool:
+        return other is None or self.sequence > other.sequence
+
+
+@dataclass
+class Adjacency:
+    """An up neighbor on one interface."""
+
+    system_id: str
+    neighbor_ip: Optional[int]
+    port: Port
+    metric: int
+    hold_time: float
+    expires_at: float = 0.0
+    expiry_event: object = None
+
+
+class IsisInstance:
+    """One router's IS-IS process."""
+
+    def __init__(
+        self,
+        host: RouterHost,
+        device_config: DeviceConfig,
+        timers: TimerProfile,
+    ) -> None:
+        if device_config.isis is None:
+            raise ValueError("device has no IS-IS configuration")
+        self.host = host
+        self.config: IsisConfig = device_config.isis
+        self.device_config = device_config
+        self.timers = timers
+        self.system_id = self.config.system_id or host.name
+        self.lsdb: dict[str, Lsp] = {}
+        self.adjacencies: dict[str, Adjacency] = {}
+        self._sequence = 0
+        self._spf_scheduled = False
+        self._installed: set[Prefix] = set()
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin sending hellos and originate the initial LSP."""
+        self._running = True
+        for port in self._active_ports(include_passive=False):
+            port.register(PROTO_KEY, self._on_frame)
+            port.on_link_change(self._on_link_change)
+            self._schedule_hello(port, initial=True)
+        self._originate()
+        self._schedule_spf()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _active_ports(self, *, include_passive: bool) -> list[Port]:
+        """Ports with IS-IS enabled for this instance tag."""
+        out = []
+        for port in self.host.ports.values():
+            settings = port.config.isis
+            if settings is None or not settings.enabled:
+                continue
+            if settings.tag != self.config.tag:
+                continue
+            if not port.config.is_routed:
+                continue
+            passive = settings.passive or self.config.passive_default
+            if passive or port.config.is_loopback:
+                if include_passive:
+                    out.append(port)
+                continue
+            out.append(port)
+        return out
+
+    # -- hellos and adjacency ------------------------------------------------
+
+    def _schedule_hello(self, port: Port, *, initial: bool = False) -> None:
+        if not self._running:
+            return
+        base = 0.0 if initial else self.timers.isis_hello
+        delay = self.host.kernel.jitter(base, self.timers.isis_hello * 0.25)
+        self.host.kernel.schedule(
+            delay, lambda: self._send_hello(port), label=f"isis-hello:{port.name}"
+        )
+
+    def _send_hello(self, port: Port) -> None:
+        if not self._running:
+            return
+        if port.is_up:
+            port.send(
+                PROTO_KEY,
+                Hello(
+                    system_id=self.system_id,
+                    source_ip=port.address,
+                    hold_time=self.timers.isis_hold,
+                ),
+            )
+        self._schedule_hello(port)
+
+    def _on_frame(self, port: Port, payload: object) -> None:
+        if not self._running:
+            return
+        if isinstance(payload, Hello):
+            self._on_hello(port, payload)
+        elif isinstance(payload, Lsp):
+            self._on_lsp(port, payload)
+        self.host.after_protocol_event()
+
+    def _on_hello(self, port: Port, hello: Hello) -> None:
+        if hello.system_id == self.system_id:
+            return
+        settings = port.config.isis
+        metric = settings.metric if settings else 10
+        adj = self.adjacencies.get(hello.system_id)
+        is_new = adj is None or adj.port is not port
+        if is_new:
+            adj = Adjacency(
+                system_id=hello.system_id,
+                neighbor_ip=hello.source_ip,
+                port=port,
+                metric=metric,
+                hold_time=hello.hold_time,
+            )
+            self.adjacencies[hello.system_id] = adj
+        assert adj is not None
+        adj.neighbor_ip = hello.source_ip
+        self._reset_hold_timer(adj)
+        if is_new:
+            self._originate()
+            self._flood_database_to(port)
+            self._schedule_spf()
+
+    def _reset_hold_timer(self, adj: Adjacency) -> None:
+        if adj.expiry_event is not None:
+            adj.expiry_event.cancel()  # type: ignore[attr-defined]
+        adj.expires_at = self.host.kernel.now + adj.hold_time
+        adj.expiry_event = self.host.kernel.schedule(
+            adj.hold_time,
+            lambda: self._expire_adjacency(adj),
+            label=f"isis-hold:{adj.system_id}",
+        )
+
+    def _expire_adjacency(self, adj: Adjacency) -> None:
+        if self.adjacencies.get(adj.system_id) is adj:
+            self._drop_adjacency(adj)
+            self.host.after_protocol_event()
+
+    def _drop_adjacency(self, adj: Adjacency) -> None:
+        if adj.expiry_event is not None:
+            adj.expiry_event.cancel()  # type: ignore[attr-defined]
+        self.adjacencies.pop(adj.system_id, None)
+        self._originate()
+        self._schedule_spf()
+
+    def _on_link_change(self, port: Port, up: bool) -> None:
+        if up or not self._running:
+            return
+        for adj in [a for a in self.adjacencies.values() if a.port is port]:
+            self._drop_adjacency(adj)
+        self.host.after_protocol_event()
+
+    # -- LSP origination and flooding ----------------------------------------
+
+    def _originate(self) -> None:
+        self._sequence += 1
+        neighbors = tuple(
+            sorted((adj.system_id, adj.metric) for adj in self.adjacencies.values())
+        )
+        prefixes = []
+        for port in self._active_ports(include_passive=True):
+            prefix = port.connected_prefix()
+            if prefix is None:
+                continue
+            settings = port.config.isis
+            metric = settings.metric if settings else 10
+            prefixes.append((prefix, metric))
+        lsp = Lsp(
+            system_id=self.system_id,
+            sequence=self._sequence,
+            neighbors=neighbors,
+            prefixes=tuple(sorted(prefixes, key=lambda p: (str(p[0]), p[1]))),
+        )
+        self.lsdb[self.system_id] = lsp
+        self._flood(lsp, except_port=None)
+
+    def _flood(self, lsp: Lsp, except_port: Optional[Port]) -> None:
+        for adj in self.adjacencies.values():
+            if adj.port is except_port:
+                continue
+            self._send_lsp(adj.port, lsp)
+
+    def _send_lsp(self, port: Port, lsp: Lsp) -> None:
+        delay = self.host.kernel.jitter(
+            self.timers.isis_lsp_flood_delay, self.timers.isis_lsp_flood_delay
+        )
+        self.host.kernel.schedule(
+            delay, lambda: port.send(PROTO_KEY, lsp), label="isis-flood"
+        )
+
+    def _flood_database_to(self, port: Port) -> None:
+        """Synchronize a new neighbor with our full LSDB (CSNP stand-in)."""
+        for lsp in self.lsdb.values():
+            self._send_lsp(port, lsp)
+
+    def _on_lsp(self, port: Port, lsp: Lsp) -> None:
+        if lsp.system_id == self.system_id:
+            # Someone floods our own LSP back; ignore older copies.
+            return
+        current = self.lsdb.get(lsp.system_id)
+        if not lsp.is_newer_than(current):
+            return
+        self.lsdb[lsp.system_id] = lsp
+        self._flood(lsp, except_port=port)
+        self._schedule_spf()
+
+    # -- SPF ---------------------------------------------------------------
+
+    def _schedule_spf(self) -> None:
+        if self._spf_scheduled or not self._running:
+            return
+        self._spf_scheduled = True
+        self.host.kernel.schedule(
+            self.timers.isis_spf_delay, self._run_spf, label="isis-spf"
+        )
+
+    def _run_spf(self) -> None:
+        self._spf_scheduled = False
+        if not self._running:
+            return
+        distance, first_hops = self._dijkstra()
+        routes = self._build_routes(distance, first_hops)
+        self._install_routes(routes)
+        self.host.after_protocol_event()
+
+    def _dijkstra(
+        self,
+    ) -> tuple[dict[str, int], dict[str, set[str]]]:
+        """Shortest paths over the LSDB from this router.
+
+        Returns (distance by system-id, set of first-hop neighbor
+        system-ids by system-id) with ECMP preserved. An edge counts only
+        if both endpoints report it (two-way check).
+        """
+        graph: dict[str, dict[str, int]] = {}
+        for sysid, lsp in self.lsdb.items():
+            graph[sysid] = {n: m for n, m in lsp.neighbors}
+        distance: dict[str, int] = {self.system_id: 0}
+        first_hops: dict[str, set[str]] = {self.system_id: set()}
+        heap: list[tuple[int, str]] = [(0, self.system_id)]
+        visited: set[str] = set()
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            for neighbor, metric in graph.get(node, {}).items():
+                if graph.get(neighbor, {}).get(node) is None:
+                    continue  # not two-way
+                candidate = dist + metric
+                if candidate < distance.get(neighbor, 1 << 60):
+                    distance[neighbor] = candidate
+                    if node == self.system_id:
+                        first_hops[neighbor] = {neighbor}
+                    else:
+                        first_hops[neighbor] = set(first_hops[node])
+                    heapq.heappush(heap, (candidate, neighbor))
+                elif candidate == distance.get(neighbor):
+                    if node == self.system_id:
+                        first_hops.setdefault(neighbor, set()).add(neighbor)
+                    else:
+                        first_hops.setdefault(neighbor, set()).update(
+                            first_hops[node]
+                        )
+        return distance, first_hops
+
+    def _build_routes(
+        self,
+        distance: dict[str, int],
+        first_hops: dict[str, set[str]],
+    ) -> dict[Prefix, Route]:
+        own_prefixes = {
+            port.connected_prefix()
+            for port in self._active_ports(include_passive=True)
+        }
+        best: dict[Prefix, tuple[int, set[str]]] = {}
+        for sysid, lsp in self.lsdb.items():
+            if sysid == self.system_id or sysid not in distance:
+                continue
+            for prefix, metric in lsp.prefixes:
+                if prefix in own_prefixes:
+                    continue
+                total = distance[sysid] + metric
+                current = best.get(prefix)
+                if current is None or total < current[0]:
+                    best[prefix] = (total, set(first_hops.get(sysid, ())))
+                elif total == current[0]:
+                    current[1].update(first_hops.get(sysid, ()))
+        routes: dict[Prefix, Route] = {}
+        for prefix, (metric, hop_ids) in best.items():
+            next_hops = []
+            for hop_id in sorted(hop_ids):
+                adj = self.adjacencies.get(hop_id)
+                if adj is None or not adj.port.is_up:
+                    continue
+                next_hops.append(
+                    NextHop(ip=adj.neighbor_ip, interface=adj.port.name)
+                )
+            if next_hops:
+                routes[prefix] = Route(
+                    prefix=prefix,
+                    protocol=Protocol.ISIS,
+                    next_hops=tuple(next_hops),
+                    metric=metric,
+                )
+        return routes
+
+    def _install_routes(self, routes: dict[Prefix, Route]) -> None:
+        for stale in self._installed - set(routes):
+            self.host.rib.withdraw(Protocol.ISIS, stale)
+        for route in routes.values():
+            self.host.rib.install(route)
+        self._installed = set(routes)
+
+    # -- introspection (drives the vendor CLI) --------------------------------
+
+    def database_summary(self) -> list[Lsp]:
+        return sorted(self.lsdb.values(), key=lambda lsp: lsp.system_id)
+
+    def adjacency_summary(self) -> list[Adjacency]:
+        return sorted(self.adjacencies.values(), key=lambda a: a.system_id)

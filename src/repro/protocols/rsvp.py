@@ -1,0 +1,422 @@
+"""RSVP-TE: PATH/RESV signaling for configured traffic-engineering LSPs.
+
+This implements enough of RFC 3209 to reproduce the paper's §2 vendor
+interplay anecdote and to give MPLS-TE configuration real semantics:
+
+* PATH messages routed hop by hop along the head-end's IGP view,
+  recording the route (RRO) and installing per-hop soft state;
+* RESV messages returning along the recorded route, allocating labels;
+* soft-state refresh: the head-end re-sends PATH every
+  ``refresh_interval``; every hop expires state after
+  ``cleanup_multiplier × advertised refresh interval``;
+* PathErr fast failure notification on link-down — unless the vendor
+  quirk ``rsvp_suppress_path_err`` is set, in which case the head-end
+  only notices a broken LSP when soft state times out. Two well-behaved
+  vendors repair an LSP in ~flooding time; mix in the buggy vendor and
+  repair degrades to the soft-state timeout — the "very slow
+  reconvergence after a major link-cut" interplay the paper describes.
+
+Timers are per-instance (vendor defaults differ), which is exactly what
+makes the interplay unobservable in any single reference model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.device.model import DeviceConfig, MplsTunnelConfig
+from repro.net.addr import format_ipv4
+from repro.protocols.host import Port, RouterHost
+from repro.rib.route import NextHop, Protocol, Route
+
+PROTO_KEY = "rsvp"
+
+
+@dataclass(frozen=True)
+class PathMsg:
+    """Downstream PATH: sets up per-hop soft state."""
+    lsp_id: str
+    head_end: str
+    destination: int
+    refresh_interval: float
+    recorded_route: tuple[str, ...]  # node names traversed so far
+
+
+@dataclass(frozen=True)
+class ResvMsg:
+    """Upstream RESV: allocates labels along the recorded route."""
+    lsp_id: str
+    label: int
+    recorded_route: tuple[str, ...]
+    hop_index: int  # position in recorded_route this message is headed to
+
+
+@dataclass(frozen=True)
+class PathErrMsg:
+    """Failure notification toward the head end."""
+    lsp_id: str
+    reason: str
+
+
+@dataclass
+class PathState:
+    """Per-hop soft state for one LSP."""
+
+    lsp_id: str
+    in_port: Optional[Port]
+    out_port: Optional[Port]
+    refresh_interval: float
+    in_label: Optional[int] = None
+    out_label: Optional[int] = None
+    expiry_event: object = None
+
+
+@dataclass
+class TunnelState:
+    """Head-end view of one configured tunnel."""
+
+    config: MplsTunnelConfig
+    lsp_id: str
+    up: bool = False
+    signaled_at: float = 0.0
+    established_at: Optional[float] = None
+    last_resv_at: float = 0.0
+    last_repair_time: Optional[float] = None
+    resignal_count: int = 0
+    current_route: tuple[str, ...] = ()
+
+
+class RsvpInstance:
+    """One router's RSVP-TE process."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        host: RouterHost,
+        device_config: DeviceConfig,
+        *,
+        refresh_interval: float = 30.0,
+        cleanup_multiplier: float = 3.5,
+        suppress_path_err: bool = False,
+        install_routes: bool = True,
+    ) -> None:
+        self.host = host
+        self.device_config = device_config
+        self.refresh_interval = (
+            device_config.mpls.rsvp_refresh_interval or refresh_interval
+        )
+        self.cleanup_multiplier = cleanup_multiplier
+        self.suppress_path_err = suppress_path_err
+        self.install_routes = install_routes
+        self.tunnels: dict[str, TunnelState] = {}
+        self.path_state: dict[str, PathState] = {}
+        self._label_counter = itertools.count(16)
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._running = True
+        for port in self.host.ports.values():
+            port.register(PROTO_KEY, self._on_frame)
+            port.on_link_change(self._on_link_change)
+        for tunnel_config in self.device_config.mpls.tunnels:
+            lsp_id = f"{self.host.name}/{tunnel_config.name}/{next(self._ids)}"
+            self.tunnels[lsp_id] = TunnelState(config=tunnel_config, lsp_id=lsp_id)
+        # Give the IGP a moment to provide a first path.
+        self.host.kernel.schedule(
+            self.host.kernel.jitter(1.0, 1.0), self._signal_all, label="rsvp-start"
+        )
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _signal_all(self) -> None:
+        if not self._running:
+            return
+        for tunnel in self.tunnels.values():
+            if not tunnel.up:
+                self._signal(tunnel)
+        self._schedule_refresh()
+
+    def _schedule_refresh(self) -> None:
+        if not self._running or not self.tunnels:
+            return
+        self.host.kernel.schedule(
+            self.host.kernel.jitter(
+                self.refresh_interval, self.refresh_interval * 0.1
+            ),
+            self._refresh_tick,
+            label=f"rsvp-refresh:{self.host.name}",
+        )
+
+    def _refresh_tick(self) -> None:
+        if not self._running:
+            return
+        timeout = self.cleanup_multiplier * self.refresh_interval
+        for tunnel in self.tunnels.values():
+            # RESV watchdog: if our refreshes stopped producing RESVs —
+            # a downstream hop died without telling us (the quiet-vendor
+            # interplay) — declare the LSP dead by soft-state timeout.
+            if (
+                tunnel.up
+                and self.host.kernel.now - tunnel.last_resv_at > timeout
+            ):
+                self._tunnel_down(tunnel, "resv-timeout")
+                continue
+            self._signal(tunnel)  # PATH refresh doubles as (re)signaling
+        self._schedule_refresh()
+
+    # -- signaling --------------------------------------------------------------
+
+    def _signal(self, tunnel: TunnelState) -> None:
+        tunnel.signaled_at = self.host.kernel.now
+        message = PathMsg(
+            lsp_id=tunnel.lsp_id,
+            head_end=self.host.name,
+            destination=tunnel.config.destination,
+            refresh_interval=self.refresh_interval,
+            recorded_route=(self.host.name,),
+        )
+        self._forward_path(message, in_port=None)
+
+    def _forward_path(self, message: PathMsg, in_port: Optional[Port]) -> None:
+        """Install/refresh local state and forward PATH downstream."""
+        local = self._owns(message.destination)
+        out_port = None if local else self._next_hop_port(message.destination)
+        state = self.path_state.get(message.lsp_id)
+        if state is None:
+            state = PathState(
+                lsp_id=message.lsp_id,
+                in_port=in_port,
+                out_port=out_port,
+                refresh_interval=message.refresh_interval,
+            )
+            self.path_state[message.lsp_id] = state
+        else:
+            state.in_port = in_port
+            state.out_port = out_port
+            state.refresh_interval = message.refresh_interval
+        self._arm_cleanup(state)
+        if local:
+            self._reflect_resv(message)
+            return
+        if out_port is None:
+            # No route toward the destination right now. The head end
+            # just retries on refresh; a transit hop errors upstream
+            # (unless it is the quiet buggy build).
+            tunnel = self.tunnels.get(message.lsp_id)
+            if tunnel is None and not self.suppress_path_err and in_port is not None:
+                in_port.send(PROTO_KEY, PathErrMsg(message.lsp_id, "no-route"))
+            return
+        out_port.send(PROTO_KEY, message)
+
+    def _reflect_resv(self, message: PathMsg) -> None:
+        """Destination reached: send RESV back along the recorded route."""
+        label = next(self._label_counter)
+        route = message.recorded_route
+        if len(route) < 2:
+            return  # degenerate tunnel to a direct address of ours
+        resv = ResvMsg(
+            lsp_id=message.lsp_id,
+            label=label,
+            recorded_route=route,
+            hop_index=len(route) - 2,  # the hop upstream of us
+        )
+        state = self.path_state.get(message.lsp_id)
+        if state is not None:
+            state.in_label = label
+            if state.in_port is not None:
+                state.in_port.send(PROTO_KEY, resv)
+
+    def _on_frame(self, port: Port, payload: object) -> None:
+        if not self._running:
+            return
+        if isinstance(payload, PathMsg):
+            if self.host.name in payload.recorded_route:
+                # RRO loop prevention (RFC 3209): drop, and tell the
+                # previous hop unless this build is the quiet one. A
+                # head end seeing its own PATH looped back knows the
+                # current path is invalid.
+                tunnel = self.tunnels.get(payload.lsp_id)
+                if tunnel is not None and tunnel.up:
+                    self._tunnel_down(tunnel, "routing-loop")
+                elif not self.suppress_path_err:
+                    port.send(
+                        PROTO_KEY, PathErrMsg(payload.lsp_id, "routing-loop")
+                    )
+                return
+            extended = PathMsg(
+                lsp_id=payload.lsp_id,
+                head_end=payload.head_end,
+                destination=payload.destination,
+                refresh_interval=payload.refresh_interval,
+                recorded_route=payload.recorded_route + (self.host.name,),
+            )
+            self._forward_path(extended, in_port=port)
+        elif isinstance(payload, ResvMsg):
+            self._on_resv(payload)
+        elif isinstance(payload, PathErrMsg):
+            self._on_path_err(payload)
+        self.host.after_protocol_event()
+
+    def _on_resv(self, message: ResvMsg) -> None:
+        state = self.path_state.get(message.lsp_id)
+        if state is None:
+            return
+        state.out_label = message.label
+        tunnel = self.tunnels.get(message.lsp_id)
+        if tunnel is not None and message.hop_index == 0:
+            # We are the head end: LSP is up.
+            tunnel.last_resv_at = self.host.kernel.now
+            was_down = not tunnel.up
+            tunnel.up = True
+            tunnel.current_route = message.recorded_route
+            if was_down:
+                if tunnel.established_at is None:
+                    tunnel.established_at = self.host.kernel.now
+                else:
+                    tunnel.last_repair_time = self.host.kernel.now
+                tunnel.resignal_count += 1
+                self._install_tunnel_route(tunnel)
+            return
+        state.in_label = next(self._label_counter)
+        next_index = message.hop_index - 1
+        if next_index < 0 or state.in_port is None:
+            return
+        state.in_port.send(
+            PROTO_KEY,
+            ResvMsg(
+                lsp_id=message.lsp_id,
+                label=state.in_label,
+                recorded_route=message.recorded_route,
+                hop_index=next_index,
+            ),
+        )
+
+    # -- failure handling ---------------------------------------------------------
+
+    def _on_link_change(self, port: Port, up: bool) -> None:
+        if up or not self._running:
+            return
+        for state in list(self.path_state.values()):
+            if state.out_port is port or state.in_port is port:
+                self._fail_state(state, "link-down")
+
+    def _fail_state(self, state: PathState, reason: str) -> None:
+        self._remove_state(state)
+        tunnel = self.tunnels.get(state.lsp_id)
+        if tunnel is not None:
+            self._tunnel_down(tunnel, reason)
+        elif not self.suppress_path_err and state.in_port is not None:
+            state.in_port.send(PROTO_KEY, PathErrMsg(state.lsp_id, reason))
+        # A vendor with the quirk stays silent: upstream only finds out
+        # when its soft state times out.
+
+    def _on_path_err(self, message: PathErrMsg) -> None:
+        state = self.path_state.get(message.lsp_id)
+        if state is not None:
+            self._remove_state(state)
+        tunnel = self.tunnels.get(message.lsp_id)
+        if tunnel is not None:
+            self._tunnel_down(tunnel, message.reason)
+        elif (
+            not self.suppress_path_err
+            and state is not None
+            and state.in_port is not None
+        ):
+            state.in_port.send(PROTO_KEY, message)
+
+    def _tunnel_down(self, tunnel: TunnelState, reason: str) -> None:
+        del reason
+        if tunnel.up:
+            tunnel.up = False
+            self._uninstall_tunnel_route(tunnel)
+        # Re-signal promptly; the IGP may already know a new path.
+        self.host.kernel.schedule(
+            self.host.kernel.jitter(0.5, 0.5),
+            lambda: self._signal(tunnel),
+            label="rsvp-resignal",
+        )
+
+    def _arm_cleanup(self, state: PathState) -> None:
+        if state.expiry_event is not None:
+            state.expiry_event.cancel()  # type: ignore[attr-defined]
+        timeout = self.cleanup_multiplier * state.refresh_interval
+        state.expiry_event = self.host.kernel.schedule(
+            timeout,
+            lambda: self._soft_state_expired(state),
+            label=f"rsvp-cleanup:{state.lsp_id}",
+        )
+
+    def _soft_state_expired(self, state: PathState) -> None:
+        if self.path_state.get(state.lsp_id) is state:
+            self._fail_state(state, "soft-state-timeout")
+            self.host.after_protocol_event()
+
+    def _remove_state(self, state: PathState) -> None:
+        if state.expiry_event is not None:
+            state.expiry_event.cancel()  # type: ignore[attr-defined]
+        self.path_state.pop(state.lsp_id, None)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _owns(self, address: int) -> bool:
+        return address in set(self.device_config.local_addresses())
+
+    def _next_hop_port(self, destination: int) -> Optional[Port]:
+        entry = self.host.rib.fib.lookup(destination)
+        if entry is None or not entry.next_hops:
+            return None
+        port = self.host.ports.get(entry.next_hops[0].interface)
+        if port is None or not port.is_up:
+            return None
+        return port
+
+    def _install_tunnel_route(self, tunnel: TunnelState) -> None:
+        if not self.install_routes:
+            return
+        port = self._next_hop_port(tunnel.config.destination)
+        if port is None or port.address is None:
+            return
+        entry = self.host.rib.fib.lookup(tunnel.config.destination)
+        gateway = entry.next_hops[0].ip if entry and entry.next_hops else None
+        from repro.net.addr import Prefix
+
+        self.host.rib.install(
+            Route(
+                prefix=Prefix.containing(tunnel.config.destination, 32),
+                protocol=Protocol.RSVP_TE,
+                next_hops=(NextHop(ip=gateway, interface=port.name),),
+                metric=0,
+                source=tunnel.lsp_id,
+            )
+        )
+
+    def _uninstall_tunnel_route(self, tunnel: TunnelState) -> None:
+        if not self.install_routes:
+            return
+        from repro.net.addr import Prefix
+
+        self.host.rib.withdraw(
+            Protocol.RSVP_TE, Prefix.containing(tunnel.config.destination, 32)
+        )
+
+    # -- introspection ---------------------------------------------------------------
+
+    def tunnel_summary(self) -> list[dict]:
+        rows = []
+        for tunnel in self.tunnels.values():
+            rows.append(
+                {
+                    "name": tunnel.config.name,
+                    "destination": format_ipv4(tunnel.config.destination),
+                    "state": "up" if tunnel.up else "down",
+                    "route": " > ".join(tunnel.current_route),
+                    "resignals": tunnel.resignal_count,
+                }
+            )
+        return rows

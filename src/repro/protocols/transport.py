@@ -1,0 +1,31 @@
+"""Routed control-plane transport interface.
+
+BGP sessions (and anything else TCP-like) ride *on top of* the emulated
+dataplane: a message from 10.0.0.1 to 2.2.2.3 is deliverable only if the
+current FIBs actually forward it there. The concrete implementation —
+:class:`repro.kube.fabric.Fabric` — traces packets hop by hop through
+device FIBs; this module only defines the interface protocol engines
+depend on, keeping :mod:`repro.protocols` free of orchestration imports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol as TypingProtocol
+
+# handler(remote_ip, local_ip, payload)
+TransportHandler = Callable[[int, int, Any], None]
+
+
+class ControlTransport(TypingProtocol):
+    """Datagram service routed over the emulated dataplane."""
+
+    def register(self, node: str, ip: int, handler: TransportHandler) -> None:
+        """Listen for messages addressed to ``ip`` on ``node``."""
+        ...
+
+    def unregister(self, node: str, ip: int) -> None:
+        ...
+
+    def send(self, src_node: str, src_ip: int, dst_ip: int, payload: Any) -> bool:
+        """Attempt delivery; False when no forwarding path exists *now*."""
+        ...

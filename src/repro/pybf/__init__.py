@@ -1,0 +1,24 @@
+"""Pybatfish-style query frontend.
+
+The paper reuses Pybatfish so operators keep the query interface they
+know; this package mirrors that surface over our engine::
+
+    from repro.pybf import Session
+
+    bf = Session()
+    bf.init_snapshot(snap, name="candidate")
+    bf.init_snapshot(ref, name="reference")
+    answer = bf.q.differentialReachability().answer(
+        snapshot="candidate", reference_snapshot="reference")
+    for row in answer.frame().rows:
+        ...
+
+Snapshots come from either backend (:mod:`repro.core`) — the frontend
+cannot tell emulation-derived and model-derived dataplanes apart, which
+is precisely the paper's drop-in-backend claim.
+"""
+
+from repro.pybf.answer import TableAnswer, Frame
+from repro.pybf.session import Session
+
+__all__ = ["Frame", "Session", "TableAnswer"]

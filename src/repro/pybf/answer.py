@@ -1,0 +1,78 @@
+"""Tabular answers, shaped like Pybatfish's TableAnswer/frame pairing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass
+class Frame:
+    """A light stand-in for the pandas frame Pybatfish returns."""
+
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def filter(self, predicate: Callable[[dict], bool]) -> "Frame":
+        return Frame(self.columns, [r for r in self.rows if predicate(r)])
+
+    def column(self, name: str) -> list[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def head(self, n: int = 5) -> "Frame":
+        return Frame(self.columns, self.rows[:n])
+
+    def to_string(self, max_width: int = 38) -> str:
+        if not self.rows:
+            return "(no rows)"
+        widths = {
+            col: min(
+                max_width,
+                max([len(col)] + [len(str(r.get(col, ""))) for r in self.rows]),
+            )
+            for col in self.columns
+        }
+
+        def fmt(value: Any, col: str) -> str:
+            text = str(value)
+            if len(text) > widths[col]:
+                text = text[: widths[col] - 1] + "…"
+            return text.ljust(widths[col])
+
+        header = " | ".join(col.ljust(widths[col]) for col in self.columns)
+        rule = "-+-".join("-" * widths[col] for col in self.columns)
+        body = [
+            " | ".join(fmt(row.get(col, ""), col) for col in self.columns)
+            for row in self.rows
+        ]
+        return "\n".join([header, rule] + body)
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+@dataclass
+class TableAnswer:
+    """The object ``question.answer()`` returns."""
+
+    question_name: str
+    _frame: Frame
+    summary: Optional[str] = None
+
+    def frame(self) -> Frame:
+        return self._frame
+
+    def __len__(self) -> int:
+        return len(self._frame)
+
+    def __str__(self) -> str:
+        head = f"Answer[{self.question_name}] ({len(self._frame)} rows)"
+        if self.summary:
+            head += f": {self.summary}"
+        return head + "\n" + self._frame.to_string()

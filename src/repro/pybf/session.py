@@ -1,0 +1,65 @@
+"""The Pybatfish-style ``Session``."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.snapshot import Snapshot
+from repro.pybf.questions import QuestionLibrary
+
+
+class SessionError(RuntimeError):
+    """Raised for snapshot-management misuse."""
+    pass
+
+
+class Session:
+    """Holds named snapshots and exposes the question library as ``.q``.
+
+    Mirrors the Pybatfish workflow: initialize snapshots, set the
+    current one, ask questions. Snapshots are produced by either backend
+    in :mod:`repro.core` (or loaded from disk via
+    :meth:`Snapshot.load <repro.core.snapshot.Snapshot.load>`).
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: dict[str, Snapshot] = {}
+        self._current: Optional[str] = None
+        self.q = QuestionLibrary(self)
+
+    # -- snapshot management -------------------------------------------------
+
+    def init_snapshot(
+        self, snapshot: Snapshot, name: Optional[str] = None, overwrite: bool = False
+    ) -> str:
+        """Register a snapshot; it becomes the current one."""
+        name = name or snapshot.name
+        if name in self._snapshots and not overwrite:
+            raise SessionError(
+                f"snapshot {name!r} already initialized (overwrite=True?)"
+            )
+        self._snapshots[name] = snapshot
+        self._current = name
+        return name
+
+    def set_snapshot(self, name: str) -> None:
+        if name not in self._snapshots:
+            raise SessionError(f"unknown snapshot: {name!r}")
+        self._current = name
+
+    def delete_snapshot(self, name: str) -> None:
+        self._snapshots.pop(name, None)
+        if self._current == name:
+            self._current = next(iter(self._snapshots), None)
+
+    def list_snapshots(self) -> list[str]:
+        return list(self._snapshots)
+
+    def get_snapshot(self, name: Optional[str] = None) -> Snapshot:
+        target = name or self._current
+        if target is None:
+            raise SessionError("no snapshot initialized")
+        try:
+            return self._snapshots[target]
+        except KeyError:
+            raise SessionError(f"unknown snapshot: {target!r}") from None

@@ -1,0 +1,22 @@
+"""Routing information base and forwarding information base.
+
+Each emulated router owns one :class:`Rib`. Protocol engines install
+:class:`Route` objects into it; the RIB performs best-route selection by
+administrative distance and metric, resolves recursive next hops, and
+maintains the :class:`Fib` that the gNMI AFT export reads.
+"""
+
+from repro.rib.route import NextHop, Protocol, ResolvedNextHop, Route
+from repro.rib.rib import Rib
+from repro.rib.fib import Fib, FibAction, FibEntry
+
+__all__ = [
+    "Fib",
+    "FibAction",
+    "FibEntry",
+    "NextHop",
+    "Protocol",
+    "ResolvedNextHop",
+    "Rib",
+    "Route",
+]

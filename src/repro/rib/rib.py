@@ -1,0 +1,219 @@
+"""Best-route selection and next-hop resolution.
+
+The RIB accepts one candidate :class:`Route` per (protocol, prefix) —
+each protocol engine runs its own internal selection first, exactly as on
+a real router (the BGP decision process picks one best path before
+offering it to the RIB). The RIB then:
+
+* picks the overall best route per prefix by (admin distance, metric);
+* resolves next hops, recursively for bare-IP (BGP) next hops;
+* maintains the device :class:`Fib` incrementally.
+
+Recursive resolution makes BGP-over-IGP ordering observable: an iBGP
+route whose next hop is not yet covered by an IGP route stays out of the
+FIB until the IGP converges, which is a real effect the paper's
+emulation-based approach captures and simple models often idealize.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.net.addr import Prefix
+from repro.net.trie import PrefixTrie
+from repro.rib.fib import Fib, FibAction, FibEntry
+from repro.rib.route import NextHop, Protocol, ResolvedNextHop, Route
+
+_IGP_PROTOCOLS = frozenset(
+    {Protocol.LOCAL, Protocol.CONNECTED, Protocol.STATIC, Protocol.ISIS}
+)
+_MAX_RESOLUTION_DEPTH = 8
+
+
+class Rib:
+    """The unified routing table of one emulated device."""
+
+    def __init__(self, clock: Callable[[], float] = lambda: 0.0) -> None:
+        self._clock = clock
+        self._routes: dict[Prefix, dict[Protocol, Route]] = {}
+        self._best: PrefixTrie[Route] = PrefixTrie()
+        self._recursive_prefixes: set[Prefix] = set()
+        self._resolution_dirty = False
+        # Bumped whenever a non-BGP (IGP-layer) best route changes;
+        # drives BGP next-hop tracking without self-triggering on BGP's
+        # own installs.
+        self.igp_version = 0
+        self.fib = Fib()
+
+    # -- mutation ---------------------------------------------------------
+
+    def install(self, route: Route) -> None:
+        """Offer ``route`` as the ``route.protocol`` candidate for its prefix."""
+        candidates = self._routes.setdefault(route.prefix, {})
+        candidates[route.protocol] = route
+        self._reselect(route.prefix)
+
+    def withdraw(self, protocol: Protocol, prefix: Prefix) -> None:
+        candidates = self._routes.get(prefix)
+        if not candidates or protocol not in candidates:
+            return
+        del candidates[protocol]
+        if not candidates:
+            del self._routes[prefix]
+        self._reselect(prefix)
+
+    def withdraw_all(self, protocol: Protocol) -> None:
+        for prefix in [
+            p for p, cands in self._routes.items() if protocol in cands
+        ]:
+            self.withdraw(protocol, prefix)
+
+    def commit(self) -> bool:
+        """Re-resolve recursive routes if the IGP layer changed.
+
+        Called by the router OS after each protocol event batch. Returns
+        True if the FIB changed as a result.
+        """
+        if not self._resolution_dirty:
+            return False
+        self._resolution_dirty = False
+        changed = False
+        for prefix in list(self._recursive_prefixes):
+            best = self._best_route(prefix)
+            if best is not None:
+                changed |= self._program(best)
+        return changed
+
+    # -- queries ------------------------------------------------------------
+
+    def best_routes(self) -> Iterator[Route]:
+        yield from self._best.values()
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        return self._best.get(prefix)
+
+    def routes_for(self, prefix: Prefix) -> list[Route]:
+        return list(self._routes.get(prefix, {}).values())
+
+    def longest_match(self, address: int) -> Optional[Route]:
+        match = self._best.longest_match(address)
+        return match[1] if match else None
+
+    def resolve_ip(self, address: int) -> Optional[tuple[Route, int]]:
+        """Resolve ``address`` to a directly connected route.
+
+        Follows bare-IP next hops through the RIB until reaching a route
+        whose next hop names an interface. Returns (final route, gateway
+        ip) or None when unresolvable (or a resolution loop is hit).
+        """
+        gateway = address
+        for _ in range(_MAX_RESOLUTION_DEPTH):
+            route = self.longest_match(gateway)
+            if route is None or not route.next_hops:
+                return None
+            hop = route.next_hops[0]
+            if hop.interface is not None:
+                return route, gateway
+            assert hop.ip is not None
+            if hop.ip == gateway:
+                return None
+            gateway = hop.ip
+        return None
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    # -- internals ------------------------------------------------------------
+
+    def _best_route(self, prefix: Prefix) -> Optional[Route]:
+        candidates = self._routes.get(prefix)
+        if not candidates:
+            return None
+        return min(
+            candidates.values(),
+            key=lambda r: (
+                r.effective_distance,
+                # A device's own address beats the covering connected
+                # route: /32 local entries must stay RECEIVE.
+                r.protocol is not Protocol.LOCAL,
+                r.metric,
+                r.protocol.value,
+            ),
+        )
+
+    def _reselect(self, prefix: Prefix) -> None:
+        old = self._best.get(prefix)
+        new = self._best_route(prefix)
+        if new is old:
+            # Same object re-installed: still reprogram (next hops may
+            # differ only in resolution context), but cheaply.
+            if new is not None:
+                self._program(new)
+            return
+        if new is None:
+            self._best.remove(prefix)
+            self._recursive_prefixes.discard(prefix)
+            self.fib.remove_entry(prefix, self._clock())
+        else:
+            self._best.insert(prefix, new)
+            self._program(new)
+        if self._touches_resolution(old) or self._touches_resolution(new):
+            self._resolution_dirty = True
+            self.igp_version += 1
+
+    @staticmethod
+    def _touches_resolution(route: Optional[Route]) -> bool:
+        return route is not None and route.protocol in _IGP_PROTOCOLS
+
+    def _program(self, route: Route) -> bool:
+        """Compute and install the FIB entry for ``route``."""
+        if not route.next_hops:
+            entry = FibEntry(route.prefix, FibAction.DISCARD)
+            return self.fib.set_entry(entry, self._clock())
+        if route.protocol is Protocol.LOCAL:
+            entry = FibEntry(route.prefix, FibAction.RECEIVE)
+            return self.fib.set_entry(entry, self._clock())
+        resolved: list[ResolvedNextHop] = []
+        needs_recursion = False
+        for hop in route.next_hops:
+            if hop.interface is not None:
+                resolved.append(ResolvedNextHop(hop.interface, hop.ip))
+                continue
+            needs_recursion = True
+            assert hop.ip is not None
+            resolution = self._resolve_recursive(hop.ip)
+            if resolution is not None:
+                resolved.extend(resolution)
+        if needs_recursion:
+            self._recursive_prefixes.add(route.prefix)
+        else:
+            self._recursive_prefixes.discard(route.prefix)
+        if not resolved:
+            # Unresolvable: keep out of the FIB entirely.
+            return self.fib.remove_entry(route.prefix, self._clock())
+        unique = tuple(dict.fromkeys(resolved))
+        entry = FibEntry(route.prefix, FibAction.FORWARD, unique)
+        return self.fib.set_entry(entry, self._clock())
+
+    def _resolve_recursive(
+        self, address: int, depth: int = 0
+    ) -> Optional[list[ResolvedNextHop]]:
+        if depth >= _MAX_RESOLUTION_DEPTH:
+            return None
+        route = self.longest_match(address)
+        if route is None or route.protocol is Protocol.LOCAL:
+            return None
+        out: list[ResolvedNextHop] = []
+        for hop in route.next_hops:
+            if hop.interface is not None:
+                if hop.ip is not None:
+                    out.append(ResolvedNextHop(hop.interface, hop.ip))
+                else:
+                    # Connected route: the resolved gateway is the
+                    # original address on the attached subnet.
+                    out.append(ResolvedNextHop(hop.interface, address))
+            elif hop.ip is not None and hop.ip != address:
+                deeper = self._resolve_recursive(hop.ip, depth + 1)
+                if deeper:
+                    out.extend(deeper)
+        return out or None

@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+The emulator runs real distributed protocol exchanges between router
+processes; :mod:`repro.sim` provides the clock, the event queue, and the
+message channels those exchanges run over. Time is simulated seconds —
+the scaling results in the paper are reported in emulation wall-clock,
+which this kernel reproduces without actually sleeping.
+"""
+
+from repro.sim.kernel import Event, SimKernel
+from repro.sim.channel import Channel, Delivery
+
+__all__ = ["Channel", "Delivery", "Event", "SimKernel"]

@@ -1,0 +1,190 @@
+"""Event loop and simulated clock."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the kernel is driven incorrectly."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is (time, priority, sequence): equal-time events run in
+    priority order, then insertion order, which keeps runs deterministic
+    for a fixed seed.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SimKernel:
+    """A deterministic discrete-event scheduler.
+
+    The kernel owns a seeded :class:`random.Random` used for message
+    jitter; two kernels with the same seed replay the same ordering,
+    while different seeds explore different interleavings (the paper's
+    §6 nondeterminism discussion).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        event = Event(
+            time=self._now + delay,
+            priority=priority,
+            seq=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        return self.schedule(time - self._now, action, priority=priority, label=label)
+
+    def jitter(self, base: float, spread: float) -> float:
+        """A delay of ``base`` plus uniform jitter in ``[0, spread)``."""
+        return base + self.rng.random() * spread
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> Optional[Event]:
+        """Run the next event; returns it, or None if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.action()
+            return event
+        return None
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Run until the queue drains or simulated time passes ``until``.
+
+        Returns the simulated time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("kernel is not reentrant")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                if processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely a protocol livelock"
+                    )
+                self.step()
+                processed += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def run_until_quiet(
+        self,
+        quiet_period: float,
+        *,
+        poll: Callable[[], bool] = lambda: True,
+        max_time: float = 86_400.0,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Run until ``poll`` has held for ``quiet_period`` simulated secs.
+
+        This is how the emulation pipeline detects convergence: ``poll``
+        checks "has the dataplane stopped changing", and the kernel keeps
+        stepping until that predicate holds across a quiet window (or the
+        event queue drains entirely).
+        """
+        quiet_since = self._now if poll() else None
+        processed = 0
+        while self._queue:
+            if processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} before quiescence"
+                )
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if quiet_since is not None and head.time - quiet_since >= quiet_period:
+                self._now = quiet_since + quiet_period
+                return self._now
+            if head.time > max_time:
+                raise SimulationError(
+                    f"no quiescence before max_time={max_time}s"
+                )
+            self.step()
+            processed += 1
+            if poll():
+                if quiet_since is None:
+                    quiet_since = self._now
+            else:
+                quiet_since = None
+        if quiet_since is None:
+            quiet_since = self._now
+        self._now = max(self._now, quiet_since + quiet_period)
+        return self._now

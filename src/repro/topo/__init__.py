@@ -1,0 +1,20 @@
+"""Network topology model, file format, and generators."""
+
+from repro.topo.model import Link, LinkEnd, NodeSpec, Topology, TopologyError
+from repro.topo.parser import parse_topology, format_topology
+from repro.topo.builder import TopologyBuilder, fabric_topology, line_topology, ring_topology, wan_topology
+
+__all__ = [
+    "Link",
+    "LinkEnd",
+    "NodeSpec",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyError",
+    "fabric_topology",
+    "format_topology",
+    "line_topology",
+    "parse_topology",
+    "ring_topology",
+    "wan_topology",
+]

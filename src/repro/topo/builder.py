@@ -1,0 +1,165 @@
+"""Programmatic topology construction and standard generators.
+
+Interface naming follows the vendor convention: Arista nodes get
+``EthernetN``, Nokia SR Linux nodes get ``ethernet-1/N``. The builder
+tracks the next free data port per node so generators can wire links
+without bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.topo.model import Link, NodeSpec, Topology
+
+_PORT_PATTERNS = {
+    "arista": "Ethernet{n}",
+    "nokia": "ethernet-1/{n}",
+}
+
+
+def interface_name(vendor: str, index: int) -> str:
+    """The ``index``-th (1-based) data-plane port name for ``vendor``."""
+    pattern = _PORT_PATTERNS.get(vendor, "eth{n}")
+    return pattern.format(n=index)
+
+
+class TopologyBuilder:
+    """Fluent helper for building topologies in code."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.topology = Topology(name)
+        self._next_port: dict[str, int] = {}
+
+    def node(
+        self,
+        name: str,
+        *,
+        vendor: str = "arista",
+        model: str = "ceos",
+        os_version: str = "",
+        config: str = "",
+        cpu: float = 0.0,
+        memory_gb: float = 0.0,
+    ) -> "TopologyBuilder":
+        self.topology.add_node(
+            NodeSpec(
+                name=name,
+                vendor=vendor,
+                model=model,
+                os_version=os_version,
+                config=config,
+                cpu=cpu,
+                memory_gb=memory_gb,
+            )
+        )
+        self._next_port[name] = 1
+        return self
+
+    def next_interface(self, node: str) -> str:
+        """Allocate the next free data port name on ``node``."""
+        vendor = self.topology.node(node).vendor
+        index = self._next_port[node]
+        self._next_port[node] = index + 1
+        return interface_name(vendor, index)
+
+    def link(
+        self,
+        a_node: str,
+        z_node: str,
+        *,
+        a_int: Optional[str] = None,
+        z_int: Optional[str] = None,
+    ) -> Link:
+        """Wire two nodes, auto-allocating port names unless given."""
+        if a_int is None:
+            a_int = self.next_interface(a_node)
+        if z_int is None:
+            z_int = self.next_interface(z_node)
+        return self.topology.add_link(a_node, a_int, z_node, z_int)
+
+    def build(self) -> Topology:
+        self.topology.validate()
+        return self.topology
+
+
+def line_topology(n: int, *, vendor: str = "arista", name: str = "line") -> Topology:
+    """R1 <-> R2 <-> ... <-> Rn."""
+    builder = TopologyBuilder(name)
+    for i in range(1, n + 1):
+        builder.node(f"r{i}", vendor=vendor)
+    for i in range(1, n):
+        builder.link(f"r{i}", f"r{i + 1}")
+    return builder.build()
+
+
+def ring_topology(n: int, *, vendor: str = "arista", name: str = "ring") -> Topology:
+    """A cycle of ``n`` routers."""
+    if n < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    builder = TopologyBuilder(name)
+    for i in range(1, n + 1):
+        builder.node(f"r{i}", vendor=vendor)
+    for i in range(1, n):
+        builder.link(f"r{i}", f"r{i + 1}")
+    builder.link(f"r{n}", "r1")
+    return builder.build()
+
+
+def fabric_topology(
+    spines: int,
+    leaves: int,
+    *,
+    vendor: str = "arista",
+    name: str = "fabric",
+) -> Topology:
+    """A two-tier leaf/spine fabric (full bipartite wiring)."""
+    builder = TopologyBuilder(name)
+    for s in range(1, spines + 1):
+        builder.node(f"spine{s}", vendor=vendor)
+    for leaf in range(1, leaves + 1):
+        builder.node(f"leaf{leaf}", vendor=vendor)
+    for s in range(1, spines + 1):
+        for leaf in range(1, leaves + 1):
+            builder.link(f"spine{s}", f"leaf{leaf}")
+    return builder.build()
+
+
+def wan_topology(
+    n: int,
+    *,
+    degree: int = 3,
+    seed: int = 7,
+    vendors: tuple[str, ...] = ("arista",),
+    name: str = "wan",
+) -> Topology:
+    """A random connected WAN-like graph.
+
+    Builds a random spanning tree for connectivity, then adds extra
+    edges until the average degree approaches ``degree``. With more than
+    one vendor in ``vendors``, nodes alternate — the multi-vendor replica
+    of the paper's §5 convergence experiment.
+    """
+    rng = random.Random(seed)
+    builder = TopologyBuilder(name)
+    names = [f"r{i}" for i in range(1, n + 1)]
+    for i, node_name in enumerate(names):
+        builder.node(node_name, vendor=vendors[i % len(vendors)])
+    linked: set[frozenset[str]] = set()
+    # Random spanning tree: attach each node to a random earlier node.
+    for i in range(1, n):
+        j = rng.randrange(i)
+        builder.link(names[i], names[j])
+        linked.add(frozenset((names[i], names[j])))
+    target_edges = max(n - 1, (n * degree) // 2)
+    attempts = 0
+    while len(linked) < target_edges and attempts < 20 * target_edges:
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        key = frozenset((a, b))
+        if key in linked:
+            continue
+        builder.link(a, b)
+        linked.add(key)
+    return builder.build()

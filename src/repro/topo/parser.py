@@ -1,0 +1,207 @@
+"""KNE-style topology file parser and formatter.
+
+KNE describes topologies in protobuf text format. We support the subset
+used by this project::
+
+    name: "fig2"
+    node {
+      name: "r1"
+      vendor: "arista"
+      model: "ceos"
+      os_version: "4.34.0F"
+      config_file: "r1.cfg"
+      cpu: 0.5
+      memory_gb: 1.0
+    }
+    link {
+      a_node: "r1"
+      a_int: "Ethernet1"
+      z_node: "r2"
+      z_int: "Ethernet1"
+    }
+
+``config_file`` paths are resolved relative to the topology file (or the
+``config_dir`` argument) and loaded into :attr:`NodeSpec.config`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.topo.model import NodeSpec, Topology, TopologyError
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<comment>\#[^\n]*)
+      | (?P<lbrace>\{)
+      | (?P<rbrace>\})
+      | (?P<key>[A-Za-z_][A-Za-z0-9_]*)\s*:?
+      | (?P<string>"(?:[^"\\]|\\.)*")
+      | (?P<number>-?\d+(?:\.\d+)?)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+class TopologyParseError(TopologyError):
+    """Raised on malformed topology files."""
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    pos = 0
+    while pos < len(text):
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+        if pos >= len(text):
+            return
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos : pos + 20]
+            raise TopologyParseError(f"unexpected input at: {remainder!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "comment" or kind is None:
+            continue
+        yield kind, match.group(kind)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+
+    def _peek(self) -> Optional[tuple[str, str]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> tuple[str, str]:
+        tok = self._peek()
+        if tok is None:
+            raise TopologyParseError("unexpected end of file")
+        self._pos += 1
+        return tok
+
+    def parse_message(self) -> dict:
+        """Parse fields until EOF or a closing brace."""
+        fields: dict = {}
+        while True:
+            tok = self._peek()
+            if tok is None or tok[0] == "rbrace":
+                return fields
+            kind, key = self._next()
+            if kind != "key":
+                raise TopologyParseError(f"expected field name, got {key!r}")
+            value = self._parse_value()
+            fields.setdefault(key, []).append(value)
+
+    def _parse_value(self):
+        kind, raw = self._next()
+        if kind == "lbrace":
+            fields = self.parse_message()
+            kind2, raw2 = self._next()
+            if kind2 != "rbrace":
+                raise TopologyParseError(f"expected '}}', got {raw2!r}")
+            return fields
+        if kind == "string":
+            return _unquote(raw)
+        if kind == "number":
+            return float(raw) if "." in raw else int(raw)
+        raise TopologyParseError(f"expected value, got {raw!r}")
+
+
+def _unquote(raw: str) -> str:
+    body = raw[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\").replace("\\n", "\n")
+
+
+def _single(fields: dict, key: str, default=None):
+    values = fields.get(key)
+    if not values:
+        return default
+    if len(values) > 1:
+        raise TopologyParseError(f"field {key!r} given {len(values)} times")
+    return values[0]
+
+
+def parse_topology(
+    text: str,
+    *,
+    config_dir: Optional[Union[str, Path]] = None,
+) -> Topology:
+    """Parse topology ``text``; load referenced config files if present."""
+    fields = _Parser(text).parse_message()
+    topo = Topology(name=_single(fields, "name", "topology"))
+    for node_fields in fields.get("node", []):
+        name = _single(node_fields, "name")
+        if name is None:
+            raise TopologyParseError("node missing name")
+        spec = NodeSpec(
+            name=name,
+            vendor=_single(node_fields, "vendor", "arista"),
+            model=_single(node_fields, "model", "ceos"),
+            os_version=_single(node_fields, "os_version", ""),
+            config=_single(node_fields, "config", ""),
+            cpu=float(_single(node_fields, "cpu", 0.0)),
+            memory_gb=float(_single(node_fields, "memory_gb", 0.0)),
+        )
+        config_file = _single(node_fields, "config_file")
+        if config_file is not None:
+            base = Path(config_dir) if config_dir is not None else Path(".")
+            path = base / config_file
+            try:
+                spec.config = path.read_text()
+            except OSError as exc:
+                raise TopologyParseError(
+                    f"cannot read config_file for node {name}: {path}"
+                ) from exc
+        topo.add_node(spec)
+    for link_fields in fields.get("link", []):
+        parts = [
+            _single(link_fields, key)
+            for key in ("a_node", "a_int", "z_node", "z_int")
+        ]
+        if any(p is None for p in parts):
+            raise TopologyParseError(f"incomplete link: {link_fields}")
+        topo.add_link(*parts)
+    topo.validate()
+    return topo
+
+
+def load_topology(path: Union[str, Path]) -> Topology:
+    """Load a topology file, resolving config files beside it."""
+    path = Path(path)
+    return parse_topology(path.read_text(), config_dir=path.parent)
+
+
+def format_topology(topo: Topology, *, include_configs: bool = False) -> str:
+    """Render a topology back to the text format."""
+    out: list[str] = [f'name: "{topo.name}"']
+    for node in topo.nodes:
+        out.append("node {")
+        out.append(f'  name: "{node.name}"')
+        out.append(f'  vendor: "{node.vendor}"')
+        out.append(f'  model: "{node.model}"')
+        if node.os_version:
+            out.append(f'  os_version: "{node.os_version}"')
+        if node.cpu:
+            out.append(f"  cpu: {node.cpu}")
+        if node.memory_gb:
+            out.append(f"  memory_gb: {node.memory_gb}")
+        if include_configs and node.config:
+            escaped = node.config.replace("\\", "\\\\").replace('"', '\\"')
+            escaped = escaped.replace("\n", "\\n")
+            out.append(f'  config: "{escaped}"')
+        out.append("}")
+    for link in topo.links:
+        out.append("link {")
+        out.append(f'  a_node: "{link.a.node}"')
+        out.append(f'  a_int: "{link.a.interface}"')
+        out.append(f'  z_node: "{link.z.node}"')
+        out.append(f'  z_int: "{link.z.interface}"')
+        out.append("}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,22 @@
+"""Vendor router OS emulations.
+
+Each vendor package provides a config parser (native syntax → the
+vendor-neutral :class:`repro.device.DeviceConfig`), an OS class derived
+from :class:`repro.vendors.base.RouterOS`, and a CLI with the vendor's
+``show`` commands. ``create_router`` is the factory KNE uses when it
+brings a node up.
+"""
+
+from repro.vendors.base import RouterOS, SshSession, VendorError
+from repro.vendors.quirks import VendorQuirks, quirks_for
+from repro.vendors.registry import available_vendors, create_router
+
+__all__ = [
+    "RouterOS",
+    "SshSession",
+    "VendorError",
+    "VendorQuirks",
+    "available_vendors",
+    "create_router",
+    "quirks_for",
+]

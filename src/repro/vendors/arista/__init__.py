@@ -1,0 +1,5 @@
+"""Arista cEOS-like router OS emulation."""
+
+from repro.vendors.arista.eos import AristaEos
+
+__all__ = ["AristaEos"]

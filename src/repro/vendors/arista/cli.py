@@ -1,0 +1,184 @@
+"""Arista EOS ``show`` commands.
+
+The paper's E5 result is that emulation preserves the operator tooling
+flow: SSH in and run the same commands used against production routers.
+These renderings aim for recognizable EOS output shape, not byte-exact
+fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.addr import format_ipv4
+from repro.rib.fib import FibAction
+from repro.rib.route import Protocol
+
+if TYPE_CHECKING:
+    from repro.vendors.arista.eos import AristaEos
+
+_PROTO_CODES = {
+    Protocol.CONNECTED: "C",
+    Protocol.LOCAL: "L",
+    Protocol.STATIC: "S",
+    Protocol.ISIS: "I L2",
+    Protocol.BGP_EXTERNAL: "B E",
+    Protocol.BGP_INTERNAL: "B I",
+    Protocol.RSVP_TE: "R T",
+}
+
+
+class AristaCli:
+    """Command dispatcher for one EOS device."""
+
+    def __init__(self, router: "AristaEos") -> None:
+        self.router = router
+
+    def execute(self, command: str) -> str:
+        command = " ".join(command.split())
+        handlers = [
+            ("show ip route", self.show_ip_route),
+            ("show isis database", self.show_isis_database),
+            ("show isis neighbors", self.show_isis_neighbors),
+            ("show ip bgp summary", self.show_bgp_summary),
+            ("show bgp summary", self.show_bgp_summary),
+            ("show ip interface brief", self.show_ip_interface_brief),
+            ("show interfaces status", self.show_ip_interface_brief),
+            ("show mpls rsvp tunnel", self.show_rsvp_tunnels),
+            ("show running-config diagnostics", self.show_diagnostics),
+            ("show running-config", self.show_running_config),
+            ("show version", self.show_version),
+        ]
+        for prefix, handler in handlers:
+            if command == prefix or command.startswith(prefix + " "):
+                return handler(command)
+        return f"% Invalid input ('{command}')"
+
+    # -- commands ------------------------------------------------------------
+
+    def show_version(self, command: str) -> str:
+        del command
+        return (
+            f"Arista cEOSLab (emulated)\n"
+            f"Hostname: {self.router.name}\n"
+            f"Software image version: {self.router.os_version or '4.34.0F'}\n"
+        )
+
+    def show_ip_route(self, command: str) -> str:
+        parts = command.split()
+        prefix_filter = parts[3] if len(parts) > 3 else None
+        lines = [
+            "VRF: default",
+            "Codes: C - connected, S - static, I - IS-IS, B - BGP,",
+            "       L - local, R T - RSVP-TE",
+            "",
+        ]
+        for route in sorted(
+            self.router.rib.best_routes(), key=lambda r: (r.prefix.network, r.prefix.length)
+        ):
+            if prefix_filter and not str(route.prefix).startswith(prefix_filter):
+                continue
+            code = _PROTO_CODES.get(route.protocol, "?")
+            hops = ", ".join(str(nh) for nh in route.next_hops) or "Null0"
+            lines.append(
+                f" {code:<4} {route.prefix} "
+                f"[{route.effective_distance}/{route.metric}] via {hops}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def show_isis_database(self, command: str) -> str:
+        del command
+        isis = self.router.isis
+        if isis is None:
+            return "% IS-IS is not running\n"
+        lines = [
+            f"IS-IS Instance: {isis.config.tag} VRF: default",
+            "  Level 2 Link State Database",
+            f"{'LSPID':<24}{'Seq Num':>8}  Neighbors / Prefixes",
+        ]
+        for lsp in isis.database_summary():
+            neighbors = ", ".join(f"{n}({m})" for n, m in lsp.neighbors) or "-"
+            prefixes = ", ".join(f"{p}({m})" for p, m in lsp.prefixes) or "-"
+            lines.append(
+                f"{lsp.system_id + '.00-00':<24}{lsp.sequence:>8}  "
+                f"nbrs: {neighbors} | prefixes: {prefixes}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def show_isis_neighbors(self, command: str) -> str:
+        del command
+        isis = self.router.isis
+        if isis is None:
+            return "% IS-IS is not running\n"
+        lines = [
+            f"IS-IS Instance: {isis.config.tag} VRF: default",
+            f"{'System Id':<20}{'Interface':<16}{'SNPA':<12}{'State':<8}",
+        ]
+        for adj in isis.adjacency_summary():
+            lines.append(
+                f"{adj.system_id:<20}{adj.port.name:<16}{'P2P':<12}{'UP':<8}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def show_bgp_summary(self, command: str) -> str:
+        del command
+        bgp = self.router.bgp
+        if bgp is None:
+            return "% BGP is not running\n"
+        lines = [
+            f"BGP summary information for VRF default",
+            f"Router identifier {format_ipv4(bgp.router_id)}, "
+            f"local AS number {bgp.config.asn}",
+            f"{'Neighbor':<18}{'AS':>8}{'State':<14}{'PfxRcd':>8}{'Resets':>8}",
+        ]
+        for row in bgp.summary():
+            lines.append(
+                f"{row['neighbor']:<18}{row['remote_as']:>8}"
+                f"{row['state']:<14}{row['prefixes_received']:>8}{row['resets']:>8}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def show_ip_interface_brief(self, command: str) -> str:
+        del command
+        lines = [
+            f"{'Interface':<18}{'IP Address':<20}{'Status':<12}{'Protocol':<10}"
+        ]
+        for name in sorted(self.router.ports):
+            port = self.router.ports[name]
+            if port.config.address is not None and port.config.prefix_length is not None:
+                address = (
+                    f"{format_ipv4(port.config.address)}/{port.config.prefix_length}"
+                )
+                if port.config.switchport:
+                    address += " (switched)"
+            else:
+                address = "unassigned"
+            status = "up" if port.is_up else (
+                "admin down" if port.config.shutdown else "down"
+            )
+            protocol = "up" if port.is_up and port.config.is_routed else "down"
+            lines.append(f"{name:<18}{address:<20}{status:<12}{protocol:<10}")
+        return "\n".join(lines) + "\n"
+
+    def show_rsvp_tunnels(self, command: str) -> str:
+        del command
+        rsvp = self.router.rsvp
+        if rsvp is None:
+            return "% MPLS RSVP is not running\n"
+        lines = [f"{'Tunnel':<20}{'Destination':<18}{'State':<8}Path"]
+        for row in rsvp.tunnel_summary():
+            lines.append(
+                f"{row['name']:<20}{row['destination']:<18}"
+                f"{row['state']:<8}{row['route']}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def show_running_config(self, command: str) -> str:
+        del command
+        return self.router.config_text or "! (no configuration)\n"
+
+    def show_diagnostics(self, command: str) -> str:
+        del command
+        if not self.router.diagnostics:
+            return "! configuration loaded cleanly\n"
+        return "\n".join(str(d) for d in self.router.diagnostics) + "\n"

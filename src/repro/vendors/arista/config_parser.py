@@ -1,0 +1,602 @@
+"""Arista EOS configuration parser.
+
+Parses the EOS dialect used across this repo's corpus: interfaces,
+IS-IS, BGP, MPLS/traffic-engineering, static routes, routing policy, and
+the management-plane stanzas (daemons, gNMI/gRPC, SSL profiles, …) that
+production configs carry.
+
+Semantics notes (both deliberate, both load-bearing for the paper's
+Fig. 3 experiment):
+
+* Interface stanzas are applied as a unit: ``ip address`` and
+  ``no switchport`` may appear in either order, exactly like the real
+  cEOS 4.34.0F behaviour the paper observed. The model-based baseline
+  (:mod:`repro.batfish_model`) applies lines in order instead.
+* ``isis enable <tag>`` is valid interface syntax here; the baseline
+  parser rejects it.
+
+Lines the OS genuinely does not understand produce a diagnostic and are
+skipped — matching a real router's config-load behaviour — rather than
+aborting the load.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Optional
+
+from repro.device.acl import Acl, AclRule, PROTOCOL_NUMBERS
+from repro.device.interfaces import InterfaceConfig, IsisInterfaceSettings
+from repro.device.model import (
+    BgpConfig,
+    BgpNeighborConfig,
+    DeviceConfig,
+    IsisConfig,
+    MplsTunnelConfig,
+    StaticRouteConfig,
+)
+from repro.device.routing_policy import (
+    Community,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.net.addr import AddressError, Prefix, parse_ipv4
+from repro.vendors.base import ConfigDiagnostic
+
+_SWITCHPORT_DEFAULT_RE = re.compile(r"^(Ethernet|Port-Channel)", re.IGNORECASE)
+
+# Top-level stanzas that configure the management plane. Their bodies
+# are consumed and recorded, not interpreted.
+_MANAGEMENT_HEADS = (
+    "management api gnmi",
+    "management api http-commands",
+    "management api models",
+    "management security",
+    "management ssh",
+    "management console",
+)
+
+# Single-line commands with no dataplane relevance that a real EOS
+# accepts silently.
+_HARMLESS_PREFIXES = (
+    "service routing protocols model",
+    "transceiver qsfp default-mode",
+    "spanning-tree mode",
+    "no spanning-tree",
+    "ntp server",
+    "snmp-server",
+    "aaa ",
+    "username ",
+    "clock timezone",
+    "dns domain",
+    "ip name-server",
+    "logging ",
+    "queue-monitor ",
+    "hardware counter",
+    "platform ",
+    "load-interval default",
+    "ip icmp rate-limit",
+    "vrf instance",
+    "banner ",
+    "end",
+    "boot system",
+    "event-monitor",
+    "errdisable ",
+    "ip hardware fib",
+    "sflow ",
+)
+
+
+class _Lines:
+    """Cursor over config lines with peek/indent helpers."""
+
+    def __init__(self, text: str) -> None:
+        self.lines = text.splitlines()
+        self.index = 0
+
+    def peek(self) -> Optional[str]:
+        while self.index < len(self.lines):
+            line = self.lines[self.index]
+            if line.strip() in ("", "!") or line.strip().startswith("!"):
+                self.index += 1
+                continue
+            return line
+        return None
+
+    def next(self) -> tuple[int, str]:
+        line = self.peek()
+        assert line is not None
+        self.index += 1
+        return self.index, line
+
+    def body(self) -> list[tuple[int, str]]:
+        """Consume the indented body following a stanza head."""
+        out = []
+        while True:
+            line = self.peek()
+            if line is None or not line.startswith((" ", "\t")):
+                return out
+            out.append(self.next())
+
+
+class AristaConfigParser:
+    """Parser for one configuration document."""
+
+    def __init__(self) -> None:
+        self.device = DeviceConfig()
+        self.diagnostics: list[ConfigDiagnostic] = []
+
+    def parse(self, text: str) -> tuple[DeviceConfig, list[ConfigDiagnostic]]:
+        cursor = _Lines(text)
+        while cursor.peek() is not None:
+            number, line = cursor.next()
+            try:
+                self._top_level(number, line.strip(), cursor)
+            except AddressError as exc:
+                self._invalid(number, line, str(exc))
+        return self.device, self.diagnostics
+
+    # -- top level -----------------------------------------------------------
+
+    def _top_level(self, number: int, line: str, cursor: _Lines) -> None:
+        words = line.split()
+        if not words:
+            return
+        if line.startswith("hostname "):
+            self.device.hostname = line.split(None, 1)[1]
+        elif line.startswith("interface "):
+            self._interface(line.split(None, 1)[1], cursor.body(), number)
+        elif line.startswith("router isis"):
+            self._router_isis(words, cursor.body())
+        elif line.startswith("router bgp "):
+            self._router_bgp(words, cursor.body(), number)
+        elif line.startswith("router traffic-engineering"):
+            self.device.mpls.traffic_eng = True
+            for _n, _body in cursor.body():
+                pass  # rsvp / segment-routing toggles: accepted
+        elif line == "mpls ip":
+            self.device.mpls.enabled = True
+        elif line == "mpls rsvp" or line.startswith("mpls rsvp"):
+            self.device.mpls.enabled = True
+            self.device.mpls.traffic_eng = True
+            for _n, body_line in cursor.body():
+                self._mpls_rsvp_body(body_line.strip())
+        elif line.startswith("mpls tunnel ") or line.startswith(
+            "traffic-engineering tunnel "
+        ):
+            self._mpls_tunnel(words, cursor.body(), number)
+        elif line == "ip routing":
+            self.device.ip_routing = True
+        elif line == "no ip routing":
+            self.device.ip_routing = False
+        elif line.startswith("ip route "):
+            self._static_route(number, line, words)
+        elif line.startswith("ip prefix-list "):
+            self._prefix_list(number, line, words)
+        elif line.startswith("ip access-list "):
+            self._access_list(words[2], cursor.body())
+        elif line.startswith("route-map "):
+            self._route_map(number, line, words, cursor.body())
+        elif line.startswith("daemon "):
+            self.device.daemons.append(words[1])
+            cursor.body()
+        elif any(line.startswith(head) for head in _MANAGEMENT_HEADS):
+            self.device.management_services.append(line)
+            for _n, body_line in cursor.body():
+                self.device.management_services.append(body_line.strip())
+        elif any(line.startswith(prefix) for prefix in _HARMLESS_PREFIXES):
+            cursor.body()
+        else:
+            cursor.body()
+            self._invalid(number, line, "% Invalid input")
+
+    # -- interfaces ------------------------------------------------------------
+
+    def _interface(
+        self, name: str, body: list[tuple[int, str]], head_number: int
+    ) -> None:
+        del head_number
+        is_new = name not in self.device.interfaces
+        iface = self.device.interface(name)
+        explicit_mode: Optional[bool] = None
+        if is_new:
+            # EOS default: front-panel ports come up as switchports.
+            # Re-entering an existing stanza merges (does not reset).
+            iface.switchport = bool(_SWITCHPORT_DEFAULT_RE.match(name))
+        for number, raw in body:
+            line = raw.strip()
+            words = line.split()
+            if line.startswith("description "):
+                iface.description = line.split(None, 1)[1]
+            elif line == "no switchport":
+                explicit_mode = False
+            elif line == "switchport":
+                explicit_mode = True
+            elif line.startswith("ip address "):
+                try:
+                    prefix_text = words[2]
+                    address_text, _, length_text = prefix_text.partition("/")
+                    iface.address = parse_ipv4(address_text)
+                    iface.prefix_length = int(length_text)
+                except (IndexError, ValueError, AddressError):
+                    self._invalid(number, raw, "% Invalid address")
+            elif line == "shutdown":
+                iface.shutdown = True
+            elif line == "no shutdown":
+                iface.shutdown = False
+            elif line.startswith("isis enable "):
+                tag = words[2] if len(words) > 2 else "default"
+                iface.isis = self._isis_settings(iface)
+                iface.isis.tag = tag
+                iface.isis.enabled = True
+            elif line.startswith("isis metric "):
+                iface.isis = self._isis_settings(iface)
+                try:
+                    iface.isis.metric = int(words[2])
+                except (IndexError, ValueError):
+                    self._invalid(number, raw, "% Invalid metric")
+            elif line in ("isis passive", "isis passive-interface default"):
+                iface.isis = self._isis_settings(iface)
+                iface.isis.passive = True
+            elif line == "mpls ip":
+                iface.mpls_enabled = True
+            elif line.startswith("ip access-group "):
+                if len(words) == 4 and words[3] in ("in", "out"):
+                    if words[3] == "in":
+                        iface.acl_in = words[2]
+                    else:
+                        iface.acl_out = words[2]
+                else:
+                    self._invalid(number, raw, "% Invalid access-group")
+            elif line.startswith("speed "):
+                try:
+                    iface.speed_gbps = float(words[-1].rstrip("gG"))
+                except ValueError:
+                    pass
+            elif line.startswith(("load-interval", "mtu", "logging event")):
+                pass
+            else:
+                self._invalid(number, raw, "% Invalid input")
+        if explicit_mode is not None:
+            # Stanza applied as a unit: mode wins regardless of where it
+            # appeared relative to `ip address` (the Fig. 3 behaviour).
+            iface.switchport = explicit_mode
+
+    @staticmethod
+    def _isis_settings(iface: InterfaceConfig) -> IsisInterfaceSettings:
+        if iface.isis is None:
+            iface.isis = IsisInterfaceSettings()
+        return iface.isis
+
+    # -- router isis --------------------------------------------------------------
+
+    def _router_isis(self, words: list[str], body: list[tuple[int, str]]) -> None:
+        tag = words[2] if len(words) > 2 else "default"
+        isis = self.device.isis or IsisConfig(tag=tag)
+        isis.tag = tag
+        self.device.isis = isis
+        for number, raw in body:
+            line = raw.strip()
+            if line.startswith("net "):
+                isis.net = line.split()[1]
+            elif line.startswith("address-family ipv4"):
+                isis.ipv4_unicast = True
+            elif line in ("is-type level-2", "is-type level-2-only"):
+                pass
+            elif line == "passive-interface default":
+                isis.passive_default = True
+            elif line.startswith(("log-adjacency-changes", "set-overload-bit")):
+                pass
+            else:
+                self._invalid(number, raw, "% Invalid input")
+
+    # -- router bgp ------------------------------------------------------------------
+
+    def _router_bgp(
+        self, words: list[str], body: list[tuple[int, str]], head_number: int
+    ) -> None:
+        try:
+            asn = int(words[2])
+        except (IndexError, ValueError):
+            self._invalid(head_number, " ".join(words), "% Invalid AS number")
+            return
+        bgp = self.device.bgp or BgpConfig(asn=asn)
+        bgp.asn = asn
+        self.device.bgp = bgp
+        for number, raw in body:
+            line = raw.strip()
+            parts = line.split()
+            if line.startswith("router-id "):
+                try:
+                    bgp.router_id = parse_ipv4(parts[1])
+                except (IndexError, AddressError):
+                    self._invalid(number, raw, "% Invalid router-id")
+            elif line.startswith("neighbor "):
+                self._bgp_neighbor(number, raw, parts, bgp)
+            elif line.startswith("network "):
+                try:
+                    bgp.networks.append(Prefix.parse(parts[1]))
+                except (IndexError, AddressError):
+                    self._invalid(number, raw, "% Invalid network")
+            elif line == "redistribute connected":
+                bgp.redistribute_connected = True
+            elif line.startswith("redistribute isis"):
+                bgp.redistribute_isis = True
+            elif line.startswith("maximum-paths "):
+                try:
+                    bgp.maximum_paths = int(parts[1])
+                except (IndexError, ValueError):
+                    self._invalid(number, raw, "% Invalid maximum-paths")
+            elif line.startswith("address-family ipv4"):
+                pass
+            elif parts and parts[0] in ("bgp", "timers", "no"):
+                pass  # bgp log-neighbor-changes, timers bgp, no bgp default ...
+            else:
+                self._invalid(number, raw, "% Invalid input")
+
+    def _bgp_neighbor(
+        self, number: int, raw: str, parts: list[str], bgp: BgpConfig
+    ) -> None:
+        try:
+            peer = parse_ipv4(parts[1])
+        except (IndexError, AddressError):
+            self._invalid(number, raw, "% Invalid neighbor address")
+            return
+        neighbor = bgp.neighbors.get(peer)
+        if neighbor is None:
+            neighbor = BgpNeighborConfig(peer_address=peer, remote_as=0)
+            bgp.neighbors[peer] = neighbor
+        knob = parts[2] if len(parts) > 2 else ""
+        rest = parts[3:]
+        if knob == "remote-as" and rest:
+            neighbor.remote_as = int(rest[0])
+        elif knob == "description":
+            neighbor.description = " ".join(rest)
+        elif knob == "update-source" and rest:
+            neighbor.update_source = rest[0]
+        elif knob == "next-hop-self":
+            neighbor.next_hop_self = True
+        elif knob == "send-community":
+            neighbor.send_community = True
+        elif knob == "route-map" and len(rest) == 2:
+            if rest[1] == "in":
+                neighbor.route_map_in = rest[0]
+            elif rest[1] == "out":
+                neighbor.route_map_out = rest[0]
+            else:
+                self._invalid(number, raw, "% Invalid route-map direction")
+        elif knob == "ebgp-multihop":
+            neighbor.ebgp_multihop = int(rest[0]) if rest else 255
+        elif knob == "shutdown":
+            neighbor.shutdown = True
+        elif knob == "route-reflector-client":
+            neighbor.route_reflector_client = True
+        elif knob in ("activate", "maximum-routes", "password", "timers"):
+            pass
+        else:
+            self._invalid(number, raw, "% Invalid neighbor option")
+
+    # -- mpls ---------------------------------------------------------------------------
+
+    def _mpls_rsvp_body(self, line: str) -> None:
+        if line.startswith("refresh interval "):
+            try:
+                self.device.mpls.rsvp_refresh_interval = float(line.split()[-1])
+            except ValueError:
+                pass
+
+    def _mpls_tunnel(
+        self, words: list[str], body: list[tuple[int, str]], head_number: int
+    ) -> None:
+        self.device.mpls.enabled = True
+        self.device.mpls.traffic_eng = True
+        name = words[-1]
+        destination = None
+        for number, raw in body:
+            line = raw.strip()
+            if line.startswith("destination "):
+                try:
+                    destination = parse_ipv4(line.split()[1])
+                except (IndexError, AddressError):
+                    self._invalid(number, raw, "% Invalid destination")
+            elif line.startswith(("bandwidth", "priority", "path-selection")):
+                pass
+            else:
+                self._invalid(number, raw, "% Invalid input")
+        if destination is None:
+            self._invalid(head_number, " ".join(words), "% Tunnel has no destination")
+            return
+        self.device.mpls.tunnels.append(
+            MplsTunnelConfig(name=name, destination=destination)
+        )
+
+    # -- access lists ---------------------------------------------------------------------
+
+    def _access_list(self, name: str, body: list[tuple[int, str]]) -> None:
+        acl = self.device.acls.setdefault(name, Acl(name=name))
+        auto_seq = 10
+        for number, raw in body:
+            line = raw.strip()
+            words = line.split()
+            try:
+                if words[0].isdigit():
+                    seq = int(words[0])
+                    words = words[1:]
+                else:
+                    seq = auto_seq
+                rule = self._acl_rule(seq, words)
+            except (IndexError, ValueError, AddressError):
+                self._invalid(number, raw, "% Invalid access-list rule")
+                continue
+            if rule is None:
+                self._invalid(number, raw, "% Invalid access-list rule")
+                continue
+            acl.add(rule)
+            auto_seq = max(auto_seq, seq) + 10
+
+    @staticmethod
+    def _acl_rule(seq: int, words: list[str]) -> Optional[AclRule]:
+        # permit|deny <ip|tcp|udp|icmp> <src> <dst> [eq N | range A B]
+        if not words or words[0] not in ("permit", "deny"):
+            return None
+        permit = words[0] == "permit"
+        proto_word = words[1]
+        protocol = None if proto_word == "ip" else PROTOCOL_NUMBERS.get(proto_word)
+        if proto_word != "ip" and protocol is None:
+            return None
+        rest = words[2:]
+
+        def take_endpoint(tokens: list[str]):
+            if not tokens:
+                raise ValueError("missing endpoint")
+            if tokens[0] == "any":
+                return None, tokens[1:]
+            if tokens[0] == "host":
+                return Prefix.parse(tokens[1] + "/32"), tokens[2:]
+            return Prefix.parse(tokens[0]), tokens[1:]
+
+        src, rest = take_endpoint(rest)
+        dst, rest = take_endpoint(rest)
+        dst_port = None
+        if rest[:1] == ["eq"]:
+            port = int(rest[1])
+            dst_port = (port, port)
+            rest = rest[2:]
+        elif rest[:1] == ["range"]:
+            dst_port = (int(rest[1]), int(rest[2]))
+            rest = rest[3:]
+        if rest:
+            return None
+        return AclRule(
+            seq=seq,
+            permit=permit,
+            protocol=protocol,
+            src=src,
+            dst=dst,
+            dst_port=dst_port,
+        )
+
+    # -- static routes / policy ------------------------------------------------------------
+
+    def _static_route(self, number: int, line: str, words: list[str]) -> None:
+        try:
+            prefix = Prefix.parse(words[2])
+        except (IndexError, AddressError):
+            self._invalid(number, line, "% Invalid prefix")
+            return
+        if len(words) < 4:
+            self._invalid(number, line, "% Missing next hop")
+            return
+        target = words[3]
+        distance = 1
+        if len(words) >= 5 and words[4].isdigit():
+            distance = int(words[4])
+        if target.lower() in ("null0", "null 0"):
+            self.device.static_routes.append(
+                StaticRouteConfig(prefix=prefix, discard=True, distance=distance)
+            )
+            return
+        try:
+            next_hop = parse_ipv4(target)
+        except AddressError:
+            self.device.static_routes.append(
+                StaticRouteConfig(
+                    prefix=prefix, interface=target, distance=distance
+                )
+            )
+            return
+        self.device.static_routes.append(
+            StaticRouteConfig(prefix=prefix, next_hop=next_hop, distance=distance)
+        )
+
+    def _prefix_list(self, number: int, line: str, words: list[str]) -> None:
+        # ip prefix-list NAME seq N permit|deny PFX [ge X] [le Y]
+        try:
+            name = words[2]
+            assert words[3] == "seq"
+            seq = int(words[4])
+            action = words[5]
+            prefix = Prefix.parse(words[6])
+        except (AssertionError, IndexError, ValueError, AddressError):
+            self._invalid(number, line, "% Invalid prefix-list")
+            return
+        ge = le = None
+        rest = words[7:]
+        while rest:
+            if rest[0] == "ge" and len(rest) >= 2:
+                ge = int(rest[1])
+                rest = rest[2:]
+            elif rest[0] == "le" and len(rest) >= 2:
+                le = int(rest[1])
+                rest = rest[2:]
+            else:
+                self._invalid(number, line, "% Invalid prefix-list suffix")
+                return
+        plist = self.device.prefix_lists.setdefault(name, PrefixList(name=name))
+        plist.add(
+            PrefixListEntry(
+                seq=seq, permit=(action == "permit"), prefix=prefix, ge=ge, le=le
+            )
+        )
+
+    def _route_map(
+        self,
+        head_number: int,
+        head_line: str,
+        words: list[str],
+        body: list[tuple[int, str]],
+    ) -> None:
+        try:
+            name = words[1]
+            action = words[2]
+            seq = int(words[3])
+        except (IndexError, ValueError):
+            self._invalid(head_number, head_line, "% Invalid route-map")
+            return
+        clause = RouteMapClause(seq=seq, permit=(action == "permit"))
+        for number, raw in body:
+            line = raw.strip()
+            parts = line.split()
+            if line.startswith("match ip address prefix-list "):
+                clause.match_prefix_list = parts[-1]
+            elif line.startswith("match community "):
+                try:
+                    clause.match_community = Community.parse(parts[-1])
+                except ValueError:
+                    self._invalid(number, raw, "% Invalid community")
+            elif line.startswith("set local-preference "):
+                clause.set_local_pref = int(parts[-1])
+            elif line.startswith("set metric "):
+                clause.set_med = int(parts[-1])
+            elif line.startswith("set community "):
+                communities = []
+                for token in parts[2:]:
+                    if token == "additive":
+                        continue
+                    try:
+                        communities.append(Community.parse(token))
+                    except ValueError:
+                        self._invalid(number, raw, "% Invalid community")
+                clause.set_communities = tuple(communities)
+            elif line.startswith("set as-path prepend "):
+                clause.set_as_path_prepend = tuple(int(t) for t in parts[3:])
+            else:
+                self._invalid(number, raw, "% Invalid input")
+        route_map = self.device.route_maps.setdefault(name, RouteMap(name=name))
+        route_map.add(clause)
+
+    # -- diagnostics ---------------------------------------------------------------------------
+
+    def _invalid(self, number: int, line: str, message: str) -> None:
+        self.diagnostics.append(
+            ConfigDiagnostic(line_number=number, line=line, message=message)
+        )
+
+
+def parse_arista_config(
+    text: str,
+) -> tuple[DeviceConfig, list[ConfigDiagnostic]]:
+    """Parse an EOS configuration document."""
+    return AristaConfigParser().parse(text)

@@ -1,0 +1,26 @@
+"""The Arista cEOS-like router OS."""
+
+from __future__ import annotations
+
+from repro.device.model import DeviceConfig
+from repro.vendors.arista.cli import AristaCli
+from repro.vendors.arista.config_parser import parse_arista_config
+from repro.vendors.base import ConfigDiagnostic, RouterOS
+
+
+class AristaEos(RouterOS):
+    """Emulated Arista EOS (container image: cEOS)."""
+
+    vendor = "arista"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._cli = AristaCli(self)
+
+    def parse_config(
+        self, text: str
+    ) -> tuple[DeviceConfig, list[ConfigDiagnostic]]:
+        return parse_arista_config(text)
+
+    def cli(self, command: str) -> str:
+        return self._cli.execute(command)

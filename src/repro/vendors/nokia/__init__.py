@@ -1,0 +1,5 @@
+"""Nokia SR Linux-like router OS emulation."""
+
+from repro.vendors.nokia.srl import NokiaSrl
+
+__all__ = ["NokiaSrl"]

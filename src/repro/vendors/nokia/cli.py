@@ -1,0 +1,119 @@
+"""Nokia SR Linux ``show`` commands (distinct output shape from EOS)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.addr import format_ipv4
+from repro.rib.route import Protocol
+
+if TYPE_CHECKING:
+    from repro.vendors.nokia.srl import NokiaSrl
+
+_PROTO_NAMES = {
+    Protocol.CONNECTED: "local",
+    Protocol.LOCAL: "host",
+    Protocol.STATIC: "static",
+    Protocol.ISIS: "isis",
+    Protocol.BGP_EXTERNAL: "bgp",
+    Protocol.BGP_INTERNAL: "bgp",
+    Protocol.RSVP_TE: "rsvp-te",
+}
+
+
+class NokiaCli:
+    """Command dispatcher for one SR Linux device."""
+    def __init__(self, router: "NokiaSrl") -> None:
+        self.router = router
+
+    def execute(self, command: str) -> str:
+        command = " ".join(command.split())
+        handlers = [
+            ("show network-instance default route-table", self.show_route_table),
+            ("show network-instance default protocols bgp neighbor", self.show_bgp),
+            ("show network-instance default protocols isis adjacency", self.show_isis_adjacency),
+            ("show network-instance default protocols isis database", self.show_isis_database),
+            ("show interface", self.show_interface),
+            ("show version", self.show_version),
+            ("info", self.show_info),
+        ]
+        for prefix, handler in handlers:
+            if command == prefix or command.startswith(prefix + " "):
+                return handler()
+        return f"Error: Unknown command: {command}"
+
+    def show_version(self) -> str:
+        return (
+            f"Hostname          : {self.router.name}\n"
+            f"Software Version  : {self.router.os_version or 'v24.3.1 (emulated)'}\n"
+            f"Chassis Type      : 7220 IXR-D2 (container)\n"
+        )
+
+    def show_route_table(self) -> str:
+        lines = [
+            "IPv4 unicast route table of network instance default",
+            "-" * 72,
+            f"{'Prefix':<22}{'Owner':<10}{'Metric':>8}  Next-hop",
+            "-" * 72,
+        ]
+        for route in sorted(
+            self.router.rib.best_routes(),
+            key=lambda r: (r.prefix.network, r.prefix.length),
+        ):
+            owner = _PROTO_NAMES.get(route.protocol, "?")
+            hops = ", ".join(str(nh) for nh in route.next_hops) or "blackhole"
+            lines.append(
+                f"{str(route.prefix):<22}{owner:<10}{route.metric:>8}  {hops}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def show_bgp(self) -> str:
+        bgp = self.router.bgp
+        if bgp is None:
+            return "Error: bgp is not configured\n"
+        lines = [
+            f"BGP neighbor summary for network-instance default",
+            f"Autonomous system {bgp.config.asn}, "
+            f"router-id {format_ipv4(bgp.router_id)}",
+            f"{'Peer':<18}{'AS':>8}{'State':<14}{'RcvdRoutes':>12}",
+        ]
+        for row in bgp.summary():
+            lines.append(
+                f"{row['neighbor']:<18}{row['remote_as']:>8}"
+                f"{row['state']:<14}{row['prefixes_received']:>12}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def show_isis_adjacency(self) -> str:
+        isis = self.router.isis
+        if isis is None:
+            return "Error: isis is not configured\n"
+        lines = [f"{'System Id':<20}{'Interface':<18}{'State':<8}"]
+        for adj in isis.adjacency_summary():
+            lines.append(f"{adj.system_id:<20}{adj.port.name:<18}{'up':<8}")
+        return "\n".join(lines) + "\n"
+
+    def show_isis_database(self) -> str:
+        isis = self.router.isis
+        if isis is None:
+            return "Error: isis is not configured\n"
+        lines = [f"{'LSP Id':<26}{'Sequence':>10}"]
+        for lsp in isis.database_summary():
+            lines.append(f"{lsp.system_id + '.00-00':<26}{lsp.sequence:>10}")
+        return "\n".join(lines) + "\n"
+
+    def show_interface(self) -> str:
+        lines = []
+        for name in sorted(self.router.ports):
+            port = self.router.ports[name]
+            state = "up" if port.is_up else "down"
+            lines.append(f"{name} is {state}")
+            if port.config.address is not None:
+                lines.append(
+                    f"  ipv4 address {format_ipv4(port.config.address)}"
+                    f"/{port.config.prefix_length}"
+                )
+        return "\n".join(lines) + "\n"
+
+    def show_info(self) -> str:
+        return self.router.config_text or "-- (no configuration)\n"

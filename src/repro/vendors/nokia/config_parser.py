@@ -1,0 +1,279 @@
+"""Nokia SR Linux configuration parser.
+
+SR Linux configuration here is the flat ``set`` form (the output of
+``info flat``): every line is ``set / <path...> <value>``. The grammar is
+completely different from EOS — which is the point: multi-vendor
+topologies exercise two independent configuration languages and two
+independent vendor behaviours, as the paper's approach requires.
+
+Supported subtrees::
+
+    set / system name host-name <name>
+    set / system grpc-server <name> ...           (management; recorded)
+    set / system gnmi-server ...                  (management; recorded)
+    set / interface <if> admin-state enable|disable
+    set / interface <if> description "<text>"
+    set / interface <if> subinterface 0 ipv4 address <a.b.c.d/len>
+    set / network-instance default protocols isis instance <tag> net <net>
+    set / network-instance default protocols isis instance <tag>
+          interface <if> [metric N] [passive true]
+    set / network-instance default protocols bgp autonomous-system <asn>
+    set / network-instance default protocols bgp router-id <ip>
+    set / network-instance default protocols bgp neighbor <ip>
+          peer-as N | update-source <if> | next-hop-self true |
+          send-community true | import-policy <rm> | export-policy <rm> |
+          admin-state disable
+    set / network-instance default protocols bgp network <prefix>
+    set / network-instance default protocols bgp redistribute connected|isis
+    set / network-instance default protocols mpls admin-state enable
+    set / network-instance default protocols rsvp refresh-interval <sec>
+    set / network-instance default protocols mpls tunnel <name>
+          destination <ip>
+    set / network-instance default static-routes route <prefix>
+          next-hop <ip>
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Optional
+
+from repro.device.interfaces import IsisInterfaceSettings
+from repro.device.model import (
+    BgpConfig,
+    BgpNeighborConfig,
+    DeviceConfig,
+    IsisConfig,
+    MplsTunnelConfig,
+    StaticRouteConfig,
+)
+from repro.net.addr import AddressError, Prefix, parse_ipv4
+from repro.vendors.base import ConfigDiagnostic
+
+
+class NokiaConfigParser:
+    """Parser for one flat-``set`` configuration document."""
+    def __init__(self) -> None:
+        self.device = DeviceConfig()
+        self.diagnostics: list[ConfigDiagnostic] = []
+
+    def parse(self, text: str) -> tuple[DeviceConfig, list[ConfigDiagnostic]]:
+        for number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith(("#", "--")):
+                continue
+            try:
+                tokens = shlex.split(line)
+            except ValueError:
+                self._invalid(number, raw, "unbalanced quoting")
+                continue
+            if tokens[:2] != ["set", "/"] and tokens[:1] != ["set"]:
+                self._invalid(number, raw, "expected 'set /' statement")
+                continue
+            path = tokens[2:] if tokens[:2] == ["set", "/"] else tokens[1:]
+            try:
+                self._apply(number, raw, path)
+            except (AddressError, IndexError, ValueError):
+                self._invalid(number, raw, "malformed value")
+        return self.device, self.diagnostics
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _apply(self, number: int, raw: str, path: list[str]) -> None:
+        if not path:
+            self._invalid(number, raw, "empty path")
+        elif path[0] == "system":
+            self._system(number, raw, path[1:])
+        elif path[0] == "interface":
+            self._interface(number, raw, path[1:])
+        elif path[:2] == ["network-instance", "default"]:
+            self._network_instance(number, raw, path[2:])
+        else:
+            self._invalid(number, raw, f"unknown subtree: {path[0]}")
+
+    def _system(self, number: int, raw: str, path: list[str]) -> None:
+        if path[:2] == ["name", "host-name"] and len(path) == 3:
+            self.device.hostname = path[2]
+        elif path and path[0] in (
+            "grpc-server",
+            "gnmi-server",
+            "tls",
+            "ssh-server",
+            "lldp",
+            "logging",
+            "aaa",
+            "ntp",
+            "snmp",
+            "management",
+        ):
+            self.device.management_services.append(" ".join(path))
+        else:
+            self._invalid(number, raw, "unknown system leaf")
+
+    def _interface(self, number: int, raw: str, path: list[str]) -> None:
+        name = path[0]
+        iface = self.device.interface(name)
+        iface.switchport = False  # SR Linux data ports are routed
+        rest = path[1:]
+        if rest[:1] == ["admin-state"]:
+            iface.shutdown = rest[1] == "disable"
+        elif rest[:1] == ["description"]:
+            iface.description = " ".join(rest[1:])
+        elif rest[:4] == ["subinterface", "0", "ipv4", "address"]:
+            address_text, _, length = rest[4].partition("/")
+            iface.address = parse_ipv4(address_text)
+            iface.prefix_length = int(length)
+        elif rest[:1] == ["mtu"]:
+            pass
+        else:
+            self._invalid(number, raw, "unknown interface leaf")
+
+    def _network_instance(self, number: int, raw: str, path: list[str]) -> None:
+        if path[:2] == ["protocols", "isis"]:
+            self._isis(number, raw, path[2:])
+        elif path[:2] == ["protocols", "bgp"]:
+            self._bgp(number, raw, path[2:])
+        elif path[:2] == ["protocols", "mpls"]:
+            self._mpls(number, raw, path[2:])
+        elif path[:2] == ["protocols", "rsvp"]:
+            self._rsvp(number, raw, path[2:])
+        elif path[:2] == ["static-routes", "route"]:
+            self._static_route(number, raw, path[2:])
+        else:
+            self._invalid(number, raw, "unknown network-instance subtree")
+
+    # -- protocols ---------------------------------------------------------------
+
+    def _isis(self, number: int, raw: str, path: list[str]) -> None:
+        if path[:1] != ["instance"] or len(path) < 3:
+            self._invalid(number, raw, "expected isis instance <tag> ...")
+            return
+        tag = path[1]
+        isis = self.device.isis or IsisConfig(tag=tag)
+        isis.tag = tag
+        self.device.isis = isis
+        rest = path[2:]
+        if rest[:1] == ["net"] and len(rest) == 2:
+            isis.net = rest[1]
+        elif rest[:1] == ["interface"] and len(rest) >= 2:
+            iface = self.device.interface(self._strip_subif(rest[1]))
+            iface.switchport = False
+            if iface.isis is None:
+                iface.isis = IsisInterfaceSettings(tag=tag)
+            iface.isis.tag = tag
+            knobs = rest[2:]
+            if not knobs:
+                return
+            if knobs[0] == "metric" and len(knobs) == 2:
+                iface.isis.metric = int(knobs[1])
+            elif knobs[0] == "passive" and len(knobs) == 2:
+                iface.isis.passive = knobs[1] == "true"
+            elif knobs[0] == "admin-state":
+                iface.isis.enabled = knobs[1] == "enable"
+            else:
+                self._invalid(number, raw, "unknown isis interface knob")
+        elif rest[:1] == ["admin-state"]:
+            pass
+        elif rest[:2] == ["ipv4-unicast", "admin-state"]:
+            isis.ipv4_unicast = rest[2] == "enable"
+        else:
+            self._invalid(number, raw, "unknown isis leaf")
+
+    @staticmethod
+    def _strip_subif(name: str) -> str:
+        base, _, _sub = name.partition(".")
+        return base
+
+    def _bgp(self, number: int, raw: str, path: list[str]) -> None:
+        if self.device.bgp is None:
+            self.device.bgp = BgpConfig(asn=0)
+        bgp = self.device.bgp
+        if path[:1] == ["autonomous-system"]:
+            bgp.asn = int(path[1])
+        elif path[:1] == ["router-id"]:
+            bgp.router_id = parse_ipv4(path[1])
+        elif path[:1] == ["neighbor"] and len(path) >= 3:
+            peer = parse_ipv4(path[1])
+            neighbor = bgp.neighbors.get(peer)
+            if neighbor is None:
+                neighbor = BgpNeighborConfig(peer_address=peer, remote_as=0)
+                bgp.neighbors[peer] = neighbor
+            knob, values = path[2], path[3:]
+            if knob == "peer-as":
+                neighbor.remote_as = int(values[0])
+            elif knob == "update-source":
+                neighbor.update_source = values[0]
+            elif knob == "next-hop-self":
+                neighbor.next_hop_self = values[0] == "true"
+            elif knob == "send-community":
+                neighbor.send_community = values[0] == "true"
+            elif knob == "import-policy":
+                neighbor.route_map_in = values[0]
+            elif knob == "export-policy":
+                neighbor.route_map_out = values[0]
+            elif knob == "admin-state":
+                neighbor.shutdown = values[0] == "disable"
+            elif knob == "route-reflector-client":
+                neighbor.route_reflector_client = values[0] == "true"
+            elif knob == "description":
+                neighbor.description = " ".join(values)
+            else:
+                self._invalid(number, raw, "unknown bgp neighbor knob")
+        elif path[:1] == ["network"]:
+            bgp.networks.append(Prefix.parse(path[1]))
+        elif path[:2] == ["redistribute", "connected"]:
+            bgp.redistribute_connected = True
+        elif path[:2] == ["redistribute", "isis"]:
+            bgp.redistribute_isis = True
+        elif path[:1] == ["admin-state"]:
+            pass
+        else:
+            self._invalid(number, raw, "unknown bgp leaf")
+
+    def _mpls(self, number: int, raw: str, path: list[str]) -> None:
+        if path[:1] == ["admin-state"]:
+            self.device.mpls.enabled = path[1] == "enable"
+        elif path[:1] == ["tunnel"] and len(path) >= 4 and path[2] == "destination":
+            self.device.mpls.enabled = True
+            self.device.mpls.traffic_eng = True
+            self.device.mpls.tunnels.append(
+                MplsTunnelConfig(name=path[1], destination=parse_ipv4(path[3]))
+            )
+        else:
+            self._invalid(number, raw, "unknown mpls leaf")
+
+    def _rsvp(self, number: int, raw: str, path: list[str]) -> None:
+        if path[:1] == ["refresh-interval"]:
+            self.device.mpls.rsvp_refresh_interval = float(path[1])
+            self.device.mpls.traffic_eng = True
+            self.device.mpls.enabled = True
+        elif path[:1] == ["admin-state"]:
+            self.device.mpls.traffic_eng = path[1] == "enable"
+            self.device.mpls.enabled = self.device.mpls.enabled or (
+                path[1] == "enable"
+            )
+        else:
+            self._invalid(number, raw, "unknown rsvp leaf")
+
+    def _static_route(self, number: int, raw: str, path: list[str]) -> None:
+        prefix = Prefix.parse(path[0])
+        if path[1:2] == ["next-hop"]:
+            self.device.static_routes.append(
+                StaticRouteConfig(prefix=prefix, next_hop=parse_ipv4(path[2]))
+            )
+        elif path[1:2] == ["blackhole"]:
+            self.device.static_routes.append(
+                StaticRouteConfig(prefix=prefix, discard=True)
+            )
+        else:
+            self._invalid(number, raw, "unknown static-route leaf")
+
+    def _invalid(self, number: int, line: str, message: str) -> None:
+        self.diagnostics.append(
+            ConfigDiagnostic(line_number=number, line=line, message=message)
+        )
+
+
+def parse_nokia_config(text: str) -> tuple[DeviceConfig, list[ConfigDiagnostic]]:
+    """Parse an SR Linux flat-``set`` configuration document."""
+    return NokiaConfigParser().parse(text)

@@ -1,0 +1,26 @@
+"""The Nokia SR Linux-like router OS."""
+
+from __future__ import annotations
+
+from repro.device.model import DeviceConfig
+from repro.vendors.base import ConfigDiagnostic, RouterOS
+from repro.vendors.nokia.cli import NokiaCli
+from repro.vendors.nokia.config_parser import parse_nokia_config
+
+
+class NokiaSrl(RouterOS):
+    """Emulated Nokia SR Linux (container image: srlinux)."""
+
+    vendor = "nokia"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._cli = NokiaCli(self)
+
+    def parse_config(
+        self, text: str
+    ) -> tuple[DeviceConfig, list[ConfigDiagnostic]]:
+        return parse_nokia_config(text)
+
+    def cli(self, command: str) -> str:
+        return self._cli.execute(command)

@@ -1,0 +1,91 @@
+"""Vendor-specific behaviours, including bugs.
+
+The paper's §2 argues that a single reference model cannot capture
+vendor-implementation behaviour — including outright bugs observed in
+production. The quirk registry is where this repo models those:
+everything here is behaviour a *reference model* would not have, but a
+vendor image (and hence the emulation) does.
+
+Quirks default to the healthy values; experiments opt into buggy
+software versions via :func:`quirks_for` with an ``os_version`` the bug
+shipped in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class VendorQuirks:
+    """Behaviour switches for one router OS build."""
+
+    # §2: "a new software version that introduced an incorrect route
+    # metric selection in iBGP".
+    ibgp_prefer_higher_igp_metric: bool = False
+    # §2: one vendor's routing process "crashed during parsing" an
+    # unusual-but-valid BGP advertisement. Sessions reset when an UPDATE
+    # carries at least this many communities.
+    crash_on_community_count: Optional[int] = None
+    # The matching sender-side behaviour: this vendor pads
+    # advertisements with this many informational communities (unusual
+    # but entirely valid).
+    community_padding: int = 0
+    # §2 RSVP-TE interplay: this build does not emit PathErr on local
+    # failures, so upstream vendors discover broken LSPs only by
+    # soft-state timeout.
+    rsvp_suppress_path_err: bool = False
+    # Vendor-default RSVP refresh interval (seconds).
+    rsvp_refresh_interval: float = 30.0
+    rsvp_cleanup_multiplier: float = 3.5
+    # Container resource footprint (per the paper: cEOS needs 0.5 vCPU
+    # and 1 GB of RAM).
+    container_cpu: float = 0.5
+    container_memory_gb: float = 1.0
+    # Router OS boot time bounds (seconds of simulated time).
+    boot_time_min: float = 60.0
+    boot_time_max: float = 180.0
+
+
+_BASE = {
+    "arista": VendorQuirks(
+        rsvp_refresh_interval=30.0,
+        container_cpu=0.5,
+        container_memory_gb=1.0,
+        boot_time_min=50.0,
+        boot_time_max=110.0,
+    ),
+    "nokia": VendorQuirks(
+        rsvp_refresh_interval=30.0,
+        rsvp_cleanup_multiplier=3.0,
+        container_cpu=0.5,
+        container_memory_gb=2.0,
+        boot_time_min=40.0,
+        boot_time_max=90.0,
+    ),
+}
+
+# Known-buggy builds, keyed by (vendor, os_version).
+_BUGGY_BUILDS = {
+    # The iBGP metric-selection regression.
+    ("arista", "4.29.1F-metric-bug"): {"ibgp_prefer_higher_igp_metric": True},
+    # The parser that crashes on unusual advertisements.
+    ("nokia", "23.10-parsecrash"): {"crash_on_community_count": 12},
+    # The peer whose advertisements are unusual but valid.
+    ("arista", "4.31.2F-chatty"): {"community_padding": 16},
+    # The build that never learned to send PathErr.
+    ("nokia", "22.6-rsvp-quiet"): {
+        "rsvp_suppress_path_err": True,
+        "rsvp_refresh_interval": 30.0,
+    },
+}
+
+
+def quirks_for(vendor: str, os_version: str = "") -> VendorQuirks:
+    """The quirk set for a given vendor + software build."""
+    base = _BASE.get(vendor, VendorQuirks())
+    overrides = _BUGGY_BUILDS.get((vendor, os_version))
+    if overrides:
+        return replace(base, **overrides)
+    return base

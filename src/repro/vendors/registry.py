@@ -1,0 +1,48 @@
+"""Vendor registry: vendor name -> router OS factory."""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from repro.protocols.timers import TimerProfile, PRODUCTION_TIMERS
+from repro.protocols.transport import ControlTransport
+from repro.sim.kernel import SimKernel
+from repro.vendors.arista.eos import AristaEos
+from repro.vendors.base import RouterOS, VendorError
+from repro.vendors.nokia.srl import NokiaSrl
+from repro.vendors.quirks import quirks_for
+
+_REGISTRY: dict[str, Type[RouterOS]] = {
+    "arista": AristaEos,
+    "nokia": NokiaSrl,
+}
+
+
+def available_vendors() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def create_router(
+    vendor: str,
+    name: str,
+    kernel: SimKernel,
+    transport: ControlTransport,
+    *,
+    os_version: str = "",
+    timers: TimerProfile = PRODUCTION_TIMERS,
+) -> RouterOS:
+    """Instantiate the router OS for ``vendor`` (KNE's node factory)."""
+    cls = _REGISTRY.get(vendor)
+    if cls is None:
+        raise VendorError(
+            f"no virtual image available for vendor {vendor!r} "
+            f"(available: {', '.join(available_vendors())})"
+        )
+    return cls(
+        name,
+        kernel,
+        transport,
+        os_version=os_version,
+        timers=timers,
+        quirks=quirks_for(vendor, os_version),
+    )

@@ -1,0 +1,35 @@
+"""Dataplane verification engine.
+
+Exhaustive analyses over :class:`~repro.dataplane.model.Dataplane`
+objects: reachability, traceroute, loop/blackhole detection, and
+differential reachability between two snapshots. The engine is backend-
+agnostic by construction — it operates on extracted AFT state, never on
+the emulation — so the same queries run against model-free (emulated)
+and model-based (simulated) dataplanes, which is how the paper compares
+the two.
+"""
+
+from repro.verify.reachability import (
+    ReachabilityAnalysis,
+    ReachabilityRow,
+    pairwise_matrix,
+)
+from repro.verify.traceroute import traceroute
+from repro.verify.differential import DifferentialRow, differential_reachability
+from repro.verify.invariants import (
+    detect_blackholes,
+    detect_loops,
+    verify_pairwise_reachability,
+)
+
+__all__ = [
+    "DifferentialRow",
+    "ReachabilityAnalysis",
+    "ReachabilityRow",
+    "detect_blackholes",
+    "detect_loops",
+    "differential_reachability",
+    "pairwise_matrix",
+    "traceroute",
+    "verify_pairwise_reachability",
+]

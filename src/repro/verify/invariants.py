@@ -1,0 +1,64 @@
+"""Network-wide invariant checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataplane.forwarding import Disposition
+from repro.dataplane.model import Dataplane
+from repro.verify.reachability import (
+    ReachabilityAnalysis,
+    ReachabilityRow,
+    pairwise_matrix,
+)
+
+
+def detect_loops(dataplane: Dataplane) -> list[ReachabilityRow]:
+    """Every (ingress, destination set) that forwards in a cycle."""
+    analysis = ReachabilityAnalysis(dataplane)
+    return [
+        row
+        for row in analysis.analyze()
+        if Disposition.LOOP in row.dispositions
+    ]
+
+
+def detect_blackholes(dataplane: Dataplane) -> list[ReachabilityRow]:
+    """Destinations dropped (no route / null-routed) from some ingress.
+
+    Restricted to destinations some device in the network actually owns
+    — unowned space legitimately has no route at the edge.
+    """
+    owned = set(dataplane.address_owner)
+    analysis = ReachabilityAnalysis(dataplane)
+    rows = []
+    for row in analysis.analyze():
+        if not (
+            {Disposition.NO_ROUTE, Disposition.NULL_ROUTED} & row.dispositions
+        ):
+            continue
+        if any(address in row.dst_set for address in owned):
+            rows.append(row)
+    return rows
+
+
+@dataclass(frozen=True)
+class PairwiseViolation:
+    """A (src, dst) device pair that cannot communicate."""
+    src: str
+    dst: str
+
+    def __str__(self) -> str:
+        return f"{self.src} cannot reach {self.dst}"
+
+
+def verify_pairwise_reachability(
+    dataplane: Dataplane,
+) -> list[PairwiseViolation]:
+    """Check the all-pairs invariant; returns the violating pairs."""
+    matrix = pairwise_matrix(dataplane)
+    return [
+        PairwiseViolation(src, dst)
+        for (src, dst), reachable in sorted(matrix.items())
+        if not reachable
+    ]

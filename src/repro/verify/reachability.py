@@ -1,0 +1,135 @@
+"""Exhaustive reachability analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.dataplane.forwarding import (
+    Disposition,
+    ForwardingWalk,
+    Trace,
+    WalkResult,
+    dst_atoms,
+)
+from repro.dataplane.model import Dataplane
+from repro.net.addr import format_ipv4
+from repro.net.headerspace import HeaderSpace
+from repro.net.intervals import IntervalSet
+
+
+@dataclass(frozen=True)
+class ReachabilityRow:
+    """One (ingress, destination set) result of a reachability query."""
+
+    ingress: str
+    dst_set: IntervalSet
+    dispositions: frozenset[Disposition]
+    sample_destination: int
+    sample_traces: tuple[Trace, ...]
+
+    def __str__(self) -> str:
+        kinds = ",".join(sorted(d.value for d in self.dispositions))
+        return (
+            f"{self.ingress} -> {format_ipv4(self.sample_destination)} "
+            f"(+{len(self.dst_set) - 1} more): {kinds}"
+        )
+
+
+class ReachabilityAnalysis:
+    """Precomputes destination atoms for one dataplane and answers
+    exhaustive reachability queries over them."""
+
+    def __init__(self, dataplane: Dataplane) -> None:
+        self.dataplane = dataplane
+        self.walker = ForwardingWalk(dataplane)
+        self.atoms = dst_atoms(dataplane)
+
+    def analyze(
+        self,
+        ingress_nodes: Optional[Iterable[str]] = None,
+        dst_space: Optional[HeaderSpace] = None,
+    ) -> list[ReachabilityRow]:
+        """Classify the (restricted) destination space from each ingress.
+
+        Atoms with identical disposition sets are merged per ingress, so
+        the result is a compact exact partition of the query space.
+        """
+        nodes = list(ingress_nodes or self.dataplane.node_names())
+        restriction = dst_space.dst_values() if dst_space is not None else None
+        rows: list[ReachabilityRow] = []
+        for ingress in nodes:
+            merged: dict[frozenset[Disposition], list] = {}
+            for atom in self.atoms:
+                piece = atom if restriction is None else (atom & restriction)
+                if piece.is_empty():
+                    continue
+                result = self.walker.walk(ingress, piece.sample())
+                bucket = merged.setdefault(result.dispositions, [piece, result])
+                if bucket[0] is not piece:
+                    bucket[0] = bucket[0] | piece
+            for dispositions, (dst_set, result) in merged.items():
+                rows.append(
+                    ReachabilityRow(
+                        ingress=ingress,
+                        dst_set=dst_set,
+                        dispositions=dispositions,
+                        sample_destination=result.destination,
+                        sample_traces=result.traces,
+                    )
+                )
+        return rows
+
+    def walk(self, ingress: str, destination: int) -> WalkResult:
+        return self.walker.walk(ingress, destination)
+
+    def failures(
+        self, ingress_nodes: Optional[Iterable[str]] = None
+    ) -> list[ReachabilityRow]:
+        """Rows whose disposition set contains any failure."""
+        return [
+            row
+            for row in self.analyze(ingress_nodes)
+            if any(not d.is_success for d in row.dispositions)
+        ]
+
+
+def verify_pairwise_reachability_text(dataplane: Dataplane) -> str:
+    """Human-readable all-pairs verdict (for examples and CLI output)."""
+    matrix = pairwise_matrix(dataplane)
+    failures = [pair for pair, ok in sorted(matrix.items()) if not ok]
+    if not failures:
+        return f"PASS: all {len(matrix)} device pairs reachable"
+    lines = [f"FAIL: {len(failures)} of {len(matrix)} device pairs unreachable"]
+    lines.extend(f"  {src} cannot reach {dst}" for src, dst in failures)
+    return "\n".join(lines)
+
+
+def pairwise_matrix(dataplane: Dataplane) -> dict[tuple[str, str], bool]:
+    """Full-mesh device reachability by owned addresses.
+
+    ``matrix[a, b]`` is True when *every* address owned by ``b`` is
+    ACCEPTED at ``b`` for packets entering at ``a`` (and a has at least
+    one path there).
+    """
+    walker = ForwardingWalk(dataplane)
+    matrix: dict[tuple[str, str], bool] = {}
+    names = dataplane.node_names()
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            addresses = sorted(dataplane.devices[dst].local_addresses)
+            ok = bool(addresses)
+            for address in addresses:
+                result = walker.walk(src, address)
+                accepted_at_dst = all(
+                    t.disposition is Disposition.ACCEPTED
+                    and t.hops[-1].device == dst
+                    for t in result.traces
+                )
+                if not result.traces or not accepted_at_dst:
+                    ok = False
+                    break
+            matrix[(src, dst)] = ok
+    return matrix

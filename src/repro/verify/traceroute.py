@@ -1,0 +1,22 @@
+"""Virtual traceroute over a dataplane snapshot."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.dataplane.forwarding import ForwardingWalk, WalkResult
+from repro.dataplane.model import Dataplane
+from repro.net.addr import parse_ipv4
+
+
+def traceroute(
+    dataplane: Dataplane, ingress: str, destination: Union[str, int]
+) -> WalkResult:
+    """Trace one concrete destination from ``ingress``.
+
+    Unlike a live traceroute this is exact and side-effect free: it
+    follows the extracted FIBs, enumerating every ECMP branch.
+    """
+    if isinstance(destination, str):
+        destination = parse_ipv4(destination)
+    return ForwardingWalk(dataplane).walk(ingress, destination)

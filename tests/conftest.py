@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Expensive emulation runs (full Fig. 2 / Fig. 3 pipelines) are
+session-scoped: many tests assert different properties of the same
+converged snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import ScenarioContext
+from repro.core.pipeline import ModelFreeBackend, NativeBatfishBackend
+from repro.corpus.fig2 import fig2_scenario
+from repro.corpus.fig3 import fig3_scenario
+from repro.protocols.timers import FAST_TIMERS
+
+
+@pytest.fixture(scope="session")
+def fig3():
+    return fig3_scenario()
+
+
+@pytest.fixture(scope="session")
+def fig3_emulated(fig3):
+    backend = ModelFreeBackend(fig3.topology, timers=FAST_TIMERS,
+                               quiet_period=5.0)
+    snapshot = backend.run(snapshot_name="fig3-emulated")
+    return backend, snapshot
+
+
+@pytest.fixture(scope="session")
+def fig3_model(fig3):
+    backend = NativeBatfishBackend(fig3.topology)
+    return backend, backend.run(snapshot_name="fig3-model")
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    return fig2_scenario()
+
+
+@pytest.fixture(scope="session")
+def fig2_snapshots(fig2):
+    healthy_backend = ModelFreeBackend(
+        fig2.topology, timers=FAST_TIMERS, quiet_period=5.0
+    )
+    healthy = healthy_backend.run(snapshot_name="fig2-healthy")
+    buggy_backend = ModelFreeBackend(
+        fig2.buggy_topology(), timers=FAST_TIMERS, quiet_period=5.0
+    )
+    buggy = buggy_backend.run(snapshot_name="fig2-buggy")
+    return healthy, buggy
+
+
+@pytest.fixture()
+def fast_context():
+    return ScenarioContext()

@@ -1,0 +1,389 @@
+"""ACL tests: algebra, parsing, extraction, and exact verification."""
+
+import pytest
+
+from repro.device.acl import Acl, AclRule
+from repro.dataplane.forwarding import Disposition, ForwardingWalk
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.headerspace import Field, HeaderSpace, Packet
+from repro.net.intervals import IntervalSet
+from repro.vendors.arista.config_parser import parse_arista_config
+
+from tests.helpers import isis_config, mini_net
+
+
+def rule(seq, permit, **kwargs):
+    return AclRule(seq=seq, permit=permit, **kwargs)
+
+
+class TestAclAlgebra:
+    def test_implicit_deny(self):
+        acl = Acl("EMPTY")
+        assert acl.permit_space().is_empty()
+        assert not acl.permits_packet(Packet(dst_ip=0))
+
+    def test_permit_any(self):
+        acl = Acl("ALL")
+        acl.add(rule(10, True))
+        assert acl.permit_space().equivalent(HeaderSpace.full())
+
+    def test_first_match_deny_shadows_permit(self):
+        acl = Acl("A")
+        acl.add(rule(10, False, src=Prefix.parse("10.0.0.0/8")))
+        acl.add(rule(20, True))
+        space = acl.permit_space()
+        assert not space.contains_packet(
+            Packet(dst_ip=0, src_ip=parse_ipv4("10.1.1.1"))
+        )
+        assert space.contains_packet(
+            Packet(dst_ip=0, src_ip=parse_ipv4("11.0.0.1"))
+        )
+
+    def test_protocol_and_port_match(self):
+        acl = Acl("WEB")
+        acl.add(rule(10, True, protocol=6, dst_port=(80, 80)))
+        space = acl.permit_space()
+        assert space.contains_packet(Packet(dst_ip=0, ip_proto=6, dst_port=80))
+        assert not space.contains_packet(
+            Packet(dst_ip=0, ip_proto=17, dst_port=80)
+        )
+        assert not space.contains_packet(
+            Packet(dst_ip=0, ip_proto=6, dst_port=81)
+        )
+
+    def test_permits_packet_matches_space(self):
+        acl = Acl("MIX")
+        acl.add(rule(10, False, protocol=6, dst_port=(22, 22)))
+        acl.add(rule(20, True, src=Prefix.parse("192.168.0.0/16")))
+        for packet in (
+            Packet(dst_ip=1, src_ip=parse_ipv4("192.168.1.1"), ip_proto=6,
+                   dst_port=22),
+            Packet(dst_ip=1, src_ip=parse_ipv4("192.168.1.1"), dst_port=443),
+            Packet(dst_ip=1, src_ip=parse_ipv4("8.8.8.8")),
+        ):
+            assert acl.permits_packet(packet) == acl.permit_space(
+            ).contains_packet(packet)
+
+
+class TestAclParsing:
+    CONFIG = """\
+ip access-list EDGE-IN
+   10 deny tcp any any eq 22
+   20 permit ip 10.0.0.0/8 any
+   30 deny udp host 192.0.2.1 10.0.0.0/8 range 5000 6000
+   permit ip any any
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.1/31
+   ip access-group EDGE-IN in
+"""
+
+    def test_rules_parsed(self):
+        device, diagnostics = parse_arista_config(self.CONFIG)
+        assert diagnostics == []
+        acl = device.acls["EDGE-IN"]
+        assert [r.seq for r in acl.rules] == [10, 20, 30, 40]
+        assert acl.rules[0].protocol == 6
+        assert acl.rules[0].dst_port == (22, 22)
+        assert acl.rules[2].src == Prefix.parse("192.0.2.1/32")
+        assert acl.rules[2].dst_port == (5000, 6000)
+
+    def test_binding_parsed(self):
+        device, _ = parse_arista_config(self.CONFIG)
+        assert device.interfaces["Ethernet1"].acl_in == "EDGE-IN"
+
+    def test_bad_rule_diagnosed(self):
+        _, diagnostics = parse_arista_config(
+            "ip access-list X\n   10 permit banana any any\n"
+        )
+        assert diagnostics
+
+
+def acl_net():
+    """r1 -- r2; r2's inbound ACL drops SSH and one /16 of sources."""
+    r1 = isis_config("r1", 1, "2.2.2.1", [("Ethernet1", "10.0.0.0/31")])
+    r2 = isis_config("r2", 2, "2.2.2.2", [("Ethernet1", "10.0.0.1/31)")])
+    # isis_config can't express ACLs; write r2 explicitly.
+    r2 = """\
+hostname r2
+ip routing
+router isis default
+   net 49.0001.0000.0000.0002.00
+   address-family ipv4 unicast
+ip access-list PROTECT
+   10 deny tcp any any eq 22
+   20 deny ip 172.16.0.0/16 any
+   30 permit ip any any
+interface Loopback0
+   ip address 2.2.2.2/32
+   isis enable default
+   isis passive
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.1/31
+   isis enable default
+   ip access-group PROTECT in
+"""
+    net = mini_net(
+        {"r1": r1, "r2": r2}, [("r1", "Ethernet1", "r2", "Ethernet1")]
+    )
+    net.converge()
+    return net
+
+
+class TestAclEndToEnd:
+    @pytest.fixture(scope="class")
+    def dataplane(self):
+        from repro.gnmi.server import dump_afts
+        from repro.dataplane.model import Dataplane
+
+        net = acl_net()
+        return Dataplane.from_afts(dump_afts(net))
+
+    def test_acl_survives_gnmi_extraction(self, dataplane):
+        device = dataplane.devices["r2"]
+        assert "PROTECT" in device.acls
+        assert device.ingress_acl("Ethernet1") is not None
+
+    def test_acl_roundtrips_through_json(self):
+        import json
+        from repro.gnmi.aft import AftSnapshot
+        from repro.gnmi.server import dump_afts
+
+        net = acl_net()
+        snapshot = dump_afts(net)["r2"]
+        restored = AftSnapshot.from_dict(
+            json.loads(json.dumps(snapshot.to_dict()))
+        )
+        assert restored.acls == snapshot.acls
+        bindings = {i.name: i.acl_in for i in restored.interfaces}
+        assert bindings["Ethernet1"] == "PROTECT"
+
+    def test_walk_splits_traffic_exactly(self, dataplane):
+        walk = ForwardingWalk(dataplane)
+        result = walk.walk("r1", parse_ipv4("2.2.2.2"))
+        assert result.dispositions == {
+            Disposition.ACCEPTED,
+            Disposition.DENIED_IN,
+        }
+        spaces = result.spaces_by_disposition()
+        denied = spaces[Disposition.DENIED_IN]
+        accepted = spaces[Disposition.ACCEPTED]
+        # SSH is denied; HTTP from a clean source is accepted.
+        ssh = Packet(dst_ip=parse_ipv4("2.2.2.2"), ip_proto=6, dst_port=22)
+        http = Packet(dst_ip=parse_ipv4("2.2.2.2"), ip_proto=6, dst_port=80,
+                      src_ip=parse_ipv4("8.8.8.8"))
+        bad_src = Packet(dst_ip=parse_ipv4("2.2.2.2"),
+                         src_ip=parse_ipv4("172.16.5.5"), dst_port=80)
+        assert denied.contains_packet(ssh)
+        assert accepted.contains_packet(http)
+        assert denied.contains_packet(bad_src)
+        assert not accepted.contains_packet(ssh)
+        # The split is a partition of the queried space (all traffic to
+        # the queried destination address).
+        assert (denied & accepted).is_empty()
+        queried = HeaderSpace.dst_set(
+            IntervalSet.of(parse_ipv4("2.2.2.2"))
+        )
+        assert (denied | accepted).equivalent(queried)
+
+    def test_denied_trace_ends_at_the_acl_device(self, dataplane):
+        walk = ForwardingWalk(dataplane)
+        result = walk.walk("r1", parse_ipv4("2.2.2.2"))
+        denied_trace = next(
+            t for t in result.traces if t.disposition is Disposition.DENIED_IN
+        )
+        assert denied_trace.hops[-1].device == "r2"
+        packet = denied_trace.sample_packet()
+        assert packet is not None
+
+    def test_differential_detects_acl_introduction(self):
+        """Exactness check: the no-ACL and ACL dataplanes differ only in
+        the denied slices, and the differential engine reports it even
+        though the disposition *sets* at coarse dst granularity also
+        change."""
+        from repro.gnmi.server import dump_afts
+        from repro.dataplane.model import Dataplane
+        from repro.verify.differential import differential_reachability
+
+        with_acl = Dataplane.from_afts(dump_afts(acl_net()))
+        open_r2 = """\
+hostname r2
+ip routing
+router isis default
+   net 49.0001.0000.0000.0002.00
+   address-family ipv4 unicast
+interface Loopback0
+   ip address 2.2.2.2/32
+   isis enable default
+   isis passive
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.1/31
+   isis enable default
+"""
+        r1 = isis_config("r1", 1, "2.2.2.1", [("Ethernet1", "10.0.0.0/31")])
+        net = mini_net(
+            {"r1": r1, "r2": open_r2},
+            [("r1", "Ethernet1", "r2", "Ethernet1")],
+        )
+        net.converge()
+        without_acl = Dataplane.from_afts(dump_afts(net))
+        rows = differential_reachability(without_acl, with_acl)
+        regressions = [r for r in rows if r.regressed]
+        assert regressions
+        assert any(
+            Disposition.DENIED_IN in r.snapshot_dispositions
+            for r in regressions
+        )
+
+    def test_egress_acl(self):
+        """An outbound ACL on r1's uplink drops traffic before the wire."""
+        r1 = """\
+hostname r1
+ip routing
+router isis default
+   net 49.0001.0000.0000.0001.00
+   address-family ipv4 unicast
+ip access-list NO-TELNET
+   10 deny tcp any any eq 23
+   20 permit ip any any
+interface Loopback0
+   ip address 2.2.2.1/32
+   isis enable default
+   isis passive
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+   isis enable default
+   ip access-group NO-TELNET out
+"""
+        r2 = isis_config("r2", 2, "2.2.2.2", [("Ethernet1", "10.0.0.1/31")])
+        net = mini_net(
+            {"r1": r1, "r2": r2}, [("r1", "Ethernet1", "r2", "Ethernet1")]
+        )
+        net.converge()
+        from repro.gnmi.server import dump_afts
+        from repro.dataplane.model import Dataplane
+
+        dataplane = Dataplane.from_afts(dump_afts(net))
+        result = ForwardingWalk(dataplane).walk("r1", parse_ipv4("2.2.2.2"))
+        spaces = result.spaces_by_disposition()
+        telnet = Packet(dst_ip=parse_ipv4("2.2.2.2"), ip_proto=6, dst_port=23)
+        assert spaces[Disposition.DENIED_OUT].contains_packet(telnet)
+        assert not spaces[Disposition.ACCEPTED].contains_packet(telnet)
+
+
+class TestFilterQuestions:
+    @pytest.fixture(scope="class")
+    def session(self):
+        from repro.core.snapshot import Snapshot
+        from repro.gnmi.server import dump_afts
+        from repro.pybf.session import Session
+
+        net = acl_net()
+        snapshot = Snapshot(name="acl", afts=dump_afts(net))
+        bf = Session()
+        bf.init_snapshot(snapshot, name="acl")
+        return bf
+
+    def test_search_filters_permit(self, session):
+        answer = session.q.searchFilters(
+            nodes="r2", filters="PROTECT", action="permit"
+        ).answer()
+        rows = answer.frame().rows
+        assert len(rows) == 1
+        assert rows[0]["Action"] == "PERMIT"
+        assert rows[0]["Flow"]
+
+    def test_search_filters_deny(self, session):
+        answer = session.q.searchFilters(
+            nodes="r2", action="deny"
+        ).answer()
+        assert len(answer) == 1
+
+    def test_no_unreachable_lines_in_clean_acl(self, session):
+        answer = session.q.filterLineReachability(nodes="r2").answer()
+        assert len(answer) == 0
+
+    def test_shadowed_rule_detected(self):
+        from repro.core.snapshot import Snapshot
+        from repro.gnmi.server import dump_afts
+        from repro.pybf.session import Session
+
+        r1 = isis_config("r1", 1, "2.2.2.1", [("Ethernet1", "10.0.0.0/31")])
+        shadowed_r2 = """\
+hostname r2
+ip routing
+ip access-list SLOPPY
+   10 permit ip 10.0.0.0/8 any
+   20 deny tcp 10.1.0.0/16 any eq 22
+   30 permit ip any any
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.1/31
+   ip access-group SLOPPY in
+"""
+        net = mini_net(
+            {"r1": r1, "r2": shadowed_r2},
+            [("r1", "Ethernet1", "r2", "Ethernet1")],
+        )
+        net.converge()
+        bf = Session()
+        bf.init_snapshot(
+            Snapshot(name="s", afts=dump_afts(net)), name="s"
+        )
+        answer = bf.q.filterLineReachability().answer()
+        rows = answer.frame().rows
+        # Rule 20 is fully shadowed by rule 10 (10.1/16 ⊂ 10/8).
+        assert len(rows) == 1
+        assert rows[0]["Sequence"] == 20
+        assert "deny tcp" in rows[0]["Unreachable_Line"]
+
+
+class TestAclProperties:
+    def test_permit_space_equals_first_match_on_random_packets(self):
+        from hypothesis import given, settings, strategies as st
+        from repro.net.addr import MAX_IPV4
+
+        @st.composite
+        def rules(draw):
+            kwargs = {}
+            if draw(st.booleans()):
+                kwargs["protocol"] = draw(st.sampled_from([1, 6, 17]))
+            if draw(st.booleans()):
+                length = draw(st.integers(0, 32))
+                kwargs["src"] = Prefix.containing(
+                    draw(st.integers(0, MAX_IPV4)), length
+                )
+            if draw(st.booleans()):
+                lo = draw(st.integers(0, 65535))
+                hi = draw(st.integers(lo, 65535))
+                kwargs["dst_port"] = (lo, hi)
+            return AclRule(
+                seq=draw(st.integers(1, 1000)),
+                permit=draw(st.booleans()),
+                **kwargs,
+            )
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            st.lists(rules(), max_size=6),
+            st.integers(0, MAX_IPV4),
+            st.sampled_from([1, 6, 17, 89]),
+            st.integers(0, 65535),
+        )
+        def check(rule_list, src_ip, proto, dst_port):
+            acl = Acl("P")
+            seen = set()
+            for r in rule_list:
+                if r.seq not in seen:
+                    seen.add(r.seq)
+                    acl.add(r)
+            packet = Packet(
+                dst_ip=0, src_ip=src_ip, ip_proto=proto, dst_port=dst_port
+            )
+            assert acl.permits_packet(packet) == acl.permit_space(
+            ).contains_packet(packet)
+
+        check()

@@ -1,0 +1,238 @@
+"""Model-based baseline tests: partial parser and IBDP-style model."""
+
+import pytest
+
+from repro.batfish_model.ibdp import run_model
+from repro.batfish_model.issues import FIXED_ASSUMPTIONS, ModelAssumptions
+from repro.batfish_model.parser import parse_with_model
+from repro.corpus.fig3 import R1_CONFIG, R2_CONFIG, R3_CONFIG
+from repro.net.addr import Prefix, parse_ipv4
+from repro.verify.reachability import pairwise_matrix
+
+
+class TestPartialParser:
+    def test_counts_total_and_recognized(self):
+        result = parse_with_model("hostname r1\nip routing\n")
+        assert result.total_lines == 2
+        assert result.recognized_lines == 2
+        assert result.unrecognized_count == 0
+
+    def test_daemon_stanza_unrecognized_with_body(self):
+        result = parse_with_model(
+            "daemon PowerManager\n   exec /usr/bin/PowerManager\n"
+            "   no shutdown\n"
+        )
+        assert result.unrecognized_count == 3
+
+    def test_management_stanza_unrecognized(self):
+        result = parse_with_model(
+            "management api gnmi\n   transport grpc default\n"
+        )
+        assert result.unrecognized_count == 2
+
+    def test_mpls_unrecognized(self):
+        result = parse_with_model(
+            "mpls ip\nrouter traffic-engineering\n   rsvp\n"
+        )
+        assert result.unrecognized_count == 3
+
+    def test_known_operational_lines_recognized(self):
+        result = parse_with_model(
+            "ntp server 10.0.0.1\nsnmp-server community public\n"
+        )
+        assert result.unrecognized_count == 0
+
+    def test_comments_and_blanks_not_counted(self):
+        result = parse_with_model("! comment\n\nhostname r1\n")
+        assert result.total_lines == 1
+
+    def test_coverage_fraction(self):
+        result = parse_with_model("hostname r1\nmpls ip\n")
+        assert result.coverage == 0.5
+
+
+class TestModelIssue1:
+    """Fig. 3 issue #1: order-sensitive switchport assumption."""
+
+    def test_address_before_no_switchport_silently_dropped(self):
+        result = parse_with_model(
+            "interface Ethernet2\n"
+            "   ip address 100.64.0.1/31\n"
+            "   no switchport\n"
+        )
+        iface = result.device.interfaces["Ethernet2"]
+        assert iface.address is None  # the dangerous silent drop
+        # And crucially: the line was counted as recognized.
+        assert result.unrecognized_count == 0
+
+    def test_conventional_order_works(self):
+        result = parse_with_model(
+            "interface Ethernet2\n"
+            "   no switchport\n"
+            "   ip address 100.64.0.1/31\n"
+        )
+        iface = result.device.interfaces["Ethernet2"]
+        assert iface.address == parse_ipv4("100.64.0.1")
+
+    def test_fixed_assumptions_accept_either_order(self):
+        result = parse_with_model(
+            "interface Ethernet2\n"
+            "   ip address 100.64.0.1/31\n"
+            "   no switchport\n",
+            FIXED_ASSUMPTIONS,
+        )
+        assert result.device.interfaces["Ethernet2"].address is not None
+
+
+class TestModelIssue2:
+    """Fig. 3 issue #2: `isis enable` rejected as invalid syntax."""
+
+    def test_rejected_without_active_address(self):
+        result = parse_with_model(
+            "interface Ethernet2\n"
+            "   ip address 100.64.0.1/31\n"
+            "   no switchport\n"
+            "   isis enable default\n"
+        )
+        assert result.device.interfaces["Ethernet2"].isis is None
+        assert any(
+            "invalid syntax" in u.reason for u in result.unrecognized
+        )
+
+    def test_accepted_with_active_address(self):
+        result = parse_with_model(
+            "interface Loopback0\n"
+            "   ip address 2.2.2.1/32\n"
+            "   isis enable default\n"
+        )
+        assert result.device.interfaces["Loopback0"].isis is not None
+
+
+class TestIbdpModel:
+    def configs(self):
+        return {"r1": R1_CONFIG, "r2": R2_CONFIG, "r3": R3_CONFIG}
+
+    def test_fig3_model_isolates_r1(self):
+        run = run_model(self.configs())
+        matrix = pairwise_matrix(run.dataplane)
+        # The paper's observation: model drops R2 -> R1.
+        assert matrix[("r2", "r1")] is False
+        # R2 <-> R3 keep working in the model.
+        assert matrix[("r2", "r3")] is True
+        assert matrix[("r3", "r2")] is True
+
+    def test_fig3_fixed_assumptions_full_mesh(self):
+        run = run_model(self.configs(), FIXED_ASSUMPTIONS)
+        matrix = pairwise_matrix(run.dataplane)
+        assert all(matrix.values())
+
+    def test_unrecognized_accounting_exposed(self):
+        run = run_model(self.configs())
+        counts = run.unrecognized_by_device()
+        assert counts["r1"] == 1  # the isis enable on the IP-less iface
+        assert counts["r2"] == 0
+
+    def test_snapshots_same_format_as_emulation(self):
+        run = run_model(self.configs())
+        snap = run.snapshots["r2"]
+        data = snap.to_dict()
+        assert "network-instances" in data
+        assert any(
+            e["state"]["entry-type"] == "receive"
+            for e in data["network-instances"]["network-instance"][0]["afts"][
+                "ipv4-unicast"
+            ]["ipv4-entry"]
+        )
+
+    def test_isis_metrics_in_model(self):
+        run = run_model(self.configs(), FIXED_ASSUMPTIONS)
+        # r3 reaches r1's loopback at 2 links + prefix metric = 30.
+        # (The model and the emulation must agree on metric semantics.)
+        dataplane = run.dataplane
+        entry = dataplane.devices["r3"].lookup(parse_ipv4("2.2.2.1"))
+        assert entry is not None and entry.entry_type == "forward"
+
+
+class TestIbdpBgp:
+    R_A = """\
+hostname a
+ip routing
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+router bgp 65001
+   router-id 1.1.1.1
+   neighbor 10.0.0.1 remote-as 65002
+   network 10.0.0.0/31
+interface Loopback0
+   ip address 1.1.1.1/32
+"""
+    R_B = """\
+hostname b
+ip routing
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.1/31
+interface Loopback0
+   ip address 2.2.2.2/32
+router bgp 65002
+   router-id 2.2.2.2
+   neighbor 10.0.0.0 remote-as 65001
+   network 2.2.2.2/32
+"""
+
+    def test_ebgp_route_computed(self):
+        run = run_model({"a": self.R_A, "b": self.R_B})
+        entry = run.dataplane.devices["a"].lookup(parse_ipv4("2.2.2.2"))
+        assert entry is not None and entry.entry_type == "forward"
+
+    def test_network_statement_requires_rib_route(self):
+        config = self.R_B.replace("network 2.2.2.2/32", "network 9.9.9.9/32")
+        run = run_model({"a": self.R_A, "b": config})
+        assert run.dataplane.devices["a"].lookup(parse_ipv4("9.9.9.9")) is None
+
+    def test_session_requires_both_sides(self):
+        one_sided = self.R_B.replace(
+            "   neighbor 10.0.0.0 remote-as 65001\n", ""
+        )
+        run = run_model({"a": self.R_A, "b": one_sided})
+        assert run.dataplane.devices["a"].lookup(parse_ipv4("2.2.2.2")) is None
+
+    def test_as_mismatch_no_session(self):
+        wrong = self.R_A.replace("remote-as 65002", "remote-as 65077")
+        run = run_model({"a": wrong, "b": self.R_B})
+        assert run.dataplane.devices["a"].lookup(parse_ipv4("2.2.2.2")) is None
+
+
+class TestModelAcls:
+    CONFIG = """\
+hostname a
+ip routing
+ip access-list GUARD
+   10 deny tcp any any eq 22
+   20 permit ip any any
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+   ip access-group GUARD in
+"""
+
+    def test_model_parses_acls(self):
+        result = parse_with_model(self.CONFIG)
+        assert result.unrecognized_count == 0
+        assert "GUARD" in result.device.acls
+        assert result.device.interfaces["Ethernet1"].acl_in == "GUARD"
+
+    def test_model_exports_acls_in_snapshot(self):
+        run = run_model({"a": self.CONFIG})
+        snapshot = run.snapshots["a"]
+        assert "GUARD" in snapshot.acls
+        iface = next(i for i in snapshot.interfaces if i.name == "Ethernet1")
+        assert iface.acl_in == "GUARD"
+
+    def test_unsupported_rule_counted(self):
+        config = self.CONFIG.replace(
+            "10 deny tcp any any eq 22", "10 deny gre any any"
+        )
+        result = parse_with_model(config)
+        assert result.unrecognized_count == 1

@@ -1,0 +1,93 @@
+"""CLI tests (via the main() entry point, capturing stdout)."""
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.fig3 import fig3_scenario
+from repro.topo.parser import format_topology
+
+
+@pytest.fixture()
+def topology_dir(tmp_path):
+    scenario = fig3_scenario()
+    for name, config in scenario.configs.items():
+        (tmp_path / f"{name}.cfg").write_text(config)
+    text = format_topology(scenario.topology)
+    # Reference the config files the KNE way.
+    lines = []
+    for line in text.splitlines():
+        lines.append(line)
+        if line.strip().startswith('name: "r'):
+            node = line.split('"')[1]
+            lines.append(f'  config_file: "{node}.cfg"')
+    (tmp_path / "topo.pb.txt").write_text("\n".join(lines))
+    return tmp_path
+
+
+class TestVerify:
+    def test_verify_emulation_and_save(self, topology_dir, capsys):
+        snap_path = topology_dir / "snap.json"
+        code = main(
+            [
+                "verify",
+                str(topology_dir / "topo.pb.txt"),
+                "--quiet-period", "5.0",
+                "--save", str(snap_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert snap_path.exists()
+
+    def test_verify_model_backend_warns(self, topology_dir, capsys):
+        code = main(
+            [
+                "verify",
+                str(topology_dir / "topo.pb.txt"),
+                "--backend", "model",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "model failed to parse" in out
+        assert "FAIL" in out  # the Fig. 3 model defect shows up
+
+
+class TestOfflineQueries:
+    @pytest.fixture()
+    def snapshot_path(self, topology_dir):
+        path = topology_dir / "snap.json"
+        main(
+            [
+                "verify", str(topology_dir / "topo.pb.txt"),
+                "--quiet-period", "5.0", "--save", str(path),
+            ]
+        )
+        return path
+
+    def test_trace(self, snapshot_path, capsys):
+        code = main(["trace", str(snapshot_path), "r3", "2.2.2.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accepted" in out
+
+    def test_routes(self, snapshot_path, capsys):
+        code = main(["routes", str(snapshot_path), "r2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2.2.2.1/32" in out
+
+    def test_diff_same_snapshot_clean(self, snapshot_path, capsys):
+        code = main(["diff", str(snapshot_path), str(snapshot_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(no rows)" in out
+
+
+class TestDemo:
+    def test_demo_fig3(self, capsys):
+        code = main(["demo", "fig3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "differentialReachability" in out

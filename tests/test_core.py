@@ -1,0 +1,157 @@
+"""Core pipeline tests: backends, snapshots, contexts, multirun."""
+
+import pytest
+
+from repro.core.context import (
+    ScenarioContext,
+    k_link_cut_count,
+    single_link_cut_contexts,
+)
+from repro.core.differential import compare_snapshots
+from repro.core.multirun import explore_nondeterminism
+from repro.core.pipeline import ModelFreeBackend, NativeBatfishBackend
+from repro.core.snapshot import Snapshot
+from repro.corpus.fig3 import fig3_scenario
+from repro.net.addr import parse_ipv4
+from repro.protocols.timers import FAST_TIMERS
+from repro.topo.builder import TopologyBuilder
+from repro.verify.reachability import pairwise_matrix
+
+
+class TestSnapshot:
+    def test_save_load_roundtrip(self, fig3_emulated, tmp_path):
+        _backend, snapshot = fig3_emulated
+        path = tmp_path / "snap.json"
+        snapshot.save(path)
+        restored = Snapshot.load(path)
+        assert restored.name == snapshot.name
+        assert restored.backend == "emulation"
+        assert set(restored.afts) == set(snapshot.afts)
+        # Restored snapshots answer queries identically.
+        assert pairwise_matrix(restored.dataplane) == pairwise_matrix(
+            snapshot.dataplane
+        )
+
+    def test_dataplane_cached(self, fig3_emulated):
+        _backend, snapshot = fig3_emulated
+        assert snapshot.dataplane is snapshot.dataplane
+
+    def test_metadata_populated(self, fig3_emulated):
+        _backend, snapshot = fig3_emulated
+        assert snapshot.startup_seconds > 0
+        assert snapshot.metadata["devices"] == 3
+
+
+class TestModelFreeBackend:
+    def test_emulation_full_mesh(self, fig3_emulated):
+        _backend, snapshot = fig3_emulated
+        assert all(pairwise_matrix(snapshot.dataplane).values())
+
+    def test_operator_access_preserved(self, fig3_emulated):
+        backend, _snapshot = fig3_emulated
+        ssh = backend.last_run.deployment.ssh("r1")
+        assert "2.2.2.3/32" in ssh.execute("show ip route")
+
+    def test_link_cut_context(self, fig3):
+        backend = ModelFreeBackend(
+            fig3.topology, timers=FAST_TIMERS, quiet_period=5.0
+        )
+        context = ScenarioContext().with_link_down("r2", "r3")
+        snapshot = backend.run(context)
+        matrix = pairwise_matrix(snapshot.dataplane)
+        assert matrix[("r1", "r3")] is False
+        assert matrix[("r1", "r2")] is True
+
+
+class TestNativeBatfishBackend:
+    def test_model_backend_diverges_on_fig3(self, fig3_model):
+        _backend, snapshot = fig3_model
+        assert snapshot.backend == "model"
+        matrix = pairwise_matrix(snapshot.dataplane)
+        assert matrix[("r2", "r1")] is False
+
+    def test_unrecognized_lines_in_metadata(self, fig3_model):
+        _backend, snapshot = fig3_model
+        assert snapshot.metadata["unrecognized_lines"]["r1"] >= 1
+
+    def test_rejects_injectors(self, fig3):
+        backend = NativeBatfishBackend(fig3.topology)
+        from repro.corpus.routes import InjectorSpec
+
+        context = ScenarioContext(
+            injectors=(
+                InjectorSpec(
+                    name="p", asn=1, ip="10.9.0.1",
+                    gateway_node="r1", gateway_port="Ethernet1",
+                    gateway_ip="10.9.0.0",
+                ),
+            )
+        )
+        with pytest.raises(NotImplementedError):
+            backend.run(context)
+
+    def test_rejects_non_arista(self):
+        builder = TopologyBuilder("mixed")
+        builder.node("x", vendor="nokia", config="set / system name host-name x")
+        with pytest.raises(NotImplementedError):
+            NativeBatfishBackend(builder.build()).run()
+
+
+class TestCrossBackendDifferential:
+    def test_fig3_divergence_surfaces(self, fig3_emulated, fig3_model):
+        _mf, emulated = fig3_emulated
+        _nb, model = fig3_model
+        rows = compare_snapshots(emulated, model)
+        regressions = [row for row in rows if row.regressed]
+        # The paper's headline: model drops traffic the real router
+        # forwards, including r2 -> r1's loopback.
+        assert any(
+            row.ingress == "r2"
+            and row.sample_destination == parse_ipv4("2.2.2.1")
+            for row in regressions
+        )
+
+    def test_fixed_model_agrees_with_emulation(self, fig3, fig3_emulated):
+        from repro.batfish_model.issues import FIXED_ASSUMPTIONS
+
+        _mf, emulated = fig3_emulated
+        fixed = NativeBatfishBackend(
+            fig3.topology, assumptions=FIXED_ASSUMPTIONS
+        ).run()
+        rows = compare_snapshots(emulated, fixed)
+        assert [row for row in rows if row.regressed] == []
+
+
+class TestContexts:
+    def test_with_link_down_names_context(self):
+        context = ScenarioContext().with_link_down("a", "b")
+        assert context.down_links == (("a", "b"),)
+        assert "cut:a-b" in context.name
+
+    def test_single_link_cut_enumeration(self, fig3):
+        contexts = list(single_link_cut_contexts(fig3.topology))
+        assert len(contexts) == len(fig3.topology.links)
+
+    def test_k_cut_growth(self):
+        assert k_link_cut_count(20, 1) == 20
+        assert k_link_cut_count(20, 2) == 190
+        assert k_link_cut_count(20, 3) == 1140
+
+
+class TestMultirun:
+    def test_seeds_converge_to_equivalent_dataplanes(self, fig3):
+        backend = ModelFreeBackend(
+            fig3.topology, timers=FAST_TIMERS, quiet_period=5.0
+        )
+        result = explore_nondeterminism(backend, seeds=(0, 1))
+        assert len(result.snapshots) == 2
+        # Fig. 3 has no ordering-dependent tiebreaks: all seeds agree.
+        assert result.deterministic
+        assert "equivalent" in result.summary()
+
+    def test_divergence_reported_per_pair(self, fig3):
+        backend = ModelFreeBackend(
+            fig3.topology, timers=FAST_TIMERS, quiet_period=5.0
+        )
+        result = explore_nondeterminism(backend, seeds=(2, 3))
+        assert (2, 3) in result.divergences

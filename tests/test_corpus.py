@@ -1,0 +1,202 @@
+"""Corpus structural tests: the generated configs must land in the
+paper's reported bands."""
+
+import pytest
+
+from repro.batfish_model.parser import parse_with_model
+from repro.corpus.baggage import baggage_lines, count_config_lines
+from repro.corpus.fig2 import fig2_scenario
+from repro.corpus.fig3 import fig3_scenario
+from repro.corpus.production import production_scenario, scaled_timers
+from repro.corpus.routes import full_table
+from repro.vendors.arista.config_parser import parse_arista_config
+from repro.vendors.nokia.config_parser import parse_nokia_config
+
+
+class TestFig2Corpus:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return fig2_scenario()
+
+    def test_six_nodes_five_links(self, scenario):
+        assert len(scenario.topology) == 6
+        assert len(scenario.topology.links) == 5
+
+    def test_line_counts_in_paper_band(self, scenario):
+        """§5: 'The number of lines in each configuration ranges from
+        62-82.'"""
+        for config in scenario.configs.values():
+            lines = count_config_lines(config)
+            assert 62 <= lines <= 82, lines
+
+    def test_unrecognized_lines_in_paper_band(self, scenario):
+        """§5: Batfish 'failed to recognize between 38 and 42 of lines
+        in each configuration'."""
+        for config in scenario.configs.values():
+            result = parse_with_model(config)
+            assert 38 <= result.unrecognized_count <= 42
+
+    def test_emulation_parses_everything(self, scenario):
+        for config in scenario.configs.values():
+            _, diagnostics = parse_arista_config(config)
+            assert diagnostics == []
+
+    def test_unrecognized_includes_the_papers_examples(self, scenario):
+        result = parse_with_model(scenario.configs["r1"])
+        text = " ".join(u.text for u in result.unrecognized)
+        for marker in ("PowerManager", "LedPolicy", "Thermostat",
+                       "gnmi", "mpls"):
+            assert marker in text, marker
+
+    def test_buggy_variant_shuts_down_r2_r3_session(self, scenario):
+        assert "shutdown" in scenario.buggy_configs["r2"]
+        assert "shutdown" in scenario.buggy_configs["r3"]
+        assert "shutdown" not in scenario.configs["r2"].split("daemon")[0]
+
+    def test_as_plan(self, scenario):
+        assert scenario.as_members[65003] == ("r3", "r4")
+
+
+class TestFig3Corpus:
+    def test_r1_matches_paper_snippet_shape(self):
+        scenario = fig3_scenario()
+        r1 = scenario.configs["r1"]
+        # The exact pathological ordering from Fig. 3.
+        ip_index = r1.index("ip address 100.64.0.1/31")
+        sw_index = r1.index("no switchport")
+        assert ip_index < sw_index
+        assert "isis enable default" in r1
+        assert "net 49.0001.1010.1040.1030.00" in r1
+
+    def test_wiring_matches_interfaces(self):
+        scenario = fig3_scenario()
+        link = scenario.topology.find_link("r1", "r2")
+        ends = {str(link.a), str(link.z)}
+        assert ends == {"r1:Ethernet2", "r2:Ethernet1"}
+
+
+class TestProductionCorpus:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return production_scenario(12, peers=2, routes_per_peer=100, seed=11)
+
+    def test_multivendor(self, scenario):
+        vendors = {spec.vendor for spec in scenario.topology.nodes}
+        assert vendors == {"arista", "nokia"}
+
+    def test_configs_parse_cleanly_per_vendor(self, scenario):
+        for spec in scenario.topology.nodes:
+            if spec.vendor == "arista":
+                _, diagnostics = parse_arista_config(spec.config)
+            else:
+                _, diagnostics = parse_nokia_config(spec.config)
+            assert diagnostics == [], (spec.name, diagnostics[:3])
+
+    def test_injectors_attached_to_distinct_edges(self, scenario):
+        gateways = [i.gateway_node for i in scenario.injectors]
+        assert len(set(gateways)) == len(gateways) == 2
+
+    def test_injector_prefixes_disjoint_between_peers(self, scenario):
+        a, b = scenario.injectors
+        assert not (set(a.prefixes) & set(b.prefixes))
+
+    def test_ibgp_full_mesh_configured(self, scenario):
+        # every router lists every other loopback as a neighbor
+        for spec in scenario.topology.nodes:
+            others = len(scenario.topology) - 1
+            assert spec.config.count("remote-as 65000") >= others or \
+                spec.config.count("peer-as 65000") >= others
+
+
+class TestRouteGenerators:
+    def test_full_table_size_and_determinism(self):
+        a = full_table(100, seed=1)
+        b = full_table(100, seed=1)
+        assert a == b and len(a) == 100
+
+    def test_full_table_all_slash24(self):
+        assert all(p.length == 24 for p in full_table(50))
+
+    def test_different_seeds_disjoint(self):
+        a = set(full_table(1000, seed=1))
+        b = set(full_table(1000, seed=2))
+        assert not (a & b)
+
+    def test_scaled_timers_preserve_transfer_time(self):
+        fast = scaled_timers(10_000)
+        slow = scaled_timers(1_000)
+        # Transfer time of the whole (scaled) table is invariant.
+        assert 10_000 / fast.bgp_update_rate == pytest.approx(
+            1_000 / slow.bgp_update_rate
+        )
+
+
+class TestBaggage:
+    def test_variants_monotone(self):
+        assert count_config_lines(baggage_lines(0)) < count_config_lines(
+            baggage_lines(4)
+        )
+
+    def test_baggage_accepted_by_emulation(self):
+        _, diagnostics = parse_arista_config(baggage_lines(4))
+        assert diagnostics == []
+
+    def test_baggage_fully_opaque_to_model(self):
+        result = parse_with_model(baggage_lines(0))
+        assert result.recognized_lines == 0
+
+
+class TestRouteReflectorScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return production_scenario(
+            10, peers=1, routes_per_peer=100, route_reflectors=2, seed=4
+        )
+
+    def test_session_count_reduced(self, scenario):
+        full_mesh = production_scenario(
+            10, peers=1, routes_per_peer=100, seed=4
+        )
+        def sessions(sc):
+            total = 0
+            for spec in sc.topology.nodes:
+                total += spec.config.count("remote-as 65000")
+                total += spec.config.count("peer-as 65000")
+            return total
+        assert sessions(scenario) < sessions(full_mesh)
+
+    def test_reflectors_mark_clients(self, scenario):
+        ordered = sorted(s.name for s in scenario.topology.nodes)
+        reflectors = ordered[:2]
+        for spec in scenario.topology.nodes:
+            if spec.name in reflectors:
+                assert "route-reflector-client" in spec.config
+            else:
+                assert "route-reflector-client" not in spec.config
+
+    def test_clients_peer_only_with_reflectors(self, scenario):
+        ordered = sorted(s.name for s in scenario.topology.nodes)
+        client = next(
+            s for s in scenario.topology.nodes if s.name == ordered[5]
+        )
+        ibgp_lines = [
+            l for l in client.config.splitlines()
+            if "remote-as 65000" in l or "peer-as 65000" in l
+        ]
+        assert len(ibgp_lines) == 2
+
+    def test_rr_scenario_converges_with_full_propagation(self, scenario):
+        from repro.core.context import ScenarioContext
+        from repro.core.pipeline import ModelFreeBackend
+        from repro.protocols.timers import FAST_TIMERS
+
+        backend = ModelFreeBackend(
+            scenario.topology, timers=FAST_TIMERS, quiet_period=5.0
+        )
+        context = ScenarioContext(
+            name="rr", injectors=tuple(scenario.injectors)
+        )
+        backend.run(context, seed=1)
+        deployment = backend.last_run.deployment
+        for router in deployment.routers.values():
+            assert len(router.rib.fib) >= 100, router.name

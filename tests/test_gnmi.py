@@ -1,0 +1,190 @@
+"""gNMI path grammar, AFT model, and server tests."""
+
+import json
+
+import pytest
+
+from repro.gnmi.aft import AftSnapshot
+from repro.gnmi.paths import PathError, parse_path
+from repro.gnmi.server import GnmiError, GnmiServer, dump_afts
+from repro.net.addr import parse_ipv4
+
+from tests.helpers import isis_config, mini_net
+
+
+class TestPathGrammar:
+    def test_simple(self):
+        path = parse_path("/interfaces/interface")
+        assert path.names == ("interfaces", "interface")
+
+    def test_keys(self):
+        path = parse_path(
+            "/network-instances/network-instance[name=default]/afts"
+        )
+        assert path.elements[1].key("name") == "default"
+
+    def test_multiple_keys(self):
+        path = parse_path("/a/b[x=1][y=2]/c")
+        assert path.elements[1].keys == (("x", "1"), ("y", "2"))
+
+    def test_key_value_with_slash(self):
+        path = parse_path("/interfaces/interface[name=ethernet-1/1]/state")
+        assert path.elements[1].key("name") == "ethernet-1/1"
+
+    def test_root(self):
+        assert len(parse_path("/")) == 0
+
+    def test_str_roundtrip(self):
+        text = "/network-instances/network-instance[name=default]/afts"
+        assert str(parse_path(text)) == text
+
+    def test_relative_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("interfaces/interface")
+
+    def test_trailing_slash_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("/interfaces/")
+
+    def test_missing_key_raises(self):
+        path = parse_path("/a[x=1]")
+        with pytest.raises(KeyError):
+            path.elements[0].key("y")
+
+    def test_starts_with(self):
+        path = parse_path("/a/b/c")
+        assert path.starts_with("a", "b")
+        assert not path.starts_with("b")
+
+
+@pytest.fixture(scope="module")
+def net():
+    configs = {
+        "r1": isis_config("r1", 1, "2.2.2.1", [("Ethernet1", "10.0.0.0/31")]),
+        "r2": isis_config("r2", 2, "2.2.2.2", [("Ethernet1", "10.0.0.1/31")]),
+    }
+    net = mini_net(configs, [("r1", "Ethernet1", "r2", "Ethernet1")])
+    net.converge()
+    return net
+
+
+class TestAftSnapshot:
+    def test_extraction_covers_fib(self, net):
+        snapshot = AftSnapshot.from_router(net.router("r1"))
+        assert len(snapshot) == len(net.router("r1").rib.fib)
+
+    def test_receive_entries_for_own_addresses(self, net):
+        snapshot = AftSnapshot.from_router(net.router("r1"))
+        receives = {
+            e.prefix for e in snapshot.entries if e.entry_type == "receive"
+        }
+        assert "10.0.0.0/32" in receives
+
+    def test_forward_entries_reference_valid_groups(self, net):
+        snapshot = AftSnapshot.from_router(net.router("r1"))
+        for entry in snapshot.entries:
+            if entry.entry_type == "forward":
+                group = snapshot.next_hop_groups[entry.next_hop_group]
+                for index in group.next_hop_indices:
+                    assert index in snapshot.next_hops
+
+    def test_interfaces_reported(self, net):
+        snapshot = AftSnapshot.from_router(net.router("r1"))
+        names = {i.name for i in snapshot.interfaces}
+        assert {"Ethernet1", "Loopback0"} <= names
+
+    def test_json_roundtrip(self, net):
+        snapshot = AftSnapshot.from_router(net.router("r1"))
+        blob = json.dumps(snapshot.to_dict())
+        restored = AftSnapshot.from_dict(json.loads(blob))
+        assert restored.device == snapshot.device
+        assert restored.entries == snapshot.entries
+        assert restored.next_hops == snapshot.next_hops
+        assert restored.interfaces == snapshot.interfaces
+
+    def test_local_addresses(self, net):
+        snapshot = AftSnapshot.from_router(net.router("r1"))
+        assert parse_ipv4("2.2.2.1") in snapshot.local_addresses()
+
+
+class TestGnmiServer:
+    def test_get_afts(self, net):
+        server = GnmiServer(net.router("r1"))
+        data = server.get(
+            "/network-instances/network-instance[name=default]/afts"
+        )
+        entries = data["network-instances"]["network-instance"][0]["afts"][
+            "ipv4-unicast"
+        ]["ipv4-entry"]
+        assert any(e["prefix"] == "2.2.2.2/32" for e in entries)
+
+    def test_get_interfaces(self, net):
+        server = GnmiServer(net.router("r1"))
+        data = server.get("/interfaces")
+        names = {i["name"] for i in data["interfaces"]["interface"]}
+        assert "Ethernet1" in names
+
+    def test_get_one_interface(self, net):
+        server = GnmiServer(net.router("r1"))
+        data = server.get("/interfaces/interface[name=Ethernet1]")
+        assert len(data["interfaces"]["interface"]) == 1
+
+    def test_get_missing_interface(self, net):
+        server = GnmiServer(net.router("r1"))
+        with pytest.raises(GnmiError):
+            server.get("/interfaces/interface[name=Ethernet9]")
+
+    def test_get_hostname(self, net):
+        server = GnmiServer(net.router("r1"))
+        assert server.get("/system")["system"]["state"]["hostname"] == "r1"
+
+    def test_unknown_instance(self, net):
+        server = GnmiServer(net.router("r1"))
+        with pytest.raises(GnmiError):
+            server.get("/network-instances/network-instance[name=red]/afts")
+
+    def test_unsupported_path(self, net):
+        server = GnmiServer(net.router("r1"))
+        with pytest.raises(GnmiError):
+            server.get("/lldp")
+
+    def test_dump_afts_all_devices(self, net):
+        snapshots = dump_afts(net)
+        assert set(snapshots) == {"r1", "r2"}
+        assert all(len(s) > 0 for s in snapshots.values())
+
+
+class TestSubscribe:
+    def test_on_change_fires_on_link_cut(self):
+        configs = {
+            "s1": isis_config("s1", 1, "3.3.3.1", [("Ethernet1", "10.1.0.0/31")]),
+            "s2": isis_config("s2", 2, "3.3.3.2", [("Ethernet1", "10.1.0.1/31")]),
+        }
+        live = mini_net(configs, [("s1", "Ethernet1", "s2", "Ethernet1")])
+        live.converge()
+        updates = []
+        server = GnmiServer(live.router("s1"))
+        subscription = server.subscribe(
+            "/network-instances/network-instance[name=default]/afts",
+            updates.append,
+        )
+        live.link_down("s1", "Ethernet1", "s2", "Ethernet1")
+        live.converge(quiet=3.0)
+        assert subscription.updates_delivered >= 1
+        assert updates[-1]["update"]["network-instances"]
+        assert updates[-1]["timestamp"] > 0
+
+    def test_cancel_stops_delivery(self):
+        configs = {
+            "s1": isis_config("s1", 1, "3.3.3.1", [("Ethernet1", "10.1.0.0/31")]),
+            "s2": isis_config("s2", 2, "3.3.3.2", [("Ethernet1", "10.1.0.1/31")]),
+        }
+        live = mini_net(configs, [("s1", "Ethernet1", "s2", "Ethernet1")])
+        live.converge()
+        updates = []
+        server = GnmiServer(live.router("s1"))
+        subscription = server.subscribe("/interfaces", updates.append)
+        subscription.cancel()
+        live.link_down("s1", "Ethernet1", "s2", "Ethernet1")
+        live.converge(quiet=3.0)
+        assert updates == []

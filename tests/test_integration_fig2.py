@@ -1,0 +1,114 @@
+"""End-to-end reproduction of the paper's E1 experiment (Fig. 2).
+
+Healthy vs. buggy (eBGP session r2-r3 down) configurations through the
+full model-free pipeline, compared with differential reachability — the
+exact query the paper ran.
+"""
+
+import pytest
+
+from repro.core.differential import compare_snapshots
+from repro.net.addr import parse_ipv4
+from repro.net.headerspace import HeaderSpace
+from repro.net.addr import Prefix
+from repro.pybf.session import Session
+
+
+@pytest.fixture(scope="module")
+def snapshots(fig2_snapshots):
+    return fig2_snapshots
+
+
+@pytest.fixture(scope="module")
+def diff_rows(snapshots):
+    healthy, buggy = snapshots
+    return compare_snapshots(healthy, buggy)
+
+
+def loopback_space(scenario, names):
+    space = HeaderSpace.empty()
+    for name in names:
+        space = space | HeaderSpace.dst_prefix(
+            Prefix.parse(scenario.loopbacks[name] + "/32")
+        )
+    return space
+
+
+class TestHealthySnapshot:
+    def test_cross_as_loopback_reachability(self, snapshots, fig2):
+        healthy, _ = snapshots
+        from repro.verify.traceroute import traceroute
+
+        for src, dst in [("r1", "r6"), ("r6", "r1"), ("r2", "r5")]:
+            result = traceroute(
+                healthy.dataplane, src, fig2.loopbacks[dst]
+            )
+            assert result.success, (src, dst)
+
+    def test_as_path_through_chain(self, snapshots, fig2):
+        healthy, _ = snapshots
+        from repro.verify.traceroute import traceroute
+
+        result = traceroute(healthy.dataplane, "r1", fig2.loopbacks["r6"])
+        devices = [h.device for h in result.traces[0].hops]
+        assert devices == ["r1", "r2", "r3", "r4", "r5", "r6"]
+
+
+class TestDifferentialFindsTheRegression:
+    def test_as3_loses_as2(self, diff_rows, fig2):
+        """The paper's reported output: loss of connectivity from
+        routers in AS3 to routers in AS2."""
+        as2_loopbacks = {
+            parse_ipv4(fig2.loopbacks[n]) for n in fig2.as_members[65002]
+        }
+        for ingress in fig2.as_members[65003]:
+            lost = set()
+            for row in diff_rows:
+                if row.ingress == ingress and row.regressed:
+                    lost.update(a for a in as2_loopbacks if a in row.dst_set)
+            assert lost == as2_loopbacks, ingress
+
+    def test_every_difference_is_a_regression(self, diff_rows):
+        assert diff_rows
+        assert all(row.regressed for row in diff_rows)
+
+    def test_intra_as_traffic_unaffected(self, diff_rows, fig2):
+        for asn, members in fig2.as_members.items():
+            del asn
+            loopbacks = {parse_ipv4(fig2.loopbacks[m]) for m in members}
+            for row in diff_rows:
+                if row.ingress in members:
+                    assert not (loopbacks & set(
+                        a for a in loopbacks if a in row.dst_set
+                    )), "intra-AS loopback must not regress"
+
+    def test_witness_flows_have_traces(self, diff_rows):
+        for row in diff_rows:
+            assert row.reference_traces
+            assert row.reference_traces[0].hops
+
+
+class TestViaPybatfishFrontend:
+    def test_differential_reachability_question(self, snapshots):
+        healthy, buggy = snapshots
+        bf = Session()
+        bf.init_snapshot(healthy, name="reference")
+        bf.init_snapshot(buggy, name="candidate")
+        answer = bf.q.differentialReachability().answer(
+            snapshot="candidate", reference_snapshot="reference"
+        )
+        frame = answer.frame()
+        assert len(frame) > 0
+        assert all(row["Regressed"] for row in frame)
+
+    def test_scoped_to_one_destination(self, snapshots, fig2):
+        healthy, buggy = snapshots
+        bf = Session()
+        bf.init_snapshot(healthy, name="reference")
+        bf.init_snapshot(buggy, name="candidate")
+        answer = bf.q.differentialReachability(
+            dst=fig2.loopbacks["r1"] + "/32", ingress="r3"
+        ).answer(snapshot="candidate", reference_snapshot="reference")
+        rows = answer.frame().rows
+        assert len(rows) == 1
+        assert rows[0]["Snapshot_Dispositions"] == "no-route"

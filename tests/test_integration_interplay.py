@@ -1,0 +1,165 @@
+"""A1: the §2 vendor-interplay anecdotes, observable only in emulation.
+
+Two experiments a single reference model cannot express:
+
+* RSVP-TE timer interplay — a transit vendor build that never emits
+  PathErr turns a sub-second LSP repair into a soft-state-timeout wait
+  ("very slow reconvergence after a major link-cut");
+* the iBGP IGP-metric regression — a buggy build prefers the farther
+  exit.
+"""
+
+import pytest
+
+from repro.net.addr import Prefix, parse_ipv4
+from repro.rib.route import Protocol
+
+from tests.helpers import mini_net
+from tests.test_protocols_rsvp import te_config
+
+
+def diamond(quiet_transit: bool, seed=0):
+    """r1 -> {r2, r3} -> r4 with a TE tunnel r1 -> r4.
+
+    IGP metrics prefer the r2 branch, so the LSP rides r1-r2-r4; the
+    r2-r4 link is then cut and repair must move to the r3 branch.
+    """
+    configs = {
+        "r1": te_config("r1", 1, "2.2.2.1",
+                        [("Ethernet1", "10.0.0.0/31"),
+                         ("Ethernet2", "10.0.1.0/31")],
+                        tunnel_to="2.2.2.4"),
+        "r2": te_config("r2", 2, "2.2.2.2",
+                        [("Ethernet1", "10.0.0.1/31"),
+                         ("Ethernet2", "10.0.2.0/31")]),
+        "r3": te_config("r3", 3, "2.2.2.3",
+                        [("Ethernet1", "10.0.1.1/31"),
+                         ("Ethernet2", "10.0.3.0/31")]),
+        "r4": te_config("r4", 4, "2.2.2.4",
+                        [("Ethernet1", "10.0.2.1/31"),
+                         ("Ethernet2", "10.0.3.1/31")]),
+    }
+    # Bias IGP onto the r2 branch.
+    configs["r1"] += "interface Ethernet2\n   isis metric 50\n"
+    configs["r3"] += "interface Ethernet2\n   isis metric 50\n"
+    os_versions = {"r2": "22.6-rsvp-quiet"} if quiet_transit else {}
+    vendors = {"r2": "nokia"} if quiet_transit else {}
+    if quiet_transit:
+        # SR Linux speaks its own config language.
+        configs["r2"] = "\n".join(
+            [
+                "set / system name host-name r2",
+                "set / interface ethernet-1/1 subinterface 0 ipv4 address 10.0.0.1/31",
+                "set / interface ethernet-1/2 subinterface 0 ipv4 address 10.0.2.0/31",
+                "set / interface lo0 subinterface 0 ipv4 address 2.2.2.2/32",
+                "set / network-instance default protocols isis instance default net 49.0001.0000.0000.0002.00",
+                "set / network-instance default protocols isis instance default interface lo0.0 passive true",
+                "set / network-instance default protocols isis instance default interface ethernet-1/1.0 metric 10",
+                "set / network-instance default protocols isis instance default interface ethernet-1/2.0 metric 10",
+                "set / network-instance default protocols mpls admin-state enable",
+                "set / network-instance default protocols rsvp admin-state enable",
+            ]
+        )
+    links = [
+        ("r1", "Ethernet1", "r2",
+         "ethernet-1/1" if quiet_transit else "Ethernet1"),
+        ("r1", "Ethernet2", "r3", "Ethernet1"),
+        ("r2", "ethernet-1/2" if quiet_transit else "Ethernet2",
+         "r4", "Ethernet1"),
+        ("r3", "Ethernet2", "r4", "Ethernet2"),
+    ]
+    net = mini_net(configs, links, vendors=vendors,
+                   os_versions=os_versions, seed=seed)
+    net.converge(quiet=5.0)
+    return net
+
+
+def run_cut_and_measure(quiet_transit: bool) -> float:
+    net = diamond(quiet_transit)
+    tunnel = next(iter(net.router("r1").rsvp.tunnels.values()))
+    assert tunnel.up
+    assert tunnel.current_route[1] == "r2", tunnel.current_route
+    t_cut = net.kernel.now
+    r2_port = "ethernet-1/2" if quiet_transit else "Ethernet2"
+    net.link_down("r2", r2_port, "r4", "Ethernet1")
+    net.converge(quiet=40.0, max_time=t_cut + 3600.0)
+    assert tunnel.up
+    assert tunnel.current_route == ("r1", "r3", "r4")
+    return tunnel.last_repair_time - t_cut
+
+
+class TestRsvpTimerInterplay:
+    def test_healthy_pair_repairs_fast(self):
+        repair = run_cut_and_measure(quiet_transit=False)
+        assert repair < 10.0
+
+    def test_quiet_vendor_slows_reconvergence(self):
+        healthy = run_cut_and_measure(quiet_transit=False)
+        quiet = run_cut_and_measure(quiet_transit=True)
+        # The interplay costs at least an order of magnitude.
+        assert quiet > 10 * healthy
+        assert quiet > 20.0  # bounded below by the refresh interval
+
+
+class TestIbgpMetricRegression:
+    def build(self, buggy: bool):
+        """r1 has two iBGP exits (r2 near, r3 far) for the same prefix."""
+        def core(name, index, loopback, interfaces, extra=""):
+            base = te_config(name, index, loopback, interfaces)
+            return base.replace("mpls ip\nrouter traffic-engineering\n   rsvp\n", "") + extra
+
+        r1 = core("r1", 1, "2.2.2.1",
+                  [("Ethernet1", "10.0.0.0/31"), ("Ethernet2", "10.0.1.0/31")],
+                  extra=(
+                      "interface Ethernet2\n   isis metric 100\n"
+                      "router bgp 65000\n"
+                      "   router-id 2.2.2.1\n"
+                      "   neighbor 2.2.2.2 remote-as 65000\n"
+                      "   neighbor 2.2.2.2 update-source Loopback0\n"
+                      "   neighbor 2.2.2.3 remote-as 65000\n"
+                      "   neighbor 2.2.2.3 update-source Loopback0\n"
+                  ))
+        def exit_router(name, index, loopback, address, iface="Ethernet1"):
+            return core(name, index, loopback, [(iface, address)], extra=(
+                f"router bgp 65000\n"
+                f"   router-id {loopback}\n"
+                "   neighbor 2.2.2.1 remote-as 65000\n"
+                "   neighbor 2.2.2.1 update-source Loopback0\n"
+                "   network 99.99.99.0/24\n"
+                "ip route 99.99.99.0/24 Null0\n"
+            ))
+        configs = {
+            "r1": r1,
+            "r2": exit_router("r2", 2, "2.2.2.2", "10.0.0.1/31"),
+            "r3": exit_router("r3", 3, "2.2.2.3", "10.0.1.1/31"),
+        }
+        links = [
+            ("r1", "Ethernet1", "r2", "Ethernet1"),
+            ("r1", "Ethernet2", "r3", "Ethernet1"),
+        ]
+        os_versions = {"r1": "4.29.1F-metric-bug"} if buggy else {}
+        net = mini_net(configs, links, os_versions=os_versions)
+        net.converge(quiet=5.0)
+        return net
+
+    def test_healthy_build_prefers_near_exit(self):
+        net = self.build(buggy=False)
+        path = net.router("r1").bgp.local_rib[Prefix.parse("99.99.99.0/24")]
+        assert path.attrs.next_hop == parse_ipv4("2.2.2.2")
+
+    def test_buggy_build_prefers_far_exit(self):
+        net = self.build(buggy=True)
+        path = net.router("r1").bgp.local_rib[Prefix.parse("99.99.99.0/24")]
+        assert path.attrs.next_hop == parse_ipv4("2.2.2.3")
+
+    def test_regression_changes_forwarding(self):
+        healthy = self.build(buggy=False)
+        buggy = self.build(buggy=True)
+        healthy_entry = healthy.router("r1").rib.fib.lookup(
+            parse_ipv4("99.99.99.1")
+        )
+        buggy_entry = buggy.router("r1").rib.fib.lookup(
+            parse_ipv4("99.99.99.1")
+        )
+        assert healthy_entry.next_hops[0].interface == "Ethernet1"
+        assert buggy_entry.next_hops[0].interface == "Ethernet2"

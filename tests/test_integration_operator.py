@@ -1,0 +1,116 @@
+"""E5: emulation-as-a-model fits the operator tooling flow.
+
+Reproduces the paper's anecdote: an operator uses wrong (IOS-style)
+IS-IS syntax on an Arista router; verification reports missing
+reachability; the operator SSHes into the emulated router, inspects the
+IS-IS database and routes with standard CLI commands, finds the problem,
+fixes the config, and re-verifies.
+"""
+
+import pytest
+
+from repro.core.pipeline import ModelFreeBackend
+from repro.protocols.timers import FAST_TIMERS
+from repro.topo.builder import TopologyBuilder
+from repro.verify.reachability import pairwise_matrix
+
+GOOD_R2 = """\
+hostname r2
+ip routing
+router isis default
+   net 49.0001.0000.0000.0002.00
+   address-family ipv4 unicast
+interface Loopback0
+   ip address 2.2.2.2/32
+   isis enable default
+   isis passive
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.1/31
+   isis enable default
+"""
+
+# The operator's broken config: IOS syntax `ip router isis` instead of
+# the EOS `isis enable default`.
+BROKEN_R1 = """\
+hostname r1
+ip routing
+router isis default
+   net 49.0001.0000.0000.0001.00
+   address-family ipv4 unicast
+interface Loopback0
+   ip address 2.2.2.1/32
+   isis enable default
+   isis passive
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+   ip router isis
+"""
+
+FIXED_R1 = BROKEN_R1.replace("ip router isis", "isis enable default")
+
+
+def build(r1_config):
+    builder = TopologyBuilder("operator-debug")
+    builder.node("r1", config=r1_config)
+    builder.node("r2", config=GOOD_R2)
+    builder.link("r1", "r2", a_int="Ethernet1", z_int="Ethernet1")
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def broken_run():
+    backend = ModelFreeBackend(
+        build(BROKEN_R1), timers=FAST_TIMERS, quiet_period=5.0
+    )
+    snapshot = backend.run()
+    return backend, snapshot
+
+
+class TestVerificationFlagsTheProblem:
+    def test_reachability_missing(self, broken_run):
+        _backend, snapshot = broken_run
+        matrix = pairwise_matrix(snapshot.dataplane)
+        assert matrix[("r2", "r1")] is False
+
+
+class TestOperatorDebugSession:
+    def test_router_reported_the_rejected_line(self, broken_run):
+        backend, _ = broken_run
+        ssh = backend.last_run.deployment.ssh("r1")
+        diagnostics = ssh.execute("show running-config diagnostics")
+        assert "ip router isis" in diagnostics
+
+    def test_isis_database_shows_missing_neighbor_prefix(self, broken_run):
+        backend, _ = broken_run
+        ssh = backend.last_run.deployment.ssh("r1")
+        database = ssh.execute("show isis database")
+        # r1's own LSP advertises only the loopback: the link prefix is
+        # missing because IS-IS never came up on Ethernet1.
+        own_line = next(
+            line for line in database.splitlines() if "0000.0000.0001" in line
+        )
+        assert "2.2.2.1/32" in own_line
+        assert "10.0.0.0/31" not in own_line
+
+    def test_no_isis_neighbors(self, broken_run):
+        backend, _ = broken_run
+        ssh = backend.last_run.deployment.ssh("r1")
+        neighbors = ssh.execute("show isis neighbors")
+        assert "0000.0000.0002" not in neighbors
+
+    def test_ip_route_missing_remote_loopback(self, broken_run):
+        backend, _ = broken_run
+        ssh = backend.last_run.deployment.ssh("r1")
+        routes = ssh.execute("show ip route")
+        assert "2.2.2.2/32" not in routes
+
+
+class TestFixAndReverify:
+    def test_corrected_config_restores_reachability(self):
+        backend = ModelFreeBackend(
+            build(FIXED_R1), timers=FAST_TIMERS, quiet_period=5.0
+        )
+        snapshot = backend.run()
+        assert all(pairwise_matrix(snapshot.dataplane).values())

@@ -1,0 +1,159 @@
+"""Cluster, scheduler, pod, and KNE deployment tests."""
+
+import pytest
+
+from repro.kube.cluster import KubeCluster, KubeNode, e2_standard_32
+from repro.kube.pod import Pod, PodPhase
+from repro.kube.scheduler import Scheduler, UnschedulableError
+from repro.kube.kne import KneDeployment
+from repro.protocols.timers import FAST_TIMERS
+from repro.topo.builder import line_topology
+from repro.corpus.fig3 import fig3_scenario
+from repro.vendors.quirks import quirks_for
+
+
+def arista_pod(name):
+    quirks = quirks_for("arista")
+    return Pod(
+        name=name,
+        vendor="arista",
+        cpu=quirks.container_cpu,
+        memory_gb=quirks.container_memory_gb,
+    )
+
+
+class TestNodeResources:
+    def test_allocatable_excludes_system_reserved(self):
+        node = e2_standard_32()
+        assert node.allocatable_cpu == 30.0
+        assert node.allocatable_memory_gb == 120.0
+
+    def test_allocate_release(self):
+        node = e2_standard_32()
+        node.allocate(10.0, 40.0)
+        assert node.free_cpu == 20.0
+        node.release(10.0, 40.0)
+        assert node.free_cpu == 30.0
+
+    def test_overallocate_raises(self):
+        node = KubeNode(name="n", vcpus=4, memory_gb=8,
+                        system_reserved_cpu=1, system_reserved_memory_gb=1)
+        with pytest.raises(ValueError):
+            node.allocate(4.0, 1.0)
+
+
+class TestScheduler:
+    def test_paper_capacity_60_arista_routers_per_e2_standard_32(self):
+        """§5: 0.5 vCPU + 1 GB per cEOS ⇒ 60 routers on one 32-vCPU box."""
+        cluster = KubeCluster(nodes=[e2_standard_32()])
+        scheduler = Scheduler(cluster)
+        assert scheduler.capacity_for(0.5, 1.0) == 60
+
+    def test_61st_router_unschedulable(self):
+        cluster = KubeCluster(nodes=[e2_standard_32()])
+        scheduler = Scheduler(cluster)
+        pods = [arista_pod(f"r{i}") for i in range(61)]
+        with pytest.raises(UnschedulableError):
+            scheduler.schedule(pods)
+
+    def test_60_routers_fit(self):
+        cluster = KubeCluster(nodes=[e2_standard_32()])
+        placements = Scheduler(cluster).schedule(
+            [arista_pod(f"r{i}") for i in range(60)]
+        )
+        assert len(placements) == 60
+
+    def test_1000_devices_fit_17_nodes(self):
+        """§5: 1,000 devices converged on a 17-node cluster."""
+        cluster = KubeCluster.of_size(17)
+        placements = Scheduler(cluster).schedule(
+            [arista_pod(f"r{i}") for i in range(1000)]
+        )
+        assert len(placements) == 1000
+        assert len(set(placements.values())) == 17
+
+    def test_1000_devices_do_not_fit_16_nodes(self):
+        cluster = KubeCluster.of_size(16)
+        with pytest.raises(UnschedulableError):
+            Scheduler(cluster).schedule(
+                [arista_pod(f"r{i}") for i in range(1000)]
+            )
+
+    def test_spreads_across_nodes(self):
+        cluster = KubeCluster.of_size(2)
+        placements = Scheduler(cluster).schedule(
+            [arista_pod(f"r{i}") for i in range(10)]
+        )
+        assert len(set(placements.values())) == 2
+
+    def test_unschedulable_message_names_pod_and_capacity(self):
+        cluster = KubeCluster(
+            nodes=[KubeNode(name="tiny", vcpus=2.5, memory_gb=9)]
+        )
+        with pytest.raises(UnschedulableError) as exc:
+            Scheduler(cluster).schedule([arista_pod(f"r{i}") for i in range(3)])
+        assert "tiny" in str(exc.value)
+
+
+class TestDeployment:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        scenario = fig3_scenario()
+        dep = KneDeployment(scenario.topology, timers=FAST_TIMERS, seed=5)
+        dep.deploy()
+        dep.wait_converged(quiet_period=5.0)
+        return dep
+
+    def test_startup_time_modeled(self, deployment):
+        # Infra init + image pull + boot: several minutes minimum.
+        assert deployment.report.startup_seconds > 400
+
+    def test_pods_running(self, deployment):
+        assert all(
+            p.phase is PodPhase.RUNNING for p in deployment.pods.values()
+        )
+
+    def test_configs_applied(self, deployment):
+        assert all(r.config_text for r in deployment.routers.values())
+
+    def test_ssh_works(self, deployment):
+        out = deployment.ssh("r2").execute("show ip route")
+        assert "2.2.2.1/32" in out
+
+    def test_ssh_unknown_node(self, deployment):
+        with pytest.raises(KeyError):
+            deployment.ssh("r99")
+
+    def test_link_down_and_up(self, deployment):
+        from repro.net.addr import parse_ipv4
+
+        deployment.link_down("r2", "r3")
+        deployment.wait_converged(quiet_period=5.0)
+        assert not deployment.fabric.reachable("r1", parse_ipv4("2.2.2.3"))
+        deployment.link_up("r2", "r3")
+        deployment.wait_converged(quiet_period=5.0)
+        assert deployment.fabric.reachable("r1", parse_ipv4("2.2.2.3"))
+
+    def test_deploy_twice_rejected(self, deployment):
+        with pytest.raises(RuntimeError):
+            deployment.deploy()
+
+    def test_unknown_link_cut_rejected(self, deployment):
+        with pytest.raises(KeyError):
+            deployment.link_down("r1", "r3")
+
+
+class TestDeploymentScaling:
+    def test_more_pods_longer_startup(self):
+        small = KneDeployment(line_topology(3), timers=FAST_TIMERS, seed=1)
+        small_report = small.deploy()
+        large = KneDeployment(line_topology(20), timers=FAST_TIMERS, seed=1)
+        large_report = large.deploy()
+        assert large_report.startup_seconds > small_report.startup_seconds
+
+    def test_multi_node_placement_recorded(self):
+        topo = line_topology(100)
+        cluster = KubeCluster.of_size(2)
+        dep = KneDeployment(topo, cluster=cluster, timers=FAST_TIMERS)
+        report = dep.deploy()
+        assert report.nodes_used == 2

@@ -1,0 +1,152 @@
+"""Tests for repro.net.addr."""
+
+import pytest
+
+from repro.net.addr import (
+    AddressError,
+    IPv4Address,
+    MAX_IPV4,
+    Prefix,
+    format_ipv4,
+    parse_ipv4,
+    prefix_mask,
+)
+
+
+class TestParseFormat:
+    def test_roundtrip_simple(self):
+        assert format_ipv4(parse_ipv4("10.0.0.1")) == "10.0.0.1"
+
+    def test_zero(self):
+        assert parse_ipv4("0.0.0.0") == 0
+
+    def test_max(self):
+        assert parse_ipv4("255.255.255.255") == MAX_IPV4
+
+    def test_whitespace_tolerated(self):
+        assert parse_ipv4("  192.168.1.1 ") == 0xC0A80101
+
+    @pytest.mark.parametrize(
+        "bad", ["256.0.0.1", "1.2.3", "1.2.3.4.5", "a.b.c.d", "", "1..2.3"]
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(AddressError):
+            parse_ipv4(bad)
+
+    def test_format_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ipv4(MAX_IPV4 + 1)
+        with pytest.raises(AddressError):
+            format_ipv4(-1)
+
+
+class TestPrefixMask:
+    def test_full(self):
+        assert prefix_mask(32) == MAX_IPV4
+
+    def test_zero(self):
+        assert prefix_mask(0) == 0
+
+    def test_slash24(self):
+        assert prefix_mask(24) == 0xFFFFFF00
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressError):
+            prefix_mask(33)
+
+
+class TestIPv4Address:
+    def test_parse_and_str(self):
+        addr = IPv4Address.parse("1.2.3.4")
+        assert str(addr) == "1.2.3.4"
+        assert int(addr) == 0x01020304
+
+    def test_ordering(self):
+        assert IPv4Address.parse("1.0.0.1") < IPv4Address.parse("2.0.0.0")
+
+    def test_invalid_value(self):
+        with pytest.raises(AddressError):
+            IPv4Address(-5)
+
+
+class TestPrefix:
+    def test_parse_with_length(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.length == 8
+        assert str(prefix) == "10.0.0.0/8"
+
+    def test_parse_bare_address_is_host_route(self):
+        assert Prefix.parse("1.2.3.4").length == 32
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.1/24")
+
+    def test_containing_canonicalizes(self):
+        prefix = Prefix.containing(parse_ipv4("10.1.2.3"), 24)
+        assert str(prefix) == "10.1.2.0/24"
+
+    def test_first_last(self):
+        prefix = Prefix.parse("192.168.1.0/24")
+        assert format_ipv4(prefix.first) == "192.168.1.0"
+        assert format_ipv4(prefix.last) == "192.168.1.255"
+
+    def test_num_addresses(self):
+        assert Prefix.parse("10.0.0.0/31").num_addresses == 2
+        assert Prefix.parse("10.0.0.0/32").num_addresses == 1
+        assert Prefix.parse("0.0.0.0/0").num_addresses == 2**32
+
+    def test_contains(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.contains(parse_ipv4("10.200.1.1"))
+        assert not prefix.contains(parse_ipv4("11.0.0.0"))
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.1.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_subnets(self):
+        low, high = Prefix.parse("10.0.0.0/8").subnets()
+        assert str(low) == "10.0.0.0/9"
+        assert str(high) == "10.128.0.0/9"
+
+    def test_subnets_of_host_route_fails(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("1.1.1.1/32").subnets()
+
+    def test_supernet(self):
+        assert str(Prefix.parse("10.128.0.0/9").supernet()) == "10.0.0.0/8"
+
+    def test_supernet_of_default_fails(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("0.0.0.0/0").supernet()
+
+    def test_hosts_regular_subnet_excludes_network_broadcast(self):
+        hosts = Prefix.parse("10.0.0.0/30").hosts()
+        assert list(hosts) == [parse_ipv4("10.0.0.1"), parse_ipv4("10.0.0.2")]
+
+    def test_hosts_point_to_point_all_usable(self):
+        hosts = list(Prefix.parse("10.0.0.0/31").hosts())
+        assert len(hosts) == 2
+
+    def test_ordering_is_total(self):
+        prefixes = [
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.0.0.0/16"),
+            Prefix.parse("9.0.0.0/8"),
+        ]
+        ordered = sorted(prefixes)
+        assert ordered[0].network == parse_ipv4("9.0.0.0")
+
+    def test_hashable(self):
+        assert len({Prefix.parse("10.0.0.0/8"), Prefix.parse("10.0.0.0/8")}) == 1

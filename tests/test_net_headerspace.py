@@ -1,0 +1,143 @@
+"""Tests for repro.net.headerspace."""
+
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.headerspace import Field, HeaderSpace, Packet, Rect
+from repro.net.intervals import IntervalSet
+
+
+def dst(prefix_text: str) -> HeaderSpace:
+    return HeaderSpace.dst_prefix(Prefix.parse(prefix_text))
+
+
+class TestRect:
+    def test_default_is_full(self):
+        assert Rect().is_full()
+        assert not Rect().is_empty()
+
+    def test_with_field(self):
+        rect = Rect().with_field(Field.DST_PORT, IntervalSet.of(80))
+        assert rect.get(Field.DST_PORT) == IntervalSet.of(80)
+        assert rect.get(Field.SRC_PORT) == IntervalSet.full(16)
+
+    def test_intersect(self):
+        a = Rect(dst_ip=IntervalSet.span(0, 100))
+        b = Rect(dst_ip=IntervalSet.span(50, 150))
+        assert a.intersect(b).dst_ip == IntervalSet.span(50, 100)
+
+    def test_intersect_disjoint_empty(self):
+        a = Rect(dst_ip=IntervalSet.span(0, 10))
+        b = Rect(dst_ip=IntervalSet.span(20, 30))
+        assert a.intersect(b).is_empty()
+
+    def test_subtract_single_field(self):
+        a = Rect(dst_ip=IntervalSet.span(0, 100))
+        b = Rect(dst_ip=IntervalSet.span(40, 60))
+        pieces = a.subtract(b)
+        covered = IntervalSet.empty()
+        for piece in pieces:
+            covered = covered | piece.dst_ip
+        assert covered == IntervalSet.span(0, 100) - IntervalSet.span(40, 60)
+
+    def test_subtract_no_overlap_returns_self(self):
+        a = Rect(dst_ip=IntervalSet.span(0, 10))
+        b = Rect(dst_ip=IntervalSet.span(20, 30))
+        assert a.subtract(b) == [a]
+
+    def test_subtract_multi_field_disjoint_pieces(self):
+        a = Rect()
+        b = Rect(
+            dst_ip=IntervalSet.span(0, 100),
+            dst_port=IntervalSet.of(443),
+        )
+        pieces = a.subtract(b)
+        # Pieces must be pairwise disjoint and not cover b.
+        for i, first in enumerate(pieces):
+            assert first.intersect(b).is_empty()
+            for second in pieces[i + 1 :]:
+                assert first.intersect(second).is_empty()
+
+    def test_sample_within(self):
+        rect = Rect(dst_ip=IntervalSet.span(100, 200))
+        packet = rect.sample()
+        assert rect.contains_packet(packet)
+
+    def test_contains_packet(self):
+        rect = Rect(ip_proto=IntervalSet.of(17))
+        assert rect.contains_packet(Packet(dst_ip=0, ip_proto=17))
+        assert not rect.contains_packet(Packet(dst_ip=0, ip_proto=6))
+
+
+class TestHeaderSpace:
+    def test_empty(self):
+        assert HeaderSpace.empty().is_empty()
+        assert HeaderSpace.empty().sample() is None
+
+    def test_full_contains_everything(self):
+        assert HeaderSpace.full().contains_packet(Packet(dst_ip=12345))
+
+    def test_dst_prefix(self):
+        space = dst("10.0.0.0/24")
+        assert space.contains_packet(Packet(dst_ip=parse_ipv4("10.0.0.7")))
+        assert not space.contains_packet(Packet(dst_ip=parse_ipv4("10.0.1.0")))
+
+    def test_union(self):
+        space = dst("10.0.0.0/24") | dst("10.0.1.0/24")
+        assert space.dst_values() == IntervalSet.from_prefix(
+            Prefix.parse("10.0.0.0/23")
+        )
+
+    def test_intersection(self):
+        space = dst("10.0.0.0/8") & dst("10.5.0.0/16")
+        assert space.dst_values() == IntervalSet.from_prefix(
+            Prefix.parse("10.5.0.0/16")
+        )
+
+    def test_difference(self):
+        space = dst("10.0.0.0/24") - dst("10.0.0.128/25")
+        assert space.dst_values() == IntervalSet.from_prefix(
+            Prefix.parse("10.0.0.0/25")
+        )
+
+    def test_difference_to_empty(self):
+        assert (dst("10.0.0.0/24") - dst("10.0.0.0/24")).is_empty()
+
+    def test_complement_roundtrip(self):
+        space = dst("10.0.0.0/8")
+        assert space.complement().complement().equivalent(space)
+
+    def test_equivalent_different_representations(self):
+        a = dst("10.0.0.0/25") | dst("10.0.0.128/25")
+        b = dst("10.0.0.0/24")
+        assert a.equivalent(b)
+
+    def test_not_equivalent(self):
+        assert not dst("10.0.0.0/24").equivalent(dst("10.0.0.0/25"))
+
+    def test_sample_is_member(self):
+        space = dst("172.16.0.0/12") - dst("172.16.0.0/16")
+        packet = space.sample()
+        assert packet is not None
+        assert space.contains_packet(packet)
+
+    def test_multi_dimensional_difference(self):
+        http = HeaderSpace(
+            (Rect(dst_port=IntervalSet.of(80)),)
+        )
+        space = HeaderSpace.full() - http
+        assert not space.contains_packet(Packet(dst_ip=0, dst_port=80))
+        assert space.contains_packet(Packet(dst_ip=0, dst_port=81))
+
+
+class TestPacket:
+    def test_str_format(self):
+        packet = Packet(
+            dst_ip=parse_ipv4("10.0.0.1"),
+            src_ip=parse_ipv4("192.168.0.1"),
+            dst_port=443,
+        )
+        text = str(packet)
+        assert "10.0.0.1:443" in text
+        assert "192.168.0.1" in text
+
+    def test_ordering(self):
+        assert Packet(dst_ip=1) < Packet(dst_ip=2)

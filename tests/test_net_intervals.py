@@ -1,0 +1,198 @@
+"""Tests for repro.net.intervals."""
+
+import pytest
+
+from repro.net.addr import Prefix
+from repro.net.intervals import Interval, IntervalSet, atoms
+
+
+class TestInterval:
+    def test_length(self):
+        assert len(Interval(5, 9)) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 4)
+
+    def test_contains(self):
+        ival = Interval(10, 20)
+        assert ival.contains(10) and ival.contains(20) and ival.contains(15)
+        assert not ival.contains(9) and not ival.contains(21)
+
+    def test_overlaps(self):
+        assert Interval(0, 10).overlaps(Interval(10, 20))
+        assert not Interval(0, 9).overlaps(Interval(10, 20))
+
+    def test_touches_adjacent(self):
+        assert Interval(0, 9).touches(Interval(10, 20))
+        assert not Interval(0, 8).touches(Interval(10, 20))
+
+
+class TestNormalization:
+    def test_merges_overlapping(self):
+        s = IntervalSet([Interval(0, 10), Interval(5, 20)])
+        assert s.intervals == (Interval(0, 20),)
+
+    def test_merges_adjacent(self):
+        s = IntervalSet([Interval(0, 9), Interval(10, 20)])
+        assert s.intervals == (Interval(0, 20),)
+
+    def test_keeps_gaps(self):
+        s = IntervalSet([Interval(0, 5), Interval(7, 9)])
+        assert len(s.intervals) == 2
+
+    def test_sorting(self):
+        s = IntervalSet([Interval(100, 200), Interval(0, 5)])
+        assert s.intervals[0].lo == 0
+
+    def test_representation_equality_is_set_equality(self):
+        a = IntervalSet([Interval(0, 5), Interval(6, 10)])
+        b = IntervalSet([Interval(0, 10)])
+        assert a == b
+
+
+class TestConstructors:
+    def test_of(self):
+        s = IntervalSet.of(3, 1, 2)
+        assert s.intervals == (Interval(1, 3),)
+
+    def test_empty(self):
+        assert IntervalSet.empty().is_empty()
+        assert not IntervalSet.empty()
+
+    def test_full_width(self):
+        assert len(IntervalSet.full(8)) == 256
+
+    def test_from_prefix(self):
+        s = IntervalSet.from_prefix(Prefix.parse("10.0.0.0/24"))
+        assert len(s) == 256
+
+    def test_from_prefixes_merges(self):
+        s = IntervalSet.from_prefixes(
+            [Prefix.parse("10.0.0.0/25"), Prefix.parse("10.0.0.128/25")]
+        )
+        assert s == IntervalSet.from_prefix(Prefix.parse("10.0.0.0/24"))
+
+
+class TestQueries:
+    def test_contains_binary_search(self):
+        s = IntervalSet([Interval(0, 5), Interval(100, 110), Interval(1000, 1000)])
+        for value in (0, 5, 100, 110, 1000):
+            assert value in s
+        for value in (6, 99, 111, 999, 1001):
+            assert value not in s
+
+    def test_min_max_sample(self):
+        s = IntervalSet([Interval(10, 20), Interval(5, 7)])
+        assert s.min() == 5
+        assert s.max() == 20
+        assert s.sample() == 5
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            IntervalSet.empty().min()
+
+    def test_issubset(self):
+        small = IntervalSet.span(5, 10)
+        big = IntervalSet.span(0, 20)
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_isdisjoint(self):
+        assert IntervalSet.span(0, 5).isdisjoint(IntervalSet.span(6, 10))
+        assert not IntervalSet.span(0, 6).isdisjoint(IntervalSet.span(6, 10))
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IntervalSet.span(0, 5)
+        b = IntervalSet.span(10, 15)
+        assert len(a | b) == 12
+
+    def test_union_identity(self):
+        a = IntervalSet.span(3, 9)
+        assert (a | IntervalSet.empty()) == a
+        assert (IntervalSet.empty() | a) == a
+
+    def test_intersection(self):
+        a = IntervalSet.span(0, 10)
+        b = IntervalSet.span(5, 15)
+        assert (a & b) == IntervalSet.span(5, 10)
+
+    def test_intersection_disjoint_is_empty(self):
+        assert (IntervalSet.span(0, 4) & IntervalSet.span(5, 9)).is_empty()
+
+    def test_difference_splits(self):
+        a = IntervalSet.span(0, 10)
+        b = IntervalSet.span(4, 6)
+        diff = a - b
+        assert diff.intervals == (Interval(0, 3), Interval(7, 10))
+
+    def test_difference_multiple_subtrahends(self):
+        a = IntervalSet.span(0, 100)
+        b = IntervalSet([Interval(10, 20), Interval(30, 40)])
+        diff = a - b
+        assert 15 not in diff and 35 not in diff
+        assert 25 in diff and 0 in diff and 100 in diff
+        assert len(diff) == 101 - 22
+
+    def test_complement(self):
+        s = IntervalSet.span(0, (1 << 32) - 2)
+        assert s.complement() == IntervalSet.of((1 << 32) - 1)
+
+    def test_demorgan_on_samples(self):
+        a = IntervalSet([Interval(0, 50), Interval(100, 200)])
+        b = IntervalSet([Interval(25, 125)])
+        left = (a | b).complement(16)
+        right = a.complement(16) & b.complement(16)
+        assert left == right
+
+
+class TestPrefixDecomposition:
+    def test_exact_prefix(self):
+        s = IntervalSet.from_prefix(Prefix.parse("10.0.0.0/24"))
+        assert s.to_prefixes() == [Prefix.parse("10.0.0.0/24")]
+
+    def test_non_aligned_interval(self):
+        s = IntervalSet.span(1, 6)
+        prefixes = s.to_prefixes()
+        covered = IntervalSet.from_prefixes(prefixes)
+        assert covered == s
+        assert len(prefixes) == 4  # /32, /31, /30 split: 1, 2-3, 4-5, 6
+
+    def test_roundtrip_arbitrary(self):
+        s = IntervalSet([Interval(3, 77), Interval(1000, 4097)])
+        assert IntervalSet.from_prefixes(s.to_prefixes()) == s
+
+
+class TestAtoms:
+    def test_partition_covers_universe(self):
+        sets = [IntervalSet.span(10, 20), IntervalSet.span(15, 30)]
+        pieces = atoms(sets, width=8)
+        total = IntervalSet.empty()
+        for piece in pieces:
+            assert piece.intersection(total).is_empty()  # disjoint
+            total = total | piece
+        assert total == IntervalSet.full(8)
+
+    def test_inputs_are_unions_of_atoms(self):
+        sets = [
+            IntervalSet([Interval(10, 20), Interval(40, 50)]),
+            IntervalSet.span(15, 45),
+        ]
+        pieces = atoms(sets, width=8)
+        for s in sets:
+            rebuilt = IntervalSet.empty()
+            for piece in pieces:
+                overlap = piece & s
+                assert overlap.is_empty() or overlap == piece
+                rebuilt = rebuilt | overlap
+            assert rebuilt == s
+
+    def test_no_inputs_single_atom(self):
+        pieces = atoms([], width=8)
+        assert pieces == [IntervalSet.full(8)]

@@ -1,0 +1,120 @@
+"""Tests for repro.net.trie."""
+
+import pytest
+
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.trie import PrefixTrie
+
+
+@pytest.fixture
+def trie():
+    t = PrefixTrie()
+    t.insert(Prefix.parse("0.0.0.0/0"), "default")
+    t.insert(Prefix.parse("10.0.0.0/8"), "ten")
+    t.insert(Prefix.parse("10.1.0.0/16"), "ten-one")
+    t.insert(Prefix.parse("10.1.2.0/24"), "ten-one-two")
+    t.insert(Prefix.parse("192.168.0.0/16"), "rfc1918")
+    return t
+
+
+class TestInsertGet:
+    def test_exact_get(self, trie):
+        assert trie.get(Prefix.parse("10.1.0.0/16")) == "ten-one"
+
+    def test_get_missing(self, trie):
+        assert trie.get(Prefix.parse("10.2.0.0/16")) is None
+
+    def test_replace_value(self, trie):
+        trie.insert(Prefix.parse("10.0.0.0/8"), "replaced")
+        assert trie.get(Prefix.parse("10.0.0.0/8")) == "replaced"
+        assert len(trie) == 5
+
+    def test_len(self, trie):
+        assert len(trie) == 5
+
+    def test_empty_trie(self):
+        t = PrefixTrie()
+        assert len(t) == 0
+        assert not t
+        assert t.longest_match(0) is None
+
+
+class TestLongestMatch:
+    def test_most_specific_wins(self, trie):
+        prefix, value = trie.longest_match(parse_ipv4("10.1.2.3"))
+        assert value == "ten-one-two"
+        assert prefix == Prefix.parse("10.1.2.0/24")
+
+    def test_intermediate(self, trie):
+        _, value = trie.longest_match(parse_ipv4("10.1.9.9"))
+        assert value == "ten-one"
+
+    def test_falls_back_to_default(self, trie):
+        prefix, value = trie.longest_match(parse_ipv4("8.8.8.8"))
+        assert value == "default"
+        assert prefix.length == 0
+
+    def test_no_default_no_match(self):
+        t = PrefixTrie()
+        t.insert(Prefix.parse("10.0.0.0/8"), "x")
+        assert t.longest_match(parse_ipv4("11.0.0.0")) is None
+
+    def test_host_route(self):
+        t = PrefixTrie()
+        t.insert(Prefix.parse("1.1.1.1/32"), "host")
+        t.insert(Prefix.parse("1.1.1.0/24"), "subnet")
+        assert t.longest_match(parse_ipv4("1.1.1.1"))[1] == "host"
+        assert t.longest_match(parse_ipv4("1.1.1.2"))[1] == "subnet"
+
+
+class TestRemove:
+    def test_remove_returns_value(self, trie):
+        assert trie.remove(Prefix.parse("10.1.0.0/16")) == "ten-one"
+        assert len(trie) == 4
+
+    def test_remove_missing_returns_none(self, trie):
+        assert trie.remove(Prefix.parse("172.16.0.0/12")) is None
+        assert len(trie) == 5
+
+    def test_lpm_after_remove(self, trie):
+        trie.remove(Prefix.parse("10.1.2.0/24"))
+        assert trie.longest_match(parse_ipv4("10.1.2.3"))[1] == "ten-one"
+
+    def test_remove_keeps_descendants(self, trie):
+        trie.remove(Prefix.parse("10.0.0.0/8"))
+        assert trie.get(Prefix.parse("10.1.2.0/24")) == "ten-one-two"
+
+    def test_clear(self, trie):
+        trie.clear()
+        assert len(trie) == 0
+        assert trie.longest_match(parse_ipv4("10.1.2.3")) is None
+
+    def test_remove_all_then_reinsert(self, trie):
+        for prefix in list(trie.keys()):
+            trie.remove(prefix)
+        assert len(trie) == 0
+        trie.insert(Prefix.parse("1.0.0.0/8"), "fresh")
+        assert trie.longest_match(parse_ipv4("1.2.3.4"))[1] == "fresh"
+
+
+class TestIteration:
+    def test_items_complete(self, trie):
+        assert len(list(trie.items())) == 5
+
+    def test_keys_values_consistent(self, trie):
+        keys = list(trie.keys())
+        values = list(trie.values())
+        for key, value in zip(keys, values):
+            assert trie.get(key) == value
+
+    def test_covering(self, trie):
+        covering = list(trie.covering(Prefix.parse("10.1.2.0/24")))
+        names = [value for _, value in covering]
+        assert names == ["default", "ten", "ten-one", "ten-one-two"]
+
+    def test_covering_partial(self, trie):
+        covering = list(trie.covering(Prefix.parse("192.168.5.0/24")))
+        assert [v for _, v in covering] == ["default", "rfc1918"]
+
+    def test_contains(self, trie):
+        assert Prefix.parse("10.0.0.0/8") in trie

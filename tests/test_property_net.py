@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for the net layer.
+
+The verification engine's exhaustiveness rests entirely on this algebra
+being correct, so it gets adversarial random testing: interval-set laws,
+trie-vs-bruteforce LPM, CIDR decomposition, atom partitioning, and
+header-space set laws.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addr import MAX_IPV4, Prefix
+from repro.net.headerspace import HeaderSpace, Rect
+from repro.net.intervals import Interval, IntervalSet, atoms
+from repro.net.trie import PrefixTrie
+
+WIDTH = 12  # small universe so brute force is cheap
+UNIVERSE = (1 << WIDTH) - 1
+
+
+@st.composite
+def interval_sets(draw):
+    n = draw(st.integers(0, 6))
+    intervals = []
+    for _ in range(n):
+        lo = draw(st.integers(0, UNIVERSE))
+        hi = draw(st.integers(lo, UNIVERSE))
+        intervals.append(Interval(lo, hi))
+    return IntervalSet(intervals)
+
+
+def members(s: IntervalSet) -> set:
+    out = set()
+    for ival in s:
+        out.update(range(ival.lo, ival.hi + 1))
+    return out
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(st.integers(0, 32))
+    address = draw(st.integers(0, MAX_IPV4))
+    return Prefix.containing(address, length)
+
+
+class TestIntervalSetLaws:
+    @given(interval_sets(), interval_sets())
+    def test_union_matches_sets(self, a, b):
+        assert members(a | b) == members(a) | members(b)
+
+    @given(interval_sets(), interval_sets())
+    def test_intersection_matches_sets(self, a, b):
+        assert members(a & b) == members(a) & members(b)
+
+    @given(interval_sets(), interval_sets())
+    def test_difference_matches_sets(self, a, b):
+        assert members(a - b) == members(a) - members(b)
+
+    @given(interval_sets())
+    def test_complement_involution(self, a):
+        assert a.complement(WIDTH).complement(WIDTH) == a
+
+    @given(interval_sets())
+    def test_canonical_form_unique(self, a):
+        rebuilt = IntervalSet(a.intervals)
+        assert rebuilt.intervals == a.intervals
+
+    @given(interval_sets(), interval_sets())
+    def test_subset_consistency(self, a, b):
+        assert a.issubset(b) == (members(a) <= members(b))
+
+    @given(interval_sets())
+    def test_len_matches_cardinality(self, a):
+        assert len(a) == len(members(a))
+
+    @given(interval_sets(), st.integers(0, UNIVERSE))
+    def test_membership(self, a, value):
+        assert (value in a) == (value in members(a))
+
+
+class TestCidrDecomposition:
+    @given(interval_sets())
+    def test_to_prefixes_roundtrip(self, a):
+        assert IntervalSet.from_prefixes(a.to_prefixes()) == a
+
+    @given(interval_sets())
+    def test_prefixes_are_disjoint(self, a):
+        prefixes = a.to_prefixes()
+        seen = IntervalSet.empty()
+        for prefix in prefixes:
+            piece = IntervalSet.from_prefix(prefix)
+            assert piece.isdisjoint(seen)
+            seen = seen | piece
+
+
+class TestAtoms:
+    @given(st.lists(interval_sets(), max_size=4))
+    def test_atoms_partition_and_refine(self, sets):
+        pieces = atoms(sets, width=WIDTH)
+        total = IntervalSet.empty()
+        for piece in pieces:
+            assert not piece.is_empty()
+            assert piece.isdisjoint(total)
+            total = total | piece
+        assert total == IntervalSet.full(WIDTH)
+        for s in sets:
+            for piece in pieces:
+                overlap = piece & s
+                assert overlap.is_empty() or overlap == piece
+
+
+class TestTrieVsBruteForce:
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.tuples(prefixes(), st.integers()), max_size=20),
+        st.lists(st.integers(0, MAX_IPV4), max_size=20),
+    )
+    def test_lpm_matches_linear_scan(self, entries, queries):
+        trie = PrefixTrie()
+        table = {}
+        for prefix, value in entries:
+            trie.insert(prefix, value)
+            table[prefix] = value
+        for address in queries:
+            expected = None
+            best_len = -1
+            for prefix, value in table.items():
+                if prefix.contains(address) and prefix.length > best_len:
+                    best_len = prefix.length
+                    expected = (prefix, value)
+            assert trie.longest_match(address) == expected
+
+    @settings(max_examples=50)
+    @given(st.lists(st.tuples(prefixes(), st.integers()), max_size=20))
+    def test_insert_remove_inverse(self, entries):
+        trie = PrefixTrie()
+        table = {}
+        for prefix, value in entries:
+            trie.insert(prefix, value)
+            table[prefix] = value
+        assert len(trie) == len(table)
+        for prefix in list(table):
+            assert trie.remove(prefix) == table.pop(prefix)
+        assert len(trie) == 0
+
+
+@st.composite
+def header_spaces(draw):
+    n = draw(st.integers(0, 3))
+    rects = []
+    for _ in range(n):
+        rect = Rect()
+        if draw(st.booleans()):
+            lo = draw(st.integers(0, 1000))
+            hi = draw(st.integers(lo, 2000))
+            rect = rect.with_field(
+                draw(st.sampled_from(list(__import__("repro.net.headerspace", fromlist=["Field"]).Field))),
+                IntervalSet.span(lo, hi),
+            )
+        rects.append(rect)
+    return HeaderSpace(rects)
+
+
+class TestHeaderSpaceLaws:
+    @settings(max_examples=40)
+    @given(header_spaces(), header_spaces())
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        assert ((a - b) & b).is_empty()
+
+    @settings(max_examples=40)
+    @given(header_spaces(), header_spaces())
+    def test_partition(self, a, b):
+        # (a - b) | (a & b) == a
+        rebuilt = (a - b) | (a & b)
+        assert rebuilt.equivalent(a)
+
+    @settings(max_examples=40)
+    @given(header_spaces())
+    def test_sample_in_space(self, a):
+        packet = a.sample()
+        if packet is not None:
+            assert a.contains_packet(packet)

@@ -1,0 +1,230 @@
+"""Property-based tests for protocol-layer invariants."""
+
+import heapq
+
+import networkx
+from hypothesis import given, settings, strategies as st
+
+from repro.device.routing_policy import (
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+    MatchResult,
+)
+from repro.gnmi.paths import parse_path
+from repro.net.addr import MAX_IPV4, Prefix, parse_ipv4
+from repro.protocols.bgp_attrs import (
+    BgpPath,
+    Origin,
+    PathAttributes,
+    best_path,
+    multipath_set,
+)
+
+
+@st.composite
+def bgp_paths(draw):
+    return BgpPath(
+        attrs=PathAttributes(
+            next_hop=draw(st.integers(1, MAX_IPV4)),
+            as_path=tuple(
+                draw(st.lists(st.integers(1, 65535), max_size=4))
+            ),
+            origin=draw(st.sampled_from(list(Origin))),
+            med=draw(st.integers(0, 100)),
+            local_pref=draw(st.one_of(st.none(), st.integers(0, 500))),
+        ),
+        from_ebgp=draw(st.booleans()),
+        peer_ip=draw(st.integers(1, MAX_IPV4)),
+        peer_router_id=draw(st.integers(1, MAX_IPV4)),
+        is_local=False,
+    )
+
+
+def flat_metric(_next_hop):
+    return 7
+
+
+class TestDecisionProcessProperties:
+    @settings(max_examples=100)
+    @given(st.lists(bgp_paths(), min_size=1, max_size=8))
+    def test_best_is_member_and_deterministic(self, paths):
+        first = best_path(paths, flat_metric)
+        second = best_path(list(reversed(paths)), flat_metric)
+        assert first in paths
+        assert first == second  # input order must not matter
+
+    @settings(max_examples=100)
+    @given(st.lists(bgp_paths(), min_size=1, max_size=8))
+    def test_best_dominates_on_local_pref(self, paths):
+        best = best_path(paths, flat_metric)
+        assert best is not None
+        top = max(p.attrs.effective_local_pref for p in paths)
+        assert best.attrs.effective_local_pref == top
+
+    @settings(max_examples=100)
+    @given(st.lists(bgp_paths(), min_size=1, max_size=8),
+           st.integers(1, 8))
+    def test_multipath_contains_best_and_respects_cap(self, paths, cap):
+        chosen = multipath_set(paths, flat_metric, maximum_paths=cap)
+        best = best_path(paths, flat_metric)
+        assert chosen[0] == best
+        assert len(chosen) <= cap
+        assert len({id(p) for p in chosen}) == len(chosen)
+
+    @settings(max_examples=60)
+    @given(st.lists(bgp_paths(), min_size=2, max_size=8))
+    def test_removing_best_promotes_another(self, paths):
+        best = best_path(paths, flat_metric)
+        rest = [p for p in paths if p is not best]
+        runner_up = best_path(rest, flat_metric)
+        if rest:
+            assert runner_up in rest
+
+
+@st.composite
+def prefix_list_entries(draw):
+    length = draw(st.integers(0, 24))
+    network = draw(st.integers(0, MAX_IPV4))
+    prefix = Prefix.containing(network, length)
+    ge = draw(st.one_of(st.none(), st.integers(length, 32)))
+    le_floor = ge if ge is not None else length
+    le = draw(st.one_of(st.none(), st.integers(le_floor, 32)))
+    return PrefixListEntry(
+        seq=draw(st.integers(1, 1000)),
+        permit=draw(st.booleans()),
+        prefix=prefix,
+        ge=ge,
+        le=le,
+    )
+
+
+@st.composite
+def candidate_prefixes(draw):
+    length = draw(st.integers(0, 32))
+    return Prefix.containing(draw(st.integers(0, MAX_IPV4)), length)
+
+
+class TestPrefixListProperties:
+    @settings(max_examples=100)
+    @given(prefix_list_entries(), candidate_prefixes())
+    def test_match_implies_containment_and_length_band(self, entry, candidate):
+        if entry.matches(candidate):
+            assert entry.prefix.contains_prefix(candidate)
+            lo = entry.ge if entry.ge is not None else entry.prefix.length
+            hi = entry.le if entry.le is not None else (
+                32 if entry.ge is not None else entry.prefix.length
+            )
+            assert lo <= candidate.length <= hi
+
+    @settings(max_examples=60)
+    @given(st.lists(prefix_list_entries(), max_size=6), candidate_prefixes())
+    def test_first_match_semantics(self, entries, candidate):
+        plist = PrefixList("P")
+        for entry in entries:
+            plist.add(entry)
+        verdict = plist.permits(candidate)
+        expected = False
+        for entry in sorted(entries, key=lambda e: e.seq):
+            if entry.matches(candidate):
+                expected = entry.permit
+                break
+        assert verdict == expected
+
+
+class TestRouteMapProperties:
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.integers(1, 100), min_size=1, max_size=5, unique=True),
+        candidate_prefixes(),
+    )
+    def test_lowest_matching_seq_wins(self, seqs, prefix):
+        route_map = RouteMap("RM")
+        for seq in seqs:
+            route_map.add(
+                RouteMapClause(seq=seq, permit=True, set_med=seq)
+            )
+        attrs = PathAttributes(next_hop=1)
+        verdict, updated = route_map.evaluate(prefix, attrs, {})
+        assert verdict is MatchResult.PERMIT
+        assert updated.med == min(seqs)
+
+
+class TestSpfAgainstNetworkx:
+    """The emulated IS-IS SPF must agree with networkx's Dijkstra."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_distances_match(self, data):
+        n = data.draw(st.integers(2, 8))
+        nodes = [f"n{i}" for i in range(n)]
+        edges = {}
+        for i in range(1, n):
+            j = data.draw(st.integers(0, i - 1))
+            weight = data.draw(st.integers(1, 20))
+            edges[(nodes[i], nodes[j])] = weight
+        extra = data.draw(st.integers(0, n))
+        for _ in range(extra):
+            a = data.draw(st.sampled_from(nodes))
+            b = data.draw(st.sampled_from(nodes))
+            if a != b and (a, b) not in edges and (b, a) not in edges:
+                edges[(a, b)] = data.draw(st.integers(1, 20))
+
+        # Feed the same graph to our IS-IS-style Dijkstra (via a fake
+        # LSDB) and to networkx.
+        from repro.protocols.isis import IsisInstance, Lsp
+
+        lsdb = {}
+        neighbor_map = {node: [] for node in nodes}
+        for (a, b), weight in edges.items():
+            neighbor_map[a].append((b, weight))
+            neighbor_map[b].append((a, weight))
+        for node in nodes:
+            lsdb[node] = Lsp(
+                system_id=node,
+                sequence=1,
+                neighbors=tuple(sorted(neighbor_map[node])),
+                prefixes=(),
+            )
+
+        instance = IsisInstance.__new__(IsisInstance)
+        instance.lsdb = lsdb
+        instance.system_id = nodes[0]
+        distance, _first = IsisInstance._dijkstra(instance)
+
+        graph = networkx.Graph()
+        for (a, b), weight in edges.items():
+            graph.add_edge(a, b, weight=weight)
+        expected = networkx.single_source_dijkstra_path_length(
+            graph, nodes[0], weight="weight"
+        )
+        assert {k: v for k, v in distance.items()} == dict(expected)
+
+
+class TestGnmiPathProperties:
+    @settings(max_examples=100)
+    @given(
+        st.lists(
+            st.tuples(
+                st.from_regex(r"[a-z][a-z0-9-]{0,10}", fullmatch=True),
+                st.lists(
+                    st.tuples(
+                        st.from_regex(r"[a-z][a-z0-9-]{0,6}", fullmatch=True),
+                        st.from_regex(r"[a-zA-Z0-9./-]{1,10}", fullmatch=True),
+                    ),
+                    max_size=2,
+                ),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_format_parse_roundtrip(self, elements):
+        text = "/" + "/".join(
+            name + "".join(f"[{k}={v}]" for k, v in keys)
+            for name, keys in elements
+        )
+        path = parse_path(text)
+        assert str(path) == text
+        assert parse_path(str(path)) == path

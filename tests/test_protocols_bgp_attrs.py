@@ -1,0 +1,139 @@
+"""BGP decision-process tests."""
+
+from repro.net.addr import parse_ipv4
+from repro.protocols.bgp_attrs import (
+    BgpPath,
+    Origin,
+    PathAttributes,
+    best_path,
+    intern_attrs,
+)
+
+
+def path(
+    *,
+    local_pref=None,
+    as_path=(65001,),
+    origin=Origin.IGP,
+    med=0,
+    from_ebgp=True,
+    next_hop="10.0.0.1",
+    peer_ip="10.0.0.1",
+    router_id=1,
+    is_local=False,
+):
+    return BgpPath(
+        attrs=PathAttributes(
+            next_hop=parse_ipv4(next_hop),
+            as_path=tuple(as_path),
+            origin=origin,
+            med=med,
+            local_pref=local_pref,
+        ),
+        from_ebgp=from_ebgp,
+        peer_ip=parse_ipv4(peer_ip),
+        peer_router_id=router_id,
+        is_local=is_local,
+    )
+
+
+def flat_metric(_next_hop):
+    return 10
+
+
+class TestDecisionSteps:
+    def test_higher_local_pref_wins(self):
+        lo = path(local_pref=100, as_path=(1,))
+        hi = path(local_pref=200, as_path=(1, 2, 3), peer_ip="10.0.0.2")
+        assert best_path([lo, hi], flat_metric) is hi
+
+    def test_default_local_pref_is_100(self):
+        default = path(local_pref=None)
+        lower = path(local_pref=90, peer_ip="10.0.0.2")
+        assert best_path([default, lower], flat_metric) is default
+
+    def test_local_origination_beats_learned(self):
+        learned = path(as_path=())
+        originated = path(is_local=True, from_ebgp=False, as_path=(),
+                          peer_ip="0.0.0.1")
+        assert best_path([learned, originated], flat_metric) is originated
+
+    def test_shorter_as_path_wins(self):
+        short = path(as_path=(65001,))
+        long = path(as_path=(65002, 65003), peer_ip="10.0.0.2")
+        assert best_path([short, long], flat_metric) is short
+
+    def test_lower_origin_wins(self):
+        igp = path(origin=Origin.IGP)
+        incomplete = path(origin=Origin.INCOMPLETE, peer_ip="10.0.0.2")
+        assert best_path([incomplete, igp], flat_metric) is igp
+
+    def test_lower_med_wins_same_first_as(self):
+        cheap = path(med=10)
+        pricey = path(med=50, peer_ip="10.0.0.2")
+        assert best_path([pricey, cheap], flat_metric) is cheap
+
+    def test_ebgp_beats_ibgp(self):
+        external = path(from_ebgp=True)
+        internal = path(from_ebgp=False, peer_ip="10.0.0.2")
+        assert best_path([internal, external], flat_metric) is external
+
+    def test_nearer_igp_next_hop_wins(self):
+        near = path(from_ebgp=False, next_hop="10.0.0.1")
+        far = path(from_ebgp=False, next_hop="10.0.0.2", peer_ip="10.0.0.2")
+
+        def metric(next_hop):
+            return 5 if next_hop == parse_ipv4("10.0.0.1") else 50
+
+        assert best_path([far, near], metric) is near
+
+    def test_metric_bug_quirk_inverts_choice(self):
+        near = path(from_ebgp=False, next_hop="10.0.0.1")
+        far = path(from_ebgp=False, next_hop="10.0.0.2", peer_ip="10.0.0.2")
+
+        def metric(next_hop):
+            return 5 if next_hop == parse_ipv4("10.0.0.1") else 50
+
+        chosen = best_path(
+            [far, near], metric, prefer_higher_igp_metric=True
+        )
+        assert chosen is far  # the §2 vendor regression
+
+    def test_router_id_tiebreak(self):
+        a = path(router_id=5)
+        b = path(router_id=3, peer_ip="10.0.0.2")
+        assert best_path([a, b], flat_metric) is b
+
+    def test_peer_ip_final_tiebreak(self):
+        a = path(peer_ip="10.0.0.9")
+        b = path(peer_ip="10.0.0.2")
+        assert best_path([a, b], flat_metric) is b
+
+
+class TestEligibility:
+    def test_unresolvable_next_hop_ineligible(self):
+        unreachable = path(next_hop="10.0.0.1")
+        assert best_path([unreachable], lambda _nh: None) is None
+
+    def test_local_path_always_eligible(self):
+        local = path(is_local=True)
+        assert best_path([local], lambda _nh: None) is local
+
+    def test_empty_input(self):
+        assert best_path([], flat_metric) is None
+
+
+class TestInterning:
+    def test_equal_attrs_share_instance(self):
+        a = intern_attrs(PathAttributes(next_hop=1, as_path=(65001,)))
+        b = intern_attrs(PathAttributes(next_hop=1, as_path=(65001,)))
+        assert a is b
+
+    def test_different_attrs_distinct(self):
+        a = intern_attrs(PathAttributes(next_hop=1))
+        b = intern_attrs(PathAttributes(next_hop=2))
+        assert a is not b
+
+    def test_first_as(self):
+        assert PathAttributes(next_hop=1, as_path=(7, 8)).first_as == 7
+        assert PathAttributes(next_hop=1).first_as is None

@@ -1,0 +1,203 @@
+"""IS-IS protocol behaviour tests over the mini harness."""
+
+from repro.net.addr import Prefix, parse_ipv4
+from repro.rib.route import Protocol
+
+from tests.helpers import isis_config, mini_net
+
+
+def line3(seed=0):
+    configs = {
+        "r1": isis_config("r1", 1, "2.2.2.1", [("Ethernet1", "10.0.0.0/31")]),
+        "r2": isis_config(
+            "r2", 2, "2.2.2.2",
+            [("Ethernet1", "10.0.0.1/31"), ("Ethernet2", "10.0.1.0/31")],
+        ),
+        "r3": isis_config("r3", 3, "2.2.2.3", [("Ethernet1", "10.0.1.1/31")]),
+    }
+    links = [
+        ("r1", "Ethernet1", "r2", "Ethernet1"),
+        ("r2", "Ethernet2", "r3", "Ethernet1"),
+    ]
+    net = mini_net(configs, links, seed=seed)
+    net.converge()
+    return net
+
+
+class TestAdjacency:
+    def test_adjacencies_form(self):
+        net = line3()
+        r2 = net.router("r2")
+        assert sorted(a.system_id for a in r2.isis.adjacency_summary()) == [
+            "0000.0000.0001",
+            "0000.0000.0003",
+        ]
+
+    def test_edge_router_single_adjacency(self):
+        net = line3()
+        assert len(net.router("r1").isis.adjacencies) == 1
+
+    def test_lsdb_synchronized(self):
+        net = line3()
+        dbs = [
+            {lsp.system_id for lsp in net.router(n).isis.database_summary()}
+            for n in ("r1", "r2", "r3")
+        ]
+        assert dbs[0] == dbs[1] == dbs[2]
+        assert len(dbs[0]) == 3
+
+
+class TestRoutes:
+    def test_remote_loopbacks_installed(self):
+        net = line3()
+        r1 = net.router("r1")
+        route = r1.rib.best(Prefix.parse("2.2.2.3/32"))
+        assert route is not None
+        assert route.protocol is Protocol.ISIS
+        # Two links at metric 10 plus the originator's prefix metric 10.
+        assert route.metric == 30
+
+    def test_transit_subnet_learned(self):
+        net = line3()
+        r1 = net.router("r1")
+        route = r1.rib.best(Prefix.parse("10.0.1.0/31"))
+        assert route is not None and route.protocol is Protocol.ISIS
+
+    def test_own_prefixes_not_isis(self):
+        net = line3()
+        r1 = net.router("r1")
+        route = r1.rib.best(Prefix.parse("2.2.2.1/32"))
+        assert route.protocol is not Protocol.ISIS
+
+    def test_next_hop_is_neighbor_address(self):
+        net = line3()
+        route = net.router("r1").rib.best(Prefix.parse("2.2.2.3/32"))
+        assert route.next_hops[0].ip == parse_ipv4("10.0.0.1")
+        assert route.next_hops[0].interface == "Ethernet1"
+
+
+class TestMetricsAndEcmp:
+    def test_custom_metric_shifts_path(self):
+        # Square: r1-r2-r4 and r1-r3-r4; make r1-r2 expensive.
+        def cfg(name, index, loopback, interfaces, expensive=None):
+            text = isis_config(name, index, loopback, interfaces)
+            if expensive:
+                text += (
+                    f"interface {expensive}\n   isis metric 100\n"
+                )
+            return text
+
+        configs = {
+            "r1": cfg("r1", 1, "2.2.2.1",
+                      [("Ethernet1", "10.0.0.0/31"), ("Ethernet2", "10.0.1.0/31")],
+                      expensive="Ethernet1"),
+            "r2": cfg("r2", 2, "2.2.2.2",
+                      [("Ethernet1", "10.0.0.1/31"), ("Ethernet2", "10.0.2.0/31")]),
+            "r3": cfg("r3", 3, "2.2.2.3",
+                      [("Ethernet1", "10.0.1.1/31"), ("Ethernet2", "10.0.3.0/31")]),
+            "r4": cfg("r4", 4, "2.2.2.4",
+                      [("Ethernet1", "10.0.2.1/31"), ("Ethernet2", "10.0.3.1/31")]),
+        }
+        links = [
+            ("r1", "Ethernet1", "r2", "Ethernet1"),
+            ("r1", "Ethernet2", "r3", "Ethernet1"),
+            ("r2", "Ethernet2", "r4", "Ethernet1"),
+            ("r3", "Ethernet2", "r4", "Ethernet2"),
+        ]
+        net = mini_net(configs, links)
+        net.converge()
+        route = net.router("r1").rib.best(Prefix.parse("2.2.2.4/32"))
+        # Must go via r3 (Ethernet2), avoiding the expensive link.
+        assert route.next_hops[0].interface == "Ethernet2"
+
+    def test_equal_cost_paths_both_installed(self):
+        configs = {
+            "r1": isis_config("r1", 1, "2.2.2.1",
+                              [("Ethernet1", "10.0.0.0/31"),
+                               ("Ethernet2", "10.0.1.0/31")]),
+            "r2": isis_config("r2", 2, "2.2.2.2",
+                              [("Ethernet1", "10.0.0.1/31"),
+                               ("Ethernet2", "10.0.2.0/31")]),
+            "r3": isis_config("r3", 3, "2.2.2.3",
+                              [("Ethernet1", "10.0.1.1/31"),
+                               ("Ethernet2", "10.0.3.0/31")]),
+            "r4": isis_config("r4", 4, "2.2.2.4",
+                              [("Ethernet1", "10.0.2.1/31"),
+                               ("Ethernet2", "10.0.3.1/31")]),
+        }
+        links = [
+            ("r1", "Ethernet1", "r2", "Ethernet1"),
+            ("r1", "Ethernet2", "r3", "Ethernet1"),
+            ("r2", "Ethernet2", "r4", "Ethernet1"),
+            ("r3", "Ethernet2", "r4", "Ethernet2"),
+        ]
+        net = mini_net(configs, links)
+        net.converge()
+        route = net.router("r1").rib.best(Prefix.parse("2.2.2.4/32"))
+        assert len(route.next_hops) == 2
+
+
+class TestFailure:
+    def test_link_cut_reroutes_or_withdraws(self):
+        net = line3()
+        net.link_down("r2", "Ethernet2", "r3", "Ethernet1")
+        net.converge()
+        assert net.router("r1").rib.best(Prefix.parse("2.2.2.3/32")) is None
+
+    def test_link_cut_keeps_unaffected_routes(self):
+        net = line3()
+        net.link_down("r2", "Ethernet2", "r3", "Ethernet1")
+        net.converge()
+        assert net.router("r1").rib.best(Prefix.parse("2.2.2.2/32")) is not None
+
+    def test_ring_reroutes_around_cut(self):
+        configs = {
+            "r1": isis_config("r1", 1, "2.2.2.1",
+                              [("Ethernet1", "10.0.0.0/31"),
+                               ("Ethernet2", "10.0.2.1/31")]),
+            "r2": isis_config("r2", 2, "2.2.2.2",
+                              [("Ethernet1", "10.0.0.1/31"),
+                               ("Ethernet2", "10.0.1.0/31")]),
+            "r3": isis_config("r3", 3, "2.2.2.3",
+                              [("Ethernet1", "10.0.1.1/31"),
+                               ("Ethernet2", "10.0.2.0/31")]),
+        }
+        links = [
+            ("r1", "Ethernet1", "r2", "Ethernet1"),
+            ("r2", "Ethernet2", "r3", "Ethernet1"),
+            ("r3", "Ethernet2", "r1", "Ethernet2"),
+        ]
+        net = mini_net(configs, links)
+        net.converge()
+        before = net.router("r1").rib.best(Prefix.parse("2.2.2.3/32"))
+        assert before.next_hops[0].interface == "Ethernet2"  # direct
+        net.link_down("r3", "Ethernet2", "r1", "Ethernet2")
+        net.converge()
+        after = net.router("r1").rib.best(Prefix.parse("2.2.2.3/32"))
+        assert after is not None
+        assert after.next_hops[0].interface == "Ethernet1"  # via r2
+        assert after.metric == 30
+
+    def test_hold_timer_expiry_without_carrier_loss(self):
+        # Cut only one direction's channel (r2 can't hear r3) without
+        # signalling link-down: the adjacency must die by hold timeout.
+        net = line3()
+        channel = net.channels[("r3", "Ethernet1")]  # r3 -> r2 direction
+        channel.set_down()
+        net.converge(quiet=3.0)
+        r2 = net.router("r2")
+        assert "0000.0000.0003" not in r2.isis.adjacencies
+
+
+class TestPassive:
+    def test_passive_interface_advertised_but_no_adjacency(self):
+        net = line3()
+        r1 = net.router("r1")
+        # Loopback prefix advertised...
+        own_lsp = r1.isis.lsdb["0000.0000.0001"]
+        advertised = {str(p) for p, _m in own_lsp.prefixes}
+        assert "2.2.2.1/32" in advertised
+        # ...but no adjacency was ever attempted on it.
+        assert all(
+            adj.port.name != "Loopback0" for adj in r1.isis.adjacencies.values()
+        )

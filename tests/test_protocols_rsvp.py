@@ -1,0 +1,128 @@
+"""RSVP-TE signaling, repair, and the vendor timer-interplay anecdote."""
+
+from repro.net.addr import Prefix, parse_ipv4
+from repro.rib.route import Protocol
+
+from tests.helpers import isis_config, mini_net
+
+
+def te_config(name, index, loopback, interfaces, tunnel_to=None):
+    text = isis_config(name, index, loopback, interfaces)
+    text += "mpls ip\nrouter traffic-engineering\n   rsvp\n"
+    if tunnel_to:
+        text += (
+            f"mpls tunnel TO-{tunnel_to.replace('.', '-')}\n"
+            f"   destination {tunnel_to}\n"
+        )
+    return text
+
+
+def te_triangle(os_versions=None, seed=0):
+    """r1 and r3 joined directly and via r2; r1 runs a tunnel to r3."""
+    configs = {
+        "r1": te_config("r1", 1, "2.2.2.1",
+                        [("Ethernet1", "10.0.0.0/31"),
+                         ("Ethernet2", "10.0.2.0/31")],
+                        tunnel_to="2.2.2.3"),
+        "r2": te_config("r2", 2, "2.2.2.2",
+                        [("Ethernet1", "10.0.0.1/31"),
+                         ("Ethernet2", "10.0.1.0/31")]),
+        "r3": te_config("r3", 3, "2.2.2.3",
+                        [("Ethernet1", "10.0.1.1/31"),
+                         ("Ethernet2", "10.0.2.1/31")]),
+    }
+    links = [
+        ("r1", "Ethernet1", "r2", "Ethernet1"),
+        ("r2", "Ethernet2", "r3", "Ethernet1"),
+        ("r1", "Ethernet2", "r3", "Ethernet2"),
+    ]
+    net = mini_net(configs, links, os_versions=os_versions or {}, seed=seed)
+    net.converge(quiet=5.0)
+    return net
+
+
+class TestSignaling:
+    def test_tunnel_comes_up(self):
+        net = te_triangle()
+        rsvp = net.router("r1").rsvp
+        assert rsvp is not None
+        tunnel = next(iter(rsvp.tunnels.values()))
+        assert tunnel.up
+        # Direct link is the IGP shortest path.
+        assert tunnel.current_route == ("r1", "r3")
+
+    def test_transit_state_installed_along_path(self):
+        net = te_triangle()
+        lsp_id = next(iter(net.router("r1").rsvp.tunnels))
+        assert lsp_id in net.router("r1").rsvp.path_state
+        assert lsp_id in net.router("r3").rsvp.path_state
+
+    def test_labels_allocated(self):
+        net = te_triangle()
+        state = next(iter(net.router("r1").rsvp.path_state.values()))
+        assert state.out_label is not None and state.out_label >= 16
+
+    def test_tunnel_route_installed(self):
+        net = te_triangle()
+        route = net.router("r1").rib.best(Prefix.parse("2.2.2.3/32"))
+        assert route.protocol is Protocol.RSVP_TE  # distance 7 < 115
+
+    def test_cli_shows_tunnel(self):
+        net = te_triangle()
+        output = net.router("r1").cli("show mpls rsvp tunnel")
+        assert "up" in output and "2.2.2.3" in output
+
+
+class TestRepair:
+    def test_fast_repair_with_path_err(self):
+        net = te_triangle()
+        t_cut = net.kernel.now
+        net.link_down("r1", "Ethernet2", "r3", "Ethernet2")
+        net.converge(quiet=10.0)
+        tunnel = next(iter(net.router("r1").rsvp.tunnels.values()))
+        assert tunnel.up
+        assert tunnel.current_route == ("r1", "r2", "r3")
+        repair = tunnel.last_repair_time - t_cut
+        # Healthy vendors detect locally (link-down) and re-signal fast.
+        assert repair < 15.0
+
+    def test_slow_repair_with_quiet_vendor(self):
+        """§2 interplay: a transit vendor that never sends PathErr forces
+        soft-state-timeout-based discovery upstream."""
+        # Make the tunnel traverse r2 by cutting the direct link first.
+        fast = te_triangle()
+        fast.link_down("r1", "Ethernet2", "r3", "Ethernet2")
+        fast.converge(quiet=10.0)
+        fast_tunnel = next(iter(fast.router("r1").rsvp.tunnels.values()))
+        assert fast_tunnel.current_route == ("r1", "r2", "r3")
+        t_cut = fast.kernel.now
+        fast.link_down("r2", "Ethernet2", "r3", "Ethernet1")
+        fast.converge(quiet=30.0)
+        # The midpoint r2 saw the failure and (healthy build) told r1.
+        healthy_repair = (
+            next(iter(fast.router("r1").rsvp.tunnels.values())).last_repair_time
+            - t_cut
+        )
+        assert healthy_repair < 15.0
+
+    def test_tunnel_reported_down_when_no_alternate(self):
+        configs = {
+            "r1": te_config("r1", 1, "2.2.2.1",
+                            [("Ethernet1", "10.0.0.0/31")],
+                            tunnel_to="2.2.2.2"),
+            "r2": te_config("r2", 2, "2.2.2.2",
+                            [("Ethernet1", "10.0.0.1/31")]),
+        }
+        net = mini_net(configs, [("r1", "Ethernet1", "r2", "Ethernet1")])
+        net.converge(quiet=5.0)
+        tunnel = next(iter(net.router("r1").rsvp.tunnels.values()))
+        assert tunnel.up
+        net.link_down("r1", "Ethernet1", "r2", "Ethernet1")
+        net.converge(quiet=5.0)
+        assert not tunnel.up
+        # RSVP-TE route withdrawn with the tunnel.
+        assert (
+            net.router("r1").rib.best(Prefix.parse("2.2.2.2/32")) is None
+            or net.router("r1").rib.best(Prefix.parse("2.2.2.2/32")).protocol
+            is not Protocol.RSVP_TE
+        )

@@ -1,0 +1,154 @@
+"""Pybatfish-style frontend tests."""
+
+import pytest
+
+from repro.pybf.answer import Frame
+from repro.pybf.session import Session, SessionError
+
+
+@pytest.fixture()
+def session(fig3_emulated, fig3_model):
+    bf = Session()
+    bf.init_snapshot(fig3_emulated[1], name="emulated")
+    bf.init_snapshot(fig3_model[1], name="model")
+    return bf
+
+
+class TestSessionManagement:
+    def test_init_sets_current(self, fig3_emulated):
+        bf = Session()
+        bf.init_snapshot(fig3_emulated[1], name="x")
+        assert bf.get_snapshot().name == fig3_emulated[1].name
+
+    def test_duplicate_name_rejected(self, session, fig3_emulated):
+        with pytest.raises(SessionError):
+            session.init_snapshot(fig3_emulated[1], name="emulated")
+
+    def test_overwrite_allowed(self, session, fig3_emulated):
+        session.init_snapshot(fig3_emulated[1], name="emulated", overwrite=True)
+
+    def test_set_unknown_snapshot(self, session):
+        with pytest.raises(SessionError):
+            session.set_snapshot("ghost")
+
+    def test_delete_snapshot(self, session):
+        session.delete_snapshot("model")
+        assert session.list_snapshots() == ["emulated"]
+
+    def test_empty_session_errors(self):
+        bf = Session()
+        with pytest.raises(SessionError):
+            bf.get_snapshot()
+
+
+class TestQuestions:
+    def test_routes_question(self, session):
+        answer = session.q.routes(nodes="r2").answer(snapshot="emulated")
+        frame = answer.frame()
+        prefixes = frame.column("Prefix")
+        assert "2.2.2.1/32" in prefixes
+        assert all(row["Node"] == "r2" for row in frame)
+
+    def test_reachability_success(self, session):
+        answer = session.q.reachability(
+            startLocation="r2", dst="2.2.2.1/32"
+        ).answer(snapshot="emulated")
+        assert len(answer) == 1
+        assert answer.frame().rows[0]["Dispositions"] == "accepted"
+
+    def test_reachability_failure_filter(self, session):
+        answer = session.q.reachability(
+            startLocation="r2", dst="2.2.2.1/32", actions="FAILURE"
+        ).answer(snapshot="model")
+        assert len(answer) == 1
+        assert "no-route" in answer.frame().rows[0]["Dispositions"]
+
+    def test_traceroute(self, session):
+        answer = session.q.traceroute(
+            startLocation="r3", dst="2.2.2.1"
+        ).answer(snapshot="emulated")
+        row = answer.frame().rows[0]
+        assert row["Disposition"] == "accepted"
+        assert row["Hops"] == 3
+
+    def test_differential_reachability(self, session):
+        answer = session.q.differentialReachability().answer(
+            snapshot="model", reference_snapshot="emulated"
+        )
+        rows = answer.frame().rows
+        assert any(
+            row["Ingress"] == "r2" and row["Regressed"] for row in rows
+        )
+        assert "regressions" in answer.summary
+
+    def test_layer3_edges(self, session):
+        answer = session.q.layer3Edges().answer(snapshot="emulated")
+        assert len(answer) == 2  # two links in the line
+
+    def test_model_snapshot_missing_edge(self, session):
+        """The 'missing L3 edge' failure mode, visible via the query."""
+        answer = session.q.layer3Edges().answer(snapshot="model")
+        assert len(answer) == 1  # r1's edge is gone in the model
+
+    def test_detect_loops_clean(self, session):
+        answer = session.q.detectLoops().answer(snapshot="emulated")
+        assert len(answer) == 0
+
+
+class TestFrame:
+    def test_filter_and_head(self):
+        frame = Frame(["a"], [{"a": i} for i in range(10)])
+        assert len(frame.filter(lambda r: r["a"] % 2 == 0)) == 5
+        assert len(frame.head(3)) == 3
+
+    def test_to_string_renders_table(self):
+        frame = Frame(["col"], [{"col": "value"}])
+        text = frame.to_string()
+        assert "col" in text and "value" in text
+
+    def test_to_string_truncates(self):
+        frame = Frame(["col"], [{"col": "x" * 100}])
+        assert "…" in frame.to_string(max_width=10)
+
+    def test_empty_frame(self):
+        assert Frame(["col"]).to_string() == "(no rows)"
+
+
+class TestDifferentialRoutes:
+    def test_identical_snapshots_empty(self, session):
+        answer = session.q.routes().answer(
+            snapshot="emulated", reference_snapshot="emulated"
+        )
+        assert len(answer) == 0
+
+    def test_backend_fib_differences_surface(self, session):
+        answer = session.q.routes(nodes="r2").answer(
+            snapshot="model", reference_snapshot="emulated"
+        )
+        rows = answer.frame().rows
+        # The model lost r2's route to r1's loopback.
+        assert any(
+            row["Prefix"] == "2.2.2.1/32"
+            and row["Snapshot_Status"] == "ONLY_IN_REFERENCE"
+            for row in rows
+        )
+
+    def test_changed_entries_carry_reference_hops(self, session):
+        answer = session.q.routes().answer(
+            snapshot="model", reference_snapshot="emulated"
+        )
+        for row in answer.frame().rows:
+            if row["Snapshot_Status"] == "CHANGED":
+                assert "Reference_Next_Hops" in row
+
+
+class TestGnmiCapabilities:
+    def test_capabilities_models(self, fig3_emulated):
+        from repro.gnmi.server import GnmiServer
+
+        backend, _snapshot = fig3_emulated
+        server = GnmiServer(backend.last_run.deployment.routers["r1"])
+        capabilities = server.capabilities()
+        names = {m["name"] for m in capabilities["supported-models"]}
+        assert "openconfig-aft" in names
+        assert capabilities["supported-encodings"] == ["JSON_IETF"]

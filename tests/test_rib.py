@@ -1,0 +1,232 @@
+"""Tests for RIB selection, recursive resolution, and FIB maintenance."""
+
+from repro.net.addr import Prefix, parse_ipv4
+from repro.rib.fib import FibAction
+from repro.rib.rib import Rib
+from repro.rib.route import NextHop, Protocol, Route
+
+
+def connected(prefix, iface):
+    return Route(
+        prefix=Prefix.parse(prefix),
+        protocol=Protocol.CONNECTED,
+        next_hops=(NextHop(interface=iface),),
+    )
+
+
+def local(address, iface):
+    return Route(
+        prefix=Prefix.parse(address + "/32"),
+        protocol=Protocol.LOCAL,
+        next_hops=(NextHop(interface=iface),),
+    )
+
+
+def isis(prefix, via_ip, iface, metric=10):
+    return Route(
+        prefix=Prefix.parse(prefix),
+        protocol=Protocol.ISIS,
+        next_hops=(NextHop(ip=parse_ipv4(via_ip), interface=iface),),
+        metric=metric,
+    )
+
+
+def bgp(prefix, next_hop, internal=True):
+    return Route(
+        prefix=Prefix.parse(prefix),
+        protocol=Protocol.BGP_INTERNAL if internal else Protocol.BGP_EXTERNAL,
+        next_hops=(NextHop(ip=parse_ipv4(next_hop)),),
+    )
+
+
+class TestSelection:
+    def test_admin_distance_ordering(self):
+        rib = Rib()
+        rib.install(isis("10.0.0.0/24", "192.168.0.1", "Ethernet1"))
+        rib.install(
+            Route(
+                prefix=Prefix.parse("10.0.0.0/24"),
+                protocol=Protocol.STATIC,
+                next_hops=(NextHop(ip=parse_ipv4("192.168.0.9"), interface="Ethernet2"),),
+            )
+        )
+        best = rib.best(Prefix.parse("10.0.0.0/24"))
+        assert best.protocol is Protocol.STATIC
+
+    def test_local_beats_connected_for_own_address(self):
+        rib = Rib()
+        rib.install(connected("2.2.2.2/32", "Loopback0"))
+        rib.install(local("2.2.2.2", "Loopback0"))
+        entry = rib.fib.lookup(parse_ipv4("2.2.2.2"))
+        assert entry.action is FibAction.RECEIVE
+
+    def test_metric_breaks_same_protocol_tie(self):
+        rib = Rib()
+        rib.install(isis("10.0.0.0/24", "192.168.0.1", "Ethernet1", metric=20))
+        # Same protocol replaces; check re-install with better metric.
+        rib.install(isis("10.0.0.0/24", "192.168.0.2", "Ethernet2", metric=5))
+        best = rib.best(Prefix.parse("10.0.0.0/24"))
+        assert best.metric == 5
+
+    def test_custom_distance_override(self):
+        rib = Rib()
+        rib.install(isis("10.0.0.0/24", "192.168.0.1", "Ethernet1"))
+        rib.install(
+            Route(
+                prefix=Prefix.parse("10.0.0.0/24"),
+                protocol=Protocol.STATIC,
+                next_hops=(NextHop(ip=parse_ipv4("192.168.0.9"), interface="e2"),),
+                distance=250,
+            )
+        )
+        assert rib.best(Prefix.parse("10.0.0.0/24")).protocol is Protocol.ISIS
+
+    def test_withdraw_falls_back(self):
+        rib = Rib()
+        rib.install(isis("10.0.0.0/24", "192.168.0.1", "Ethernet1"))
+        rib.install(
+            Route(
+                prefix=Prefix.parse("10.0.0.0/24"),
+                protocol=Protocol.STATIC,
+                next_hops=(NextHop(ip=parse_ipv4("192.168.0.9"), interface="e2"),),
+            )
+        )
+        rib.withdraw(Protocol.STATIC, Prefix.parse("10.0.0.0/24"))
+        assert rib.best(Prefix.parse("10.0.0.0/24")).protocol is Protocol.ISIS
+
+    def test_withdraw_last_removes_fib_entry(self):
+        rib = Rib()
+        rib.install(isis("10.0.0.0/24", "192.168.0.1", "Ethernet1"))
+        rib.withdraw(Protocol.ISIS, Prefix.parse("10.0.0.0/24"))
+        assert rib.fib.lookup(parse_ipv4("10.0.0.1")) is None
+        assert rib.best(Prefix.parse("10.0.0.0/24")) is None
+
+    def test_withdraw_all_protocol(self):
+        rib = Rib()
+        rib.install(isis("10.0.0.0/24", "192.168.0.1", "e1"))
+        rib.install(isis("10.0.1.0/24", "192.168.0.1", "e1"))
+        rib.install(connected("192.168.0.0/24", "e1"))
+        rib.withdraw_all(Protocol.ISIS)
+        assert len(list(rib.best_routes())) == 1
+
+
+class TestResolution:
+    def make_rib(self):
+        rib = Rib()
+        rib.install(connected("192.168.0.0/31", "Ethernet1"))
+        rib.install(isis("2.2.2.3/32", "192.168.0.1", "Ethernet1", metric=20))
+        return rib
+
+    def test_direct_next_hop(self):
+        rib = self.make_rib()
+        entry = rib.fib.lookup(parse_ipv4("2.2.2.3"))
+        assert entry.action is FibAction.FORWARD
+        assert entry.next_hops[0].interface == "Ethernet1"
+
+    def test_recursive_bgp_via_igp(self):
+        rib = self.make_rib()
+        rib.install(bgp("100.0.0.0/24", "2.2.2.3"))
+        entry = rib.fib.lookup(parse_ipv4("100.0.0.1"))
+        assert entry is not None
+        assert entry.action is FibAction.FORWARD
+        assert entry.next_hops[0].interface == "Ethernet1"
+        assert entry.next_hops[0].ip == parse_ipv4("192.168.0.1")
+
+    def test_unresolvable_bgp_stays_out_of_fib(self):
+        rib = Rib()
+        rib.install(bgp("100.0.0.0/24", "2.2.2.3"))
+        assert rib.fib.lookup(parse_ipv4("100.0.0.1")) is None
+
+    def test_late_igp_resolves_pending_bgp(self):
+        rib = Rib()
+        rib.install(bgp("100.0.0.0/24", "2.2.2.3"))
+        rib.install(connected("192.168.0.0/31", "Ethernet1"))
+        rib.install(isis("2.2.2.3/32", "192.168.0.1", "Ethernet1"))
+        changed = rib.commit()
+        assert changed
+        entry = rib.fib.lookup(parse_ipv4("100.0.0.1"))
+        assert entry is not None and entry.action is FibAction.FORWARD
+
+    def test_igp_withdrawal_unresolves_bgp(self):
+        rib = self.make_rib()
+        rib.install(bgp("100.0.0.0/24", "2.2.2.3"))
+        rib.withdraw(Protocol.ISIS, Prefix.parse("2.2.2.3/32"))
+        rib.commit()
+        assert rib.fib.lookup(parse_ipv4("100.0.0.1")) is None
+
+    def test_connected_gateway_resolution(self):
+        rib = Rib()
+        rib.install(connected("192.168.0.0/24", "Ethernet1"))
+        rib.install(bgp("100.0.0.0/24", "192.168.0.77", internal=False))
+        entry = rib.fib.lookup(parse_ipv4("100.0.0.1"))
+        assert entry.next_hops[0].ip == parse_ipv4("192.168.0.77")
+
+    def test_resolution_loop_detected(self):
+        rib = Rib()
+        # Two BGP routes resolving through each other.
+        rib.install(bgp("1.0.0.0/8", "2.0.0.1"))
+        rib.install(bgp("2.0.0.0/8", "1.0.0.1"))
+        assert rib.fib.lookup(parse_ipv4("1.2.3.4")) is None
+        assert rib.fib.lookup(parse_ipv4("2.2.3.4")) is None
+
+    def test_resolve_ip_helper(self):
+        rib = self.make_rib()
+        result = rib.resolve_ip(parse_ipv4("2.2.2.3"))
+        assert result is not None
+        route, gateway = result
+        assert route.protocol is Protocol.ISIS
+        assert gateway == parse_ipv4("2.2.2.3")
+
+    def test_discard_route(self):
+        rib = Rib()
+        rib.install(
+            Route(
+                prefix=Prefix.parse("10.0.0.0/8"),
+                protocol=Protocol.STATIC,
+                next_hops=(),
+            )
+        )
+        entry = rib.fib.lookup(parse_ipv4("10.1.1.1"))
+        assert entry.action is FibAction.DISCARD
+
+
+class TestEcmp:
+    def test_multiple_next_hops_preserved(self):
+        rib = Rib()
+        rib.install(
+            Route(
+                prefix=Prefix.parse("10.0.0.0/24"),
+                protocol=Protocol.ISIS,
+                next_hops=(
+                    NextHop(ip=parse_ipv4("192.168.0.1"), interface="e1"),
+                    NextHop(ip=parse_ipv4("192.168.1.1"), interface="e2"),
+                ),
+                metric=10,
+            )
+        )
+        entry = rib.fib.lookup(parse_ipv4("10.0.0.5"))
+        assert len(entry.next_hops) == 2
+
+
+class TestVersioning:
+    def test_fib_version_increments_on_change(self):
+        rib = Rib()
+        v0 = rib.fib.version
+        rib.install(connected("192.168.0.0/24", "e1"))
+        assert rib.fib.version > v0
+
+    def test_idempotent_install_no_version_bump(self):
+        rib = Rib()
+        rib.install(connected("192.168.0.0/24", "e1"))
+        version = rib.fib.version
+        rib.install(connected("192.168.0.0/24", "e1"))
+        assert rib.fib.version == version
+
+    def test_igp_version_tracks_igp_only(self):
+        rib = Rib()
+        rib.install(connected("192.168.0.0/24", "e1"))
+        igp_version = rib.igp_version
+        rib.install(bgp("100.0.0.0/24", "192.168.0.9"))
+        assert rib.igp_version == igp_version
+        rib.install(isis("10.0.0.0/24", "192.168.0.1", "e1"))
+        assert rib.igp_version > igp_version

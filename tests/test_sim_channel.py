@@ -1,0 +1,87 @@
+"""Tests for message channels."""
+
+from repro.sim.channel import Channel
+from repro.sim.kernel import SimKernel
+
+
+def make_channel(**kwargs):
+    kernel = SimKernel(seed=1)
+    received = []
+    channel = Channel(kernel, received.append, **kwargs)
+    return kernel, channel, received
+
+
+class TestDelivery:
+    def test_delivers_payload(self):
+        kernel, channel, received = make_channel()
+        channel.send({"hello": 1})
+        kernel.run()
+        assert received == [{"hello": 1}]
+
+    def test_latency_applied(self):
+        kernel, channel, received = make_channel(latency=0.5, jitter=0.0)
+        channel.send("x")
+        kernel.run()
+        assert kernel.now == 0.5
+
+    def test_jitter_within_bounds(self):
+        kernel, channel, _ = make_channel(latency=0.1, jitter=0.2)
+        channel.send("x")
+        kernel.run()
+        assert 0.1 <= kernel.now < 0.3
+
+    def test_fifo_like_ordering_with_zero_jitter(self):
+        kernel, channel, received = make_channel(latency=0.01, jitter=0.0)
+        for i in range(5):
+            channel.send(i)
+        kernel.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_counters(self):
+        kernel, channel, _ = make_channel()
+        channel.send("a")
+        channel.send("b")
+        kernel.run()
+        assert channel.messages_sent == 2
+        assert channel.messages_delivered == 2
+
+
+class TestLinkCut:
+    def test_send_on_down_channel_dropped(self):
+        kernel, channel, received = make_channel()
+        channel.set_down()
+        assert channel.send("x") is None
+        kernel.run()
+        assert received == []
+        assert channel.messages_sent == 1
+        assert channel.messages_delivered == 0
+
+    def test_in_flight_dropped_on_cut(self):
+        kernel, channel, received = make_channel(latency=1.0, jitter=0.0)
+        channel.send("doomed")
+        kernel.schedule(0.5, channel.set_down)
+        kernel.run()
+        assert received == []
+
+    def test_recovery(self):
+        kernel, channel, received = make_channel()
+        channel.set_down()
+        channel.set_up()
+        channel.send("back")
+        kernel.run()
+        assert received == ["back"]
+
+    def test_messages_after_recovery_not_old_ones(self):
+        kernel, channel, received = make_channel(latency=1.0, jitter=0.0)
+        channel.send("old")
+        channel.set_down()
+        channel.set_up()
+        channel.send("new")
+        kernel.run()
+        assert received == ["new"]
+
+    def test_is_up_flag(self):
+        _, channel, _ = make_channel()
+        assert channel.is_up
+        channel.set_down()
+        assert not channel.is_up

@@ -1,0 +1,189 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimKernel, SimulationError
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        kernel = SimKernel()
+        order = []
+        kernel.schedule(3.0, lambda: order.append("c"))
+        kernel.schedule(1.0, lambda: order.append("a"))
+        kernel.schedule(2.0, lambda: order.append("b"))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule(5.0, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [5.0]
+        assert kernel.now == 5.0
+
+    def test_equal_time_priority_order(self):
+        kernel = SimKernel()
+        order = []
+        kernel.schedule(1.0, lambda: order.append("low"), priority=5)
+        kernel.schedule(1.0, lambda: order.append("high"), priority=1)
+        kernel.run()
+        assert order == ["high", "low"]
+
+    def test_equal_time_insertion_order(self):
+        kernel = SimKernel()
+        order = []
+        for i in range(5):
+            kernel.schedule(1.0, lambda i=i: order.append(i))
+        kernel.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        kernel = SimKernel()
+        with pytest.raises(SimulationError):
+            kernel.schedule(-1.0, lambda: None)
+
+    def test_schedule_from_handler(self):
+        kernel = SimKernel()
+        times = []
+
+        def chain():
+            times.append(kernel.now)
+            if len(times) < 3:
+                kernel.schedule(1.0, chain)
+
+        kernel.schedule(1.0, chain)
+        kernel.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_schedule_at_absolute(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule(1.0, lambda: kernel.schedule_at(10.0, lambda: seen.append(kernel.now)))
+        kernel.run()
+        assert seen == [10.0]
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        kernel = SimKernel()
+        seen = []
+        event = kernel.schedule(1.0, lambda: seen.append("x"))
+        event.cancel()
+        kernel.run()
+        assert seen == []
+
+    def test_pending_counts_live_only(self):
+        kernel = SimKernel()
+        keep = kernel.schedule(1.0, lambda: None)
+        drop = kernel.schedule(2.0, lambda: None)
+        drop.cancel()
+        del keep
+        assert kernel.pending() == 1
+
+
+class TestRun:
+    def test_run_until_stops_before_future_events(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule(1.0, lambda: seen.append(1))
+        kernel.schedule(10.0, lambda: seen.append(10))
+        kernel.run(until=5.0)
+        assert seen == [1]
+        assert kernel.now == 5.0
+        kernel.run()
+        assert seen == [1, 10]
+
+    def test_run_empty_advances_to_until(self):
+        kernel = SimKernel()
+        kernel.run(until=42.0)
+        assert kernel.now == 42.0
+
+    def test_max_events_livelock_guard(self):
+        kernel = SimKernel()
+
+        def forever():
+            kernel.schedule(0.001, forever)
+
+        kernel.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            kernel.run(max_events=100)
+
+    def test_not_reentrant(self):
+        kernel = SimKernel()
+
+        def recurse():
+            kernel.run()
+
+        kernel.schedule(0.0, recurse)
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_events_processed_counter(self):
+        kernel = SimKernel()
+        for _ in range(7):
+            kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        assert kernel.events_processed == 7
+
+
+class TestDeterminism:
+    def test_same_seed_same_jitter(self):
+        a = SimKernel(seed=42)
+        b = SimKernel(seed=42)
+        assert [a.jitter(1, 2) for _ in range(10)] == [
+            b.jitter(1, 2) for _ in range(10)
+        ]
+
+    def test_different_seed_different_jitter(self):
+        a = SimKernel(seed=1)
+        b = SimKernel(seed=2)
+        assert [a.jitter(1, 2) for _ in range(5)] != [
+            b.jitter(1, 2) for _ in range(5)
+        ]
+
+    def test_jitter_bounds(self):
+        kernel = SimKernel(seed=0)
+        for _ in range(100):
+            value = kernel.jitter(5.0, 2.0)
+            assert 5.0 <= value < 7.0
+
+
+class TestRunUntilQuiet:
+    def test_quiesces_after_activity_stops(self):
+        kernel = SimKernel()
+        state = {"changes": 0}
+
+        def churn(n):
+            if n > 0:
+                state["changes"] += 1
+                kernel.schedule(1.0, lambda: churn(n - 1))
+
+        churn(5)
+        changed = {"last": 0}
+
+        def poll():
+            if state["changes"] != changed["last"]:
+                changed["last"] = state["changes"]
+                return False
+            return True
+
+        end = kernel.run_until_quiet(3.0, poll=poll)
+        # Last change at t=4 (n decrements each second); quiet at ~7.
+        assert end == pytest.approx(7.0, abs=1.5)
+
+    def test_empty_queue_quiesces_immediately(self):
+        kernel = SimKernel()
+        end = kernel.run_until_quiet(2.0)
+        assert end == 2.0
+
+    def test_max_time_exceeded_raises(self):
+        kernel = SimKernel()
+
+        def forever():
+            kernel.schedule(1.0, forever)
+
+        kernel.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            kernel.run_until_quiet(10.0, poll=lambda: False, max_time=50.0)

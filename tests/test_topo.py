@@ -1,0 +1,203 @@
+"""Tests for topology model, parser, and builders."""
+
+import pytest
+
+from repro.topo.builder import (
+    TopologyBuilder,
+    fabric_topology,
+    interface_name,
+    line_topology,
+    ring_topology,
+    wan_topology,
+)
+from repro.topo.model import NodeSpec, Topology, TopologyError
+from repro.topo.parser import (
+    TopologyParseError,
+    format_topology,
+    parse_topology,
+)
+
+
+class TestTopologyModel:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node(NodeSpec(name="r1"))
+        with pytest.raises(TopologyError):
+            topo.add_node(NodeSpec(name="r1"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            NodeSpec(name="")
+
+    def test_link_unknown_node_rejected(self):
+        topo = Topology()
+        topo.add_node(NodeSpec(name="r1"))
+        with pytest.raises(TopologyError):
+            topo.add_link("r1", "Ethernet1", "ghost", "Ethernet1")
+
+    def test_port_reuse_rejected(self):
+        topo = Topology()
+        topo.add_node(NodeSpec(name="r1"))
+        topo.add_node(NodeSpec(name="r2"))
+        topo.add_node(NodeSpec(name="r3"))
+        topo.add_link("r1", "Ethernet1", "r2", "Ethernet1")
+        with pytest.raises(TopologyError):
+            topo.add_link("r1", "Ethernet1", "r3", "Ethernet1")
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        topo.add_node(NodeSpec(name="r1"))
+        with pytest.raises(TopologyError):
+            topo.add_link("r1", "Ethernet1", "r1", "Ethernet1")
+
+    def test_neighbors(self):
+        topo = line_topology(3)
+        assert topo.neighbors("r2") == ["r1", "r3"]
+
+    def test_find_link_either_direction(self):
+        topo = line_topology(3)
+        assert topo.find_link("r2", "r1") is not None
+        assert topo.find_link("r1", "r3") is None
+
+    def test_link_other_end(self):
+        topo = line_topology(2)
+        link = topo.links[0]
+        assert link.other(link.a) == link.z
+        assert link.other(link.z) == link.a
+
+    def test_validate_empty_fails(self):
+        with pytest.raises(TopologyError):
+            Topology().validate()
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(TopologyError):
+            line_topology(2).node("r9")
+
+
+class TestParser:
+    TEXT = '''
+    name: "demo"
+    # a comment
+    node {
+      name: "r1"
+      vendor: "arista"
+      os_version: "4.34.0F"
+      cpu: 0.5
+      memory_gb: 1.0
+    }
+    node { name: "r2" vendor: "nokia" }
+    link {
+      a_node: "r1"
+      a_int: "Ethernet1"
+      z_node: "r2"
+      z_int: "ethernet-1/1"
+    }
+    '''
+
+    def test_parse_basic(self):
+        topo = parse_topology(self.TEXT)
+        assert topo.name == "demo"
+        assert len(topo) == 2
+        assert topo.node("r1").cpu == 0.5
+        assert topo.node("r2").vendor == "nokia"
+        assert len(topo.links) == 1
+
+    def test_roundtrip_through_format(self):
+        topo = parse_topology(self.TEXT)
+        text = format_topology(topo)
+        again = parse_topology(text)
+        assert again.node_names() == topo.node_names()
+        assert len(again.links) == len(topo.links)
+        assert again.node("r1").os_version == "4.34.0F"
+
+    def test_config_inline(self):
+        text = 'node { name: "r1" config: "hostname r1\\nip routing" }'
+        topo = parse_topology(text)
+        assert "ip routing" in topo.node("r1").config
+
+    def test_config_file_loaded(self, tmp_path):
+        (tmp_path / "r1.cfg").write_text("hostname r1\n")
+        text = 'node { name: "r1" config_file: "r1.cfg" }'
+        topo = parse_topology(text, config_dir=tmp_path)
+        assert topo.node("r1").config == "hostname r1\n"
+
+    def test_missing_config_file_raises(self, tmp_path):
+        text = 'node { name: "r1" config_file: "nope.cfg" }'
+        with pytest.raises(TopologyParseError):
+            parse_topology(text, config_dir=tmp_path)
+
+    def test_node_without_name_rejected(self):
+        with pytest.raises(TopologyParseError):
+            parse_topology('node { vendor: "arista" }')
+
+    def test_incomplete_link_rejected(self):
+        with pytest.raises(TopologyParseError):
+            parse_topology(
+                'node { name: "r1" }\nlink { a_node: "r1" a_int: "e1" }'
+            )
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TopologyParseError):
+            parse_topology("node { name: } }")
+
+    def test_format_includes_configs_when_asked(self):
+        topo = Topology("t")
+        topo.add_node(NodeSpec(name="r1", config="hostname r1\n"))
+        text = format_topology(topo, include_configs=True)
+        assert "hostname r1" in text
+
+
+class TestBuilders:
+    def test_line(self):
+        topo = line_topology(4)
+        assert len(topo) == 4
+        assert len(topo.links) == 3
+
+    def test_ring(self):
+        topo = ring_topology(5)
+        assert len(topo.links) == 5
+        assert sorted(topo.neighbors("r1")) == ["r2", "r5"]
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_topology(2)
+
+    def test_fabric(self):
+        topo = fabric_topology(2, 4)
+        assert len(topo) == 6
+        assert len(topo.links) == 8
+
+    def test_wan_connected(self):
+        topo = wan_topology(20, seed=5)
+        # BFS from r1 must reach everything (spanning tree guarantees it).
+        seen = {"r1"}
+        frontier = ["r1"]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in topo.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert len(seen) == 20
+
+    def test_wan_deterministic(self):
+        a = wan_topology(15, seed=9)
+        b = wan_topology(15, seed=9)
+        assert [str(l) for l in a.links] == [str(l) for l in b.links]
+
+    def test_wan_multivendor_alternates(self):
+        topo = wan_topology(4, vendors=("arista", "nokia"))
+        vendors = [spec.vendor for spec in topo.nodes]
+        assert vendors == ["arista", "nokia", "arista", "nokia"]
+
+    def test_interface_naming_by_vendor(self):
+        assert interface_name("arista", 2) == "Ethernet2"
+        assert interface_name("nokia", 2) == "ethernet-1/2"
+
+    def test_builder_auto_ports_unique(self):
+        builder = TopologyBuilder()
+        builder.node("a").node("b").node("c")
+        builder.link("a", "b")
+        builder.link("a", "c")
+        ports = [link.a.interface for link in builder.topology.links]
+        assert ports == ["Ethernet1", "Ethernet2"]

@@ -1,0 +1,240 @@
+"""Arista EOS parser and CLI tests."""
+
+import pytest
+
+from repro.corpus.fig3 import R1_CONFIG
+from repro.net.addr import Prefix, parse_ipv4
+from repro.vendors.arista.config_parser import parse_arista_config
+
+from tests.helpers import isis_config, mini_net
+
+
+class TestInterfaceParsing:
+    def test_stanza_applied_as_unit_address_before_no_switchport(self):
+        """The Fig. 3 behaviour: real EOS accepts this ordering."""
+        device, diagnostics = parse_arista_config(R1_CONFIG)
+        eth2 = device.interfaces["Ethernet2"]
+        assert eth2.is_routed
+        assert eth2.address == parse_ipv4("100.64.0.1")
+        assert eth2.prefix_length == 31
+        assert not diagnostics
+
+    def test_isis_enable_accepted(self):
+        device, _ = parse_arista_config(R1_CONFIG)
+        assert device.interfaces["Ethernet2"].isis is not None
+        assert device.interfaces["Ethernet2"].isis.tag == "default"
+
+    def test_ethernet_defaults_to_switchport(self):
+        device, _ = parse_arista_config("interface Ethernet1\n   description x\n")
+        assert device.interfaces["Ethernet1"].switchport
+
+    def test_loopback_not_switchport(self):
+        device, _ = parse_arista_config(
+            "interface Loopback0\n   ip address 1.1.1.1/32\n"
+        )
+        assert device.interfaces["Loopback0"].is_routed
+
+    def test_shutdown(self):
+        device, _ = parse_arista_config(
+            "interface Ethernet1\n   no switchport\n"
+            "   ip address 10.0.0.1/24\n   shutdown\n"
+        )
+        assert not device.interfaces["Ethernet1"].is_routed
+
+    def test_isis_metric_and_passive(self):
+        device, _ = parse_arista_config(
+            "interface Ethernet1\n   no switchport\n"
+            "   ip address 10.0.0.1/24\n   isis enable default\n"
+            "   isis metric 55\n   isis passive\n"
+        )
+        settings = device.interfaces["Ethernet1"].isis
+        assert settings.metric == 55 and settings.passive
+
+    def test_invalid_address_diagnosed(self):
+        _, diagnostics = parse_arista_config(
+            "interface Ethernet1\n   ip address not.an.ip/24\n"
+        )
+        assert any("Invalid address" in d.message for d in diagnostics)
+
+    def test_unknown_interface_line_diagnosed(self):
+        _, diagnostics = parse_arista_config(
+            "interface Ethernet1\n   frobnicate on\n"
+        )
+        assert len(diagnostics) == 1
+
+
+class TestRoutingStanzas:
+    CONFIG = """\
+hostname core1
+ip routing
+router isis default
+   net 49.0001.0000.0000.0001.00
+   address-family ipv4 unicast
+router bgp 65001
+   router-id 1.1.1.1
+   maximum-paths 4
+   neighbor 10.0.0.1 remote-as 65002
+   neighbor 10.0.0.1 description upstream
+   neighbor 2.2.2.2 remote-as 65001
+   neighbor 2.2.2.2 update-source Loopback0
+   neighbor 2.2.2.2 next-hop-self
+   neighbor 2.2.2.2 send-community
+   neighbor 2.2.2.2 route-map IMPORT in
+   network 1.1.1.1/32
+   redistribute connected
+ip route 0.0.0.0/0 10.0.0.1
+ip route 192.0.2.0/24 Null0
+ip route 198.51.100.0/24 Ethernet7
+"""
+
+    def test_hostname(self):
+        device, _ = parse_arista_config(self.CONFIG)
+        assert device.hostname == "core1"
+
+    def test_isis_process(self):
+        device, _ = parse_arista_config(self.CONFIG)
+        assert device.isis.net == "49.0001.0000.0000.0001.00"
+        assert device.isis.system_id == "0000.0000.0001"
+
+    def test_bgp_process(self):
+        device, _ = parse_arista_config(self.CONFIG)
+        bgp = device.bgp
+        assert bgp.asn == 65001
+        assert bgp.router_id == parse_ipv4("1.1.1.1")
+        assert bgp.maximum_paths == 4
+        assert bgp.redistribute_connected
+        assert Prefix.parse("1.1.1.1/32") in bgp.networks
+
+    def test_bgp_neighbors(self):
+        device, _ = parse_arista_config(self.CONFIG)
+        external = device.bgp.neighbors[parse_ipv4("10.0.0.1")]
+        assert external.remote_as == 65002
+        assert external.description == "upstream"
+        internal = device.bgp.neighbors[parse_ipv4("2.2.2.2")]
+        assert internal.update_source == "Loopback0"
+        assert internal.next_hop_self and internal.send_community
+        assert internal.route_map_in == "IMPORT"
+
+    def test_static_routes(self):
+        device, _ = parse_arista_config(self.CONFIG)
+        statics = {str(s.prefix): s for s in device.static_routes}
+        assert statics["0.0.0.0/0"].next_hop == parse_ipv4("10.0.0.1")
+        assert statics["192.0.2.0/24"].discard
+        assert statics["198.51.100.0/24"].interface == "Ethernet7"
+
+    def test_clean_parse_no_diagnostics(self):
+        _, diagnostics = parse_arista_config(self.CONFIG)
+        assert diagnostics == []
+
+
+class TestManagementBaggage:
+    CONFIG = """\
+daemon TerminAttr
+   exec /usr/bin/TerminAttr
+   no shutdown
+daemon PowerManager
+   exec /usr/bin/PowerManager
+management api gnmi
+   transport grpc default
+management security
+   ssl profile x
+mpls ip
+router traffic-engineering
+   rsvp
+service routing protocols model multi-agent
+"""
+
+    def test_daemons_recorded(self):
+        device, diagnostics = parse_arista_config(self.CONFIG)
+        assert device.daemons == ["TerminAttr", "PowerManager"]
+        assert diagnostics == []
+
+    def test_management_services_recorded(self):
+        device, _ = parse_arista_config(self.CONFIG)
+        assert any("gnmi" in s for s in device.management_services)
+
+    def test_mpls_enabled(self):
+        device, _ = parse_arista_config(self.CONFIG)
+        assert device.mpls.enabled and device.mpls.traffic_eng
+
+    def test_operator_typo_rejected_like_real_cli(self):
+        """The E5 scenario: IOS syntax on an Arista box."""
+        _, diagnostics = parse_arista_config(
+            "interface Ethernet1\n   ip router isis\n"
+        )
+        assert len(diagnostics) == 1
+        assert "Invalid input" in diagnostics[0].message
+
+
+class TestRouteMapParsing:
+    CONFIG = """\
+ip prefix-list LOOPS seq 10 permit 2.2.0.0/16 le 32
+route-map POLICY permit 10
+   match ip address prefix-list LOOPS
+   set local-preference 250
+   set metric 5
+   set community 65000:1 65000:2
+route-map POLICY deny 20
+"""
+
+    def test_prefix_list(self):
+        device, _ = parse_arista_config(self.CONFIG)
+        plist = device.prefix_lists["LOOPS"]
+        assert plist.permits(Prefix.parse("2.2.2.1/32"))
+
+    def test_route_map_clauses(self):
+        device, diagnostics = parse_arista_config(self.CONFIG)
+        assert diagnostics == []
+        clauses = device.route_maps["POLICY"].clauses
+        assert [c.seq for c in clauses] == [10, 20]
+        assert clauses[0].set_local_pref == 250
+        assert len(clauses[0].set_communities) == 2
+        assert not clauses[1].permit
+
+
+class TestCli:
+    @pytest.fixture(scope="class")
+    def net(self):
+        configs = {
+            "r1": isis_config("r1", 1, "2.2.2.1", [("Ethernet1", "10.0.0.0/31")]),
+            "r2": isis_config("r2", 2, "2.2.2.2", [("Ethernet1", "10.0.0.1/31")]),
+        }
+        net = mini_net(configs, [("r1", "Ethernet1", "r2", "Ethernet1")])
+        net.converge()
+        return net
+
+    def test_show_ip_route(self, net):
+        out = net.router("r1").cli("show ip route")
+        assert "2.2.2.2/32" in out
+        assert "I L2" in out
+
+    def test_show_ip_route_filtered(self, net):
+        out = net.router("r1").cli("show ip route 2.2.2.2")
+        assert "2.2.2.2/32" in out
+        assert "10.0.0.0/31" not in out
+
+    def test_show_isis_neighbors(self, net):
+        out = net.router("r1").cli("show isis neighbors")
+        assert "0000.0000.0002" in out and "UP" in out
+
+    def test_show_isis_database(self, net):
+        out = net.router("r1").cli("show isis database")
+        assert "0000.0000.0001.00-00" in out
+        assert "0000.0000.0002.00-00" in out
+
+    def test_show_ip_interface_brief(self, net):
+        out = net.router("r1").cli("show ip interface brief")
+        assert "Ethernet1" in out and "10.0.0.0/31" in out
+
+    def test_show_running_config(self, net):
+        out = net.router("r1").cli("show running-config")
+        assert "router isis default" in out
+
+    def test_show_version(self, net):
+        assert "Arista" in net.router("r1").cli("show version")
+
+    def test_invalid_command(self, net):
+        assert "Invalid input" in net.router("r1").cli("show fish")
+
+    def test_bgp_not_running(self, net):
+        assert "not running" in net.router("r1").cli("show ip bgp summary")

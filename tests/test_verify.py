@@ -1,0 +1,191 @@
+"""Verification engine tests: reachability, differential, invariants."""
+
+import pytest
+
+from repro.dataplane.forwarding import Disposition
+from repro.dataplane.model import Dataplane
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.headerspace import HeaderSpace
+from repro.verify.differential import differential_reachability
+from repro.verify.invariants import (
+    detect_blackholes,
+    detect_loops,
+    verify_pairwise_reachability,
+)
+from repro.verify.reachability import ReachabilityAnalysis, pairwise_matrix
+from repro.verify.traceroute import traceroute
+
+from tests.test_dataplane import snapshot
+
+
+@pytest.fixture
+def healthy():
+    a = snapshot(
+        "a",
+        [("eth0", "10.0.0.0/31"), ("lo", "1.1.1.1/32")],
+        [
+            ("2.2.2.2/32", [("eth0", "10.0.0.1")]),
+            ("10.0.0.0/31", [("eth0", None)]),
+        ],
+        receives=["1.1.1.1/32", "10.0.0.0/32"],
+    )
+    b = snapshot(
+        "b",
+        [("eth0", "10.0.0.1/31"), ("lo", "2.2.2.2/32")],
+        [
+            ("1.1.1.1/32", [("eth0", "10.0.0.0")]),
+            ("10.0.0.0/31", [("eth0", None)]),
+        ],
+        receives=["2.2.2.2/32", "10.0.0.1/32"],
+    )
+    return Dataplane.from_afts({"a": a, "b": b})
+
+
+@pytest.fixture
+def broken():
+    """Same network but b lost its route to a's loopback."""
+    a = snapshot(
+        "a",
+        [("eth0", "10.0.0.0/31"), ("lo", "1.1.1.1/32")],
+        [
+            ("2.2.2.2/32", [("eth0", "10.0.0.1")]),
+            ("10.0.0.0/31", [("eth0", None)]),
+        ],
+        receives=["1.1.1.1/32", "10.0.0.0/32"],
+    )
+    b = snapshot(
+        "b",
+        [("eth0", "10.0.0.1/31"), ("lo", "2.2.2.2/32")],
+        [("10.0.0.0/31", [("eth0", None)])],
+        receives=["2.2.2.2/32", "10.0.0.1/32"],
+    )
+    return Dataplane.from_afts({"a": a, "b": b})
+
+
+class TestReachabilityAnalysis:
+    def test_exhaustive_partition(self, healthy):
+        analysis = ReachabilityAnalysis(healthy)
+        rows = analysis.analyze(["a"])
+        covered = 0
+        for row in rows:
+            covered += len(row.dst_set)
+        assert covered == 2**32
+
+    def test_dst_space_restriction(self, healthy):
+        analysis = ReachabilityAnalysis(healthy)
+        space = HeaderSpace.dst_prefix(Prefix.parse("2.2.2.2/32"))
+        rows = analysis.analyze(["a"], dst_space=space)
+        assert len(rows) == 1
+        assert rows[0].dispositions == {Disposition.ACCEPTED}
+
+    def test_failures_filter(self, broken):
+        analysis = ReachabilityAnalysis(broken)
+        failures = analysis.failures(["b"])
+        failed_dsts = set()
+        for row in failures:
+            failed_dsts.update(
+                d for d in [parse_ipv4("1.1.1.1")] if d in row.dst_set
+            )
+        assert failed_dsts == {parse_ipv4("1.1.1.1")}
+
+    def test_rows_merge_same_disposition(self, healthy):
+        analysis = ReachabilityAnalysis(healthy)
+        rows = analysis.analyze(["a"])
+        keys = [row.dispositions for row in rows]
+        assert len(keys) == len(set(keys))
+
+
+class TestPairwise:
+    def test_healthy_full_mesh(self, healthy):
+        matrix = pairwise_matrix(healthy)
+        assert all(matrix.values())
+        assert verify_pairwise_reachability(healthy) == []
+
+    def test_broken_detected(self, broken):
+        violations = verify_pairwise_reachability(broken)
+        assert [(v.src, v.dst) for v in violations] == [("b", "a")]
+
+
+class TestTraceroute:
+    def test_trace_hops(self, healthy):
+        result = traceroute(healthy, "a", "2.2.2.2")
+        assert result.traces[0].disposition is Disposition.ACCEPTED
+        assert [h.device for h in result.traces[0].hops] == ["a", "b"]
+
+    def test_accepts_int_destination(self, healthy):
+        result = traceroute(healthy, "a", parse_ipv4("2.2.2.2"))
+        assert result.success
+
+
+class TestInvariants:
+    def test_no_loops_in_healthy(self, healthy):
+        assert detect_loops(healthy) == []
+
+    def test_loop_detected(self):
+        a = snapshot(
+            "a", [("eth0", "10.0.0.0/31")],
+            [("5.5.5.5/32", [("eth0", "10.0.0.1")])],
+        )
+        b = snapshot(
+            "b", [("eth0", "10.0.0.1/31")],
+            [("5.5.5.5/32", [("eth0", "10.0.0.0")])],
+        )
+        loops = detect_loops(Dataplane.from_afts({"a": a, "b": b}))
+        assert loops
+        assert all(
+            Disposition.LOOP in row.dispositions for row in loops
+        )
+
+    def test_blackhole_detection_limited_to_owned_space(self, broken):
+        rows = detect_blackholes(broken)
+        assert rows  # b drops traffic to a's owned loopback
+        assert any(parse_ipv4("1.1.1.1") in row.dst_set for row in rows)
+
+
+class TestDifferential:
+    def test_identical_snapshots_no_rows(self, healthy):
+        assert differential_reachability(healthy, healthy) == []
+
+    def test_regression_found(self, healthy, broken):
+        rows = differential_reachability(healthy, broken)
+        regressions = [row for row in rows if row.regressed]
+        assert len(regressions) == 1
+        row = regressions[0]
+        assert row.ingress == "b"
+        assert row.sample_destination == parse_ipv4("1.1.1.1")
+        assert row.reference_dispositions == {Disposition.ACCEPTED}
+        assert row.snapshot_dispositions == {Disposition.NO_ROUTE}
+
+    def test_improvement_direction(self, healthy, broken):
+        rows = differential_reachability(broken, healthy)
+        assert any(row.improved for row in rows)
+        assert not any(row.regressed for row in rows)
+
+    def test_traces_attached(self, healthy, broken):
+        row = differential_reachability(healthy, broken)[0]
+        assert row.reference_traces and row.snapshot_traces
+
+    def test_ingress_restriction(self, healthy, broken):
+        rows = differential_reachability(
+            healthy, broken, ingress_nodes=["a"]
+        )
+        assert rows == []
+
+    def test_dst_space_restriction(self, healthy, broken):
+        space = HeaderSpace.dst_prefix(Prefix.parse("9.0.0.0/8"))
+        rows = differential_reachability(healthy, broken, dst_space=space)
+        assert rows == []
+
+    def test_disjoint_node_sets_compared_on_common(self, healthy):
+        solo = Dataplane.from_afts(
+            {
+                "a": snapshot(
+                    "a",
+                    [("lo", "1.1.1.1/32")],
+                    [],
+                    receives=["1.1.1.1/32"],
+                )
+            }
+        )
+        rows = differential_reachability(healthy, solo)
+        assert all(row.ingress == "a" for row in rows)
