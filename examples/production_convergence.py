@@ -15,6 +15,7 @@ import sys
 from repro import ModelFreeBackend, ScenarioContext
 from repro.corpus import production_scenario
 from repro.corpus.production import scaled_timers
+from repro.obs import summary_text, tracing
 
 
 def main() -> None:
@@ -41,7 +42,8 @@ def main() -> None:
         scenario.topology, timers=scaled_timers(routes), quiet_period=30.0
     )
     print("Deploying and converging (this simulates minutes of real time)...")
-    snapshot = backend.run(context, seed=2)
+    with tracing() as tracer:
+        snapshot = backend.run(context, seed=2)
 
     print()
     print(f"One-time startup : {snapshot.startup_seconds / 60:5.1f} sim-min "
@@ -49,6 +51,9 @@ def main() -> None:
     print(f"Convergence      : {snapshot.convergence_seconds / 60:5.1f} sim-min "
           "(paper: ~3 min at 30 nodes)")
     print(f"Routes injected  : {snapshot.metadata['injected_routes']}")
+
+    print()
+    print(summary_text(tracer, title="Observability summary"))
 
     deployment = backend.last_run.deployment
     sizes = sorted(len(r.rib.fib) for r in deployment.routers.values())

@@ -13,6 +13,7 @@ Run:  python examples/quickstart.py
 
 from repro import ModelFreeBackend, NativeBatfishBackend, Session
 from repro.corpus import fig3_scenario
+from repro.obs import summary_text, tracing
 from repro.protocols.timers import FAST_TIMERS
 
 
@@ -25,12 +26,15 @@ def main() -> None:
     backend = ModelFreeBackend(
         scenario.topology, timers=FAST_TIMERS, quiet_period=5.0
     )
-    snapshot = backend.run(snapshot_name="emulated")
+    with tracing() as tracer:
+        snapshot = backend.run(snapshot_name="emulated")
     print(
         f"Emulation: startup {snapshot.startup_seconds / 60:.1f} sim-min, "
         f"convergence {snapshot.convergence_seconds:.1f} sim-s, "
         f"{len(snapshot.afts)} AFTs extracted over gNMI"
     )
+    print()
+    print(summary_text(tracer, title="Observability summary"))
     print()
 
     # --- lower stage: Pybatfish-style verification ---------------------

@@ -2,32 +2,46 @@
 
 Subcommands::
 
-    mfv verify TOPOLOGY [--backend emulation|model] [--save SNAP.json]
+    mfv [-v|-vv] verify TOPOLOGY [--backend emulation|model]
+                                 [--save SNAP.json] [--trace OUT.jsonl]
     mfv diff REFERENCE.json SNAPSHOT.json
     mfv trace SNAPSHOT.json NODE DEST
     mfv routes SNAPSHOT.json [NODE]
-    mfv demo {fig2,fig3}
+    mfv demo {fig2,fig3,production} [--trace OUT.jsonl]
+    mfv obs timeline [--scenario fig2|fig3] [--topology FILE]
+                     [--trace OUT.jsonl]
+    mfv obs summary TRACE.jsonl
 
 ``verify`` takes a KNE-style topology file (see
 :mod:`repro.topo.parser`) whose nodes reference config files, runs the
 chosen backend to convergence, reports reachability health, and can
 persist the extracted snapshot for later offline queries.
+
+``obs timeline`` runs a built-in scenario (or a topology file) with the
+tracer installed and prints the convergence timeline: per-phase spans,
+per-device adjacency-up / last-route-install times, and event counters.
+``obs summary`` renders a previously saved ``--trace`` JSONL file.
+
+``-v`` raises log verbosity to INFO, ``-vv`` to DEBUG (module-level
+``logging``; warnings such as ignored link cuts always print).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
-from repro.core.pipeline import ModelFreeBackend, NativeBatfishBackend
+from repro.core.pipeline import ModelFreeBackend, NativeBatfishBackend, phase
 from repro.core.snapshot import Snapshot
+from repro.obs import ConvergenceTimeline, read_jsonl, summary_text, tracing, write_jsonl
 from repro.pybf.session import Session
 from repro.topo.parser import load_topology
 from repro.verify.invariants import detect_blackholes, detect_loops
 from repro.verify.reachability import verify_pairwise_reachability_text
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
+def _run_verify(args: argparse.Namespace) -> int:
     topology = load_topology(args.topology)
     print(f"Loaded {topology}")
     if args.backend == "model":
@@ -46,18 +60,30 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             f"Emulation: startup {snapshot.startup_seconds / 60:.1f} sim-min, "
             f"convergence {snapshot.convergence_seconds:.1f} sim-s"
         )
-    dataplane = snapshot.dataplane
-    print(verify_pairwise_reachability_text(dataplane))
-    loops = detect_loops(dataplane)
-    print(f"forwarding loops: {len(loops)}")
-    for row in loops[:10]:
-        print(f"  {row}")
-    blackholes = detect_blackholes(dataplane)
-    print(f"blackholed owned destinations: {len(blackholes)}")
+    phases = snapshot.metadata.setdefault("phases", {})
+    with phase("verify", None, phases):
+        dataplane = snapshot.dataplane
+        print(verify_pairwise_reachability_text(dataplane))
+        loops = detect_loops(dataplane)
+        print(f"forwarding loops: {len(loops)}")
+        for row in loops[:10]:
+            print(f"  {row}")
+        blackholes = detect_blackholes(dataplane)
+        print(f"blackholed owned destinations: {len(blackholes)}")
     if args.save:
         snapshot.save(args.save)
         print(f"snapshot saved to {args.save}")
     return 0 if not loops else 2
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if not args.trace:
+        return _run_verify(args)
+    with tracing() as tracer:
+        code = _run_verify(args)
+    lines = write_jsonl(tracer, args.trace)
+    print(f"trace written to {args.trace} ({lines} records)")
+    return code
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -93,7 +119,7 @@ def _cmd_routes(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
+def _run_demo(args: argparse.Namespace) -> int:
     from repro.protocols.timers import FAST_TIMERS
 
     if args.scenario == "fig3":
@@ -160,9 +186,71 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_demo(args: argparse.Namespace) -> int:
+    if not args.trace:
+        return _run_demo(args)
+    with tracing() as tracer:
+        code = _run_demo(args)
+    lines = write_jsonl(tracer, args.trace)
+    print(f"trace written to {args.trace} ({lines} records)")
+    return code
+
+
+def _cmd_obs_timeline(args: argparse.Namespace) -> int:
+    from repro.protocols.timers import FAST_TIMERS
+
+    if args.topology:
+        topology = load_topology(args.topology)
+        title = f"Convergence timeline - {topology.name}"
+    elif args.scenario == "fig3":
+        from repro.corpus.fig3 import fig3_scenario
+
+        topology = fig3_scenario().topology
+        title = "Convergence timeline - fig3 (3-node line)"
+    else:
+        from repro.corpus.fig2 import fig2_scenario
+
+        topology = fig2_scenario().topology
+        title = "Convergence timeline - fig2 (6-node demo)"
+
+    with tracing() as tracer:
+        backend = ModelFreeBackend(
+            topology, timers=FAST_TIMERS, quiet_period=args.quiet_period
+        )
+        snapshot = backend.run(seed=args.seed)
+        phases = snapshot.metadata["phases"]
+        with phase("verify", None, phases):
+            dataplane = snapshot.dataplane
+            loops = detect_loops(dataplane)
+            blackholes = detect_blackholes(dataplane)
+    timeline = ConvergenceTimeline.from_tracer(tracer)
+    print(timeline.render(f"{title} (seed {args.seed})"))
+    print()
+    print(
+        f"Verification: {len(loops)} forwarding loops, "
+        f"{len(blackholes)} blackholed destinations"
+    )
+    if args.trace:
+        lines = write_jsonl(tracer, args.trace)
+        print(f"trace written to {args.trace} ({lines} records)")
+    return 0 if not loops else 2
+
+
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    tracer = read_jsonl(args.trace_file)
+    print(summary_text(tracer, title=f"Trace summary - {args.trace_file}"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mfv", description="Model-free network verification"
+    )
+    parser.add_argument(
+        "-v", "--verbose",
+        action="count",
+        default=0,
+        help="-v for INFO logs, -vv for DEBUG",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -174,6 +262,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--seed", type=int, default=0)
     verify.add_argument("--quiet-period", type=float, default=30.0)
     verify.add_argument("--save", help="write the snapshot JSON here")
+    verify.add_argument(
+        "--trace", help="record an observability trace to this JSONL file"
+    )
     verify.set_defaults(func=_cmd_verify)
 
     diff = sub.add_parser("diff", help="differential reachability")
@@ -196,13 +287,49 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("scenario", choices=("fig2", "fig3", "production"))
     demo.add_argument("--nodes", type=int, default=12)
     demo.add_argument("--routes", type=int, default=5000)
+    demo.add_argument(
+        "--trace", help="record an observability trace to this JSONL file"
+    )
     demo.set_defaults(func=_cmd_demo)
+
+    obs = sub.add_parser("obs", help="observability: timelines and traces")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    timeline = obs_sub.add_parser(
+        "timeline", help="run a scenario traced and print its timeline"
+    )
+    timeline.add_argument(
+        "--scenario", choices=("fig2", "fig3"), default="fig2"
+    )
+    timeline.add_argument(
+        "--topology", help="trace a KNE-style topology file instead"
+    )
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.add_argument("--quiet-period", type=float, default=5.0)
+    timeline.add_argument(
+        "--trace", help="also save the trace to this JSONL file"
+    )
+    timeline.set_defaults(func=_cmd_obs_timeline)
+
+    summary = obs_sub.add_parser(
+        "summary", help="summarize a saved JSONL trace"
+    )
+    summary.add_argument("trace_file", help="JSONL file from --trace")
+    summary.set_defaults(func=_cmd_obs_summary)
 
     return parser
 
 
+def _configure_logging(verbosity: int) -> None:
+    level = {0: logging.WARNING, 1: logging.INFO}.get(verbosity, logging.DEBUG)
+    logging.basicConfig(
+        level=level, format="%(levelname)s %(name)s: %(message)s"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     return args.func(args)
 
 

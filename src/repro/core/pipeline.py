@@ -4,12 +4,21 @@
 extract, verify. :class:`NativeBatfishBackend` is the traditional
 model-based flow over the *same inputs*, so every experiment can compare
 them on equal terms.
+
+Both backends run their stages inside observability phase spans
+(:mod:`repro.obs`) and attach the per-phase breakdown to
+``Snapshot.metadata["phases"]`` — simulated seconds for stages that
+advance the kernel clock, wall seconds for the ones (extraction, the
+model computation) that do real work while simulated time stands still.
 """
 
 from __future__ import annotations
 
+import logging
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.batfish_model.ibdp import ModelRun, run_model
 from repro.batfish_model.issues import DEFAULT_ASSUMPTIONS, ModelAssumptions
@@ -19,8 +28,12 @@ from repro.corpus.routes import RouteInjector
 from repro.gnmi.server import dump_afts
 from repro.kube.cluster import KubeCluster
 from repro.kube.kne import KneDeployment
+from repro.obs import bus
 from repro.protocols.timers import TimerProfile, PRODUCTION_TIMERS
+from repro.sim.kernel import SimKernel
 from repro.topo.model import Topology
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -29,6 +42,40 @@ class EmulationRun:
 
     deployment: KneDeployment
     injectors: list[RouteInjector] = field(default_factory=list)
+
+
+@contextmanager
+def phase(
+    name: str,
+    kernel: Optional[SimKernel],
+    phases: dict[str, dict[str, float]],
+) -> Iterator[None]:
+    """Measure one pipeline phase in simulated and wall seconds.
+
+    Durations always land in ``phases`` (they are cheap — two clock
+    reads); a span is additionally recorded when a collector is
+    installed, so traced runs see the same numbers with full nesting.
+    ``kernel`` may be None for stages with no simulated clock (the model
+    backend, offline verification).
+    """
+    collector = bus.ACTIVE
+    sim_start = kernel.now if kernel is not None else 0.0
+    span = (
+        collector.begin(name, sim_start, category="phase")
+        if collector.enabled
+        else None
+    )
+    wall_start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sim_end = kernel.now if kernel is not None else 0.0
+        phases[name] = {
+            "sim_seconds": sim_end - sim_start,
+            "wall_seconds": time.perf_counter() - wall_start,
+        }
+        if span is not None:
+            collector.end(span, sim_end)
 
 
 class ModelFreeBackend:
@@ -57,33 +104,41 @@ class ModelFreeBackend:
 
     def run(
         self,
-        context: ScenarioContext = ScenarioContext(),
+        context: Optional[ScenarioContext] = None,
         *,
         seed: int = 0,
         snapshot_name: Optional[str] = None,
     ) -> Snapshot:
         """Execute the full upper stage once and extract AFTs."""
+        if context is None:
+            context = ScenarioContext()
+        phases: dict[str, dict[str, float]] = {}
         deployment = KneDeployment(
             self.topology,
             cluster=self.cluster or KubeCluster(),
             timers=self.timers,
             seed=seed,
         )
-        deployment.deploy()
-        injectors = [
-            RouteInjector(spec, deployment.kernel, deployment.fabric,
-                          timers=self.timers)
-            for spec in context.injectors
-        ]
-        for injector in injectors:
-            injector.start()
-        for a_node, z_node in context.down_links:
-            deployment.link_down(a_node, z_node)
-        deployment.wait_converged(
-            quiet_period=self.quiet_period,
-            max_time=self.convergence_max_time,
-        )
-        afts = dump_afts(deployment)
+        kernel = deployment.kernel
+        with phase("deploy", kernel, phases):
+            deployment.deploy()
+        with phase("inject", kernel, phases):
+            injectors = [
+                RouteInjector(spec, deployment.kernel, deployment.fabric,
+                              timers=self.timers)
+                for spec in context.injectors
+            ]
+            for injector in injectors:
+                injector.start()
+            for a_node, z_node in context.down_links:
+                deployment.link_down(a_node, z_node)
+        with phase("converge", kernel, phases):
+            deployment.wait_converged(
+                quiet_period=self.quiet_period,
+                max_time=self.convergence_max_time,
+            )
+        with phase("extract", kernel, phases):
+            afts = dump_afts(deployment)
         self.last_run = EmulationRun(deployment=deployment, injectors=injectors)
         return Snapshot(
             name=snapshot_name or f"{self.topology.name}:{context.name}",
@@ -97,6 +152,7 @@ class ModelFreeBackend:
                 "devices": len(self.topology),
                 "kube_nodes_used": deployment.report.nodes_used,
                 "injected_routes": sum(i.routes_sent for i in injectors),
+                "phases": phases,
             },
         )
 
@@ -116,10 +172,12 @@ class NativeBatfishBackend:
 
     def run(
         self,
-        context: ScenarioContext = ScenarioContext(),
+        context: Optional[ScenarioContext] = None,
         *,
         snapshot_name: Optional[str] = None,
     ) -> Snapshot:
+        if context is None:
+            context = ScenarioContext()
         if context.injectors:
             raise NotImplementedError(
                 "the model baseline does not support live route injection"
@@ -133,7 +191,9 @@ class NativeBatfishBackend:
                 "the reference model only ships an Arista parser; "
                 f"cannot model: {', '.join(non_arista)}"
             )
-        model_run = run_model(configs, self.assumptions)
+        phases: dict[str, dict[str, float]] = {}
+        with phase("model", None, phases):
+            model_run = run_model(configs, self.assumptions)
         self.last_model_run = model_run
         snapshots = model_run.snapshots
         if context.down_links:
@@ -145,6 +205,7 @@ class NativeBatfishBackend:
             metadata={
                 "context": context.name,
                 "unrecognized_lines": model_run.unrecognized_by_device(),
+                "phases": phases,
             },
         )
 
@@ -163,6 +224,20 @@ def _apply_link_cuts(topology, snapshots, context: ScenarioContext):
     for a_node, z_node in context.down_links:
         link = topology.find_link(a_node, z_node)
         if link is None:
+            logger.warning(
+                "context %r cuts a nonexistent link %s-%s; ignoring",
+                context.name, a_node, z_node,
+            )
+            collector = bus.ACTIVE
+            if collector.enabled:
+                collector.emit(
+                    "pipeline.warning",
+                    0.0,
+                    reason="unknown-link",
+                    a_node=a_node,
+                    z_node=z_node,
+                    context=context.name,
+                )
             continue
         for end in link.endpoints():
             snapshot = out.get(end.node)

@@ -14,6 +14,7 @@ from typing import Any, Optional
 
 from repro.kube.fabric import Fabric
 from repro.net.addr import Prefix, format_ipv4, parse_ipv4
+from repro.obs import bus
 from repro.protocols.bgp import (
     Keepalive,
     Notification,
@@ -129,6 +130,13 @@ class RouteInjector:
             if not self.established:
                 self.established = True
                 self.established_at = self.kernel.now
+                if bus.ACTIVE.enabled:
+                    bus.ACTIVE.emit(
+                        "inject.session.up",
+                        self.kernel.now,
+                        node=self.spec.gateway_node,
+                        injector=self.spec.name,
+                    )
                 self._send(
                     Open(asn=self.spec.asn, router_id=self.ip,
                          hold_time=self.timers.bgp_hold)
@@ -178,6 +186,8 @@ class RouteInjector:
     def _push(self, update: Update) -> None:
         if self.established and self._send(update):
             self.routes_sent += update.route_count
+            if bus.ACTIVE.enabled:
+                bus.ACTIVE.count("inject.routes.sent", update.route_count)
 
     def withdraw(self, prefixes: list[Prefix]) -> None:
         """Withdraw previously announced routes (what-if support)."""

@@ -11,10 +11,12 @@ Supports the paths the model-free pipeline uses:
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Union
 
 from repro.gnmi.aft import AftSnapshot
 from repro.gnmi.paths import GnmiPath, parse_path
+from repro.obs import bus
 
 if TYPE_CHECKING:
     from repro.vendors.base import RouterOS
@@ -135,7 +137,9 @@ def dump_afts(deployment) -> dict[str, AftSnapshot]:
     output is pure data, decoupled from the running emulation.
     """
     snapshots: dict[str, AftSnapshot] = {}
+    collector = bus.ACTIVE
     for name, router in deployment.routers.items():
+        started = time.perf_counter() if collector.enabled else 0.0
         server = GnmiServer(router)
         data = server.get("/network-instances/network-instance[name=default]/afts")
         interfaces = server.get("/interfaces")
@@ -144,4 +148,12 @@ def dump_afts(deployment) -> dict[str, AftSnapshot]:
         merged["interfaces"] = interfaces["interfaces"]
         merged["acls"] = acls["acls"]
         snapshots[name] = AftSnapshot.from_dict(merged)
+        if collector.enabled:
+            collector.emit(
+                "gnmi.aft.dump",
+                router.kernel.now,
+                node=name,
+                entries=len(snapshots[name]),
+                wall_ms=(time.perf_counter() - started) * 1e3,
+            )
     return snapshots

@@ -24,6 +24,7 @@ from typing import Callable, Optional
 
 from repro.kube.cluster import KubeCluster
 from repro.kube.fabric import Fabric
+from repro.obs import bus
 from repro.kube.pod import Pod, PodPhase
 from repro.kube.scheduler import Scheduler
 from repro.protocols.timers import TimerProfile, PRODUCTION_TIMERS
@@ -159,7 +160,7 @@ class KneDeployment:
             pod.phase = PodPhase.BOOTING
             self.kernel.schedule_at(
                 start_at,
-                lambda r=router, b=boot: r.power_on(b),
+                lambda r=router, b=boot: self._power_on(r, b),
                 label=f"pod-create:{name}",
             )
             config = self.topology.node(name).config
@@ -168,6 +169,11 @@ class KneDeployment:
                 p.phase = PodPhase.RUNNING
                 p.running_at = self.kernel.now
                 delay = self.kernel.jitter(*_CONFIG_PUSH_DELAY)
+                collector = bus.ACTIVE
+                if collector.enabled:
+                    collector.emit(
+                        "kube.pod.running", self.kernel.now, node=r.name
+                    )
                 self.kernel.schedule(
                     delay, lambda: r.apply_config(c), label=f"config:{r.name}"
                 )
@@ -183,6 +189,19 @@ class KneDeployment:
         # record the startup cost now.
         self.report.startup_seconds = self.kernel.now
         return self.report
+
+    def _power_on(self, router: RouterOS, boot_time: float) -> None:
+        """Power a router on, with a per-pod boot span when tracing."""
+        collector = bus.ACTIVE
+        if collector.enabled:
+            span = collector.begin(
+                f"boot:{router.name}",
+                self.kernel.now,
+                category="kube.boot",
+                node=router.name,
+            )
+            router.on_boot(lambda: bus.ACTIVE.end(span, self.kernel.now))
+        router.power_on(boot_time)
 
     def _create_routers(self) -> None:
         for spec in self.topology.nodes:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.kube.cluster import KubeCluster
 from repro.kube.pod import Pod, PodPhase
+from repro.obs import bus
 
 
 class UnschedulableError(RuntimeError):
@@ -48,6 +49,19 @@ class Scheduler:
             pod.node = target.name
             pod.phase = PodPhase.SCHEDULED
             placements[pod.name] = target.name
+            collector = bus.ACTIVE
+            if collector.enabled:
+                # Scheduling happens before the simulated clock starts.
+                collector.emit(
+                    "kube.pod.scheduled",
+                    0.0,
+                    node=pod.name,
+                    kube_node=target.name,
+                    cpu=pod.cpu,
+                    memory_gb=pod.memory_gb,
+                    free_cpu_after=target.free_cpu,
+                    candidates=len(candidates),
+                )
         return placements
 
     def capacity_for(self, cpu: float, memory_gb: float) -> int:

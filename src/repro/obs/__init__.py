@@ -1,0 +1,53 @@
+"""``repro.obs`` — tracing, metrics, and convergence timelines.
+
+The standing measurement layer of the emulation pipeline: a
+zero-dependency event bus + span tracer keyed off simulated time
+(:mod:`repro.obs.bus`), a convergence-timeline report
+(:mod:`repro.obs.timeline`), and JSONL export for offline analysis
+(:mod:`repro.obs.export`).
+
+Typical use::
+
+    from repro.obs import tracing, ConvergenceTimeline
+
+    with tracing() as tracer:
+        snapshot = ModelFreeBackend(topology).run()
+    print(ConvergenceTimeline.from_tracer(tracer).render())
+
+With no tracer installed, every instrumentation site reduces to one
+attribute load and a false branch — the no-op collector keeps the
+disabled cost negligible even in the kernel's dispatch loop.
+"""
+
+from repro.obs import bus
+from repro.obs.bus import (
+    NULL,
+    Collector,
+    ObsEvent,
+    Span,
+    Tracer,
+    active,
+    install,
+    tracing,
+    uninstall,
+)
+from repro.obs.export import read_jsonl, write_jsonl
+from repro.obs.timeline import ConvergenceTimeline, DeviceTimeline, summary_text
+
+__all__ = [
+    "NULL",
+    "Collector",
+    "ConvergenceTimeline",
+    "DeviceTimeline",
+    "ObsEvent",
+    "Span",
+    "Tracer",
+    "active",
+    "bus",
+    "install",
+    "read_jsonl",
+    "summary_text",
+    "tracing",
+    "uninstall",
+    "write_jsonl",
+]

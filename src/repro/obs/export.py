@@ -1,0 +1,76 @@
+"""JSONL trace export/import for offline analysis.
+
+One JSON object per line. Three record kinds:
+
+* ``{"kind": "event", "t": ..., "category": ..., "node": ..., "detail": {...}}``
+* ``{"kind": "span", "name": ..., "t_start": ..., "t_end": ..., ...}``
+* ``{"kind": "counter", "name": ..., "value": ...}``
+
+The format round-trips through :class:`~repro.obs.bus.Tracer`, so
+``mfv obs summary trace.jsonl`` renders a saved trace exactly like the
+live run did.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.obs.bus import ObsEvent, Span, Tracer
+
+
+def write_jsonl(tracer: Tracer, path: Union[str, Path]) -> int:
+    """Write the trace to ``path``; returns the number of lines written."""
+    lines = []
+    for event in tracer.events:
+        lines.append(json.dumps(event.to_dict(), sort_keys=True))
+    for span in tracer.spans:
+        lines.append(json.dumps(span.to_dict(), sort_keys=True))
+    for name, value in sorted(tracer.counters.items()):
+        lines.append(
+            json.dumps({"kind": "counter", "name": name, "value": value})
+        )
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def read_jsonl(path: Union[str, Path]) -> Tracer:
+    """Reconstruct a :class:`Tracer` from a JSONL trace file."""
+    tracer = Tracer()
+    for line_number, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("kind")
+        if kind == "event":
+            tracer.events.append(
+                ObsEvent(
+                    t=record["t"],
+                    category=record["category"],
+                    node=record.get("node", ""),
+                    detail=record.get("detail", {}),
+                )
+            )
+        elif kind == "span":
+            tracer.spans.append(
+                Span(
+                    name=record["name"],
+                    category=record.get("category", "phase"),
+                    node=record.get("node", ""),
+                    t_start=record.get("t_start", 0.0),
+                    t_end=record.get("t_end"),
+                    wall_seconds=record.get("wall_seconds", 0.0),
+                    parent=record.get("parent"),
+                )
+            )
+        elif kind == "counter":
+            tracer.counters[record["name"]] = record["value"]
+        else:
+            raise ValueError(
+                f"{path}:{line_number}: unknown trace record kind {kind!r}"
+            )
+    return tracer

@@ -1,0 +1,189 @@
+"""Consumers of a recorded trace: the convergence timeline report.
+
+The paper's usability argument (§5–§6) is that model-free verification
+lets operators see what the control plane actually did. This module
+turns a :class:`~repro.obs.bus.Tracer` into that story: per-phase
+durations (deploy → converge → extract → verify), per-device adjacency
+and route-install milestones, and the aggregate counters that make hot
+paths measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.bus import ObsEvent, Span, Tracer
+
+# Event categories the timeline understands (instrumentation sites and
+# this consumer agree on these names; JSONL traces carry them verbatim).
+ADJACENCY_UP = "isis.adjacency.up"
+ADJACENCY_DOWN = "isis.adjacency.down"
+BGP_SESSION_UP = "bgp.session.up"
+BGP_SESSION_DOWN = "bgp.session.down"
+ROUTE_INSTALL = "route.install"
+AFT_DUMP = "gnmi.aft.dump"
+POD_SCHEDULED = "kube.pod.scheduled"
+PIPELINE_WARNING = "pipeline.warning"
+
+
+@dataclass
+class DeviceTimeline:
+    """Per-device convergence milestones (simulated seconds)."""
+
+    node: str
+    booted_at: Optional[float] = None
+    first_adjacency_up: Optional[float] = None
+    last_adjacency_up: Optional[float] = None
+    bgp_established: Optional[float] = None
+    last_route_install: Optional[float] = None
+    route_changes: int = 0
+    routes: int = 0
+
+
+@dataclass
+class ConvergenceTimeline:
+    """The structured report built from one traced run."""
+
+    phases: dict[str, Span] = field(default_factory=dict)
+    devices: dict[str, DeviceTimeline] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    warnings: list[ObsEvent] = field(default_factory=list)
+    total_events: int = 0
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "ConvergenceTimeline":
+        timeline = cls(
+            counters=dict(tracer.counters), total_events=len(tracer.events)
+        )
+        for span in tracer.phase_spans():
+            timeline.phases[span.name] = span
+        for span in tracer.spans:
+            if span.category == "kube.boot" and span.node and span.closed:
+                timeline._device(span.node).booted_at = span.t_end
+        for event in tracer.events:
+            timeline._absorb(event)
+        return timeline
+
+    def _device(self, node: str) -> DeviceTimeline:
+        device = self.devices.get(node)
+        if device is None:
+            device = self.devices[node] = DeviceTimeline(node)
+        return device
+
+    def _absorb(self, event: ObsEvent) -> None:
+        if event.category == PIPELINE_WARNING:
+            self.warnings.append(event)
+        if not event.node:
+            return
+        device = self._device(event.node)
+        if event.category == ADJACENCY_UP:
+            if device.first_adjacency_up is None:
+                device.first_adjacency_up = event.t
+            device.last_adjacency_up = event.t
+        elif event.category == BGP_SESSION_UP:
+            device.bgp_established = event.t
+        elif event.category == ROUTE_INSTALL:
+            device.last_route_install = event.t
+            device.route_changes += 1
+            device.routes = event.detail.get("routes", device.routes)
+
+    # -- snapshot metadata -------------------------------------------------
+
+    def phases_dict(self) -> dict[str, dict[str, float]]:
+        """Per-phase durations in the ``Snapshot.metadata["phases"]`` shape."""
+        return {
+            name: {
+                "sim_seconds": span.sim_seconds,
+                "wall_seconds": span.wall_seconds,
+            }
+            for name, span in self.phases.items()
+        }
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, title: str = "Convergence timeline") -> str:
+        lines = [title, ""]
+        lines += self._render_phases()
+        lines += self._render_devices()
+        lines += self._render_counters()
+        if self.warnings:
+            lines.append("")
+            lines.append("Warnings:")
+            for event in self.warnings:
+                detail = " ".join(
+                    f"{k}={v}" for k, v in sorted(event.detail.items())
+                )
+                lines.append(f"  t={event.t:.1f} {detail}")
+        lines.append("")
+        lines.append(f"Total events recorded: {self.total_events}")
+        return "\n".join(lines)
+
+    def _render_phases(self) -> list[str]:
+        if not self.phases:
+            return ["Phases: (none recorded)"]
+        lines = ["Phases:"]
+        # self.phases preserves span-begin order (deploy, inject, ...);
+        # sorting by t_start would misplace wall-clock-only phases.
+        for span in self.phases.values():
+            lines.append(
+                f"  {span.name:<10} {span.sim_seconds:10.1f} sim-s   "
+                f"(wall {span.wall_seconds * 1e3:8.1f} ms)"
+            )
+        return lines
+
+    def _render_devices(self) -> list[str]:
+        if not self.devices:
+            return []
+        lines = [
+            "",
+            "Devices (simulated seconds):",
+            f"  {'node':<10} {'booted':>10} {'adj-up':>10} {'bgp-up':>10} "
+            f"{'last-route':>12} {'routes':>8}",
+        ]
+        for node in sorted(self.devices):
+            device = self.devices[node]
+            lines.append(
+                f"  {node:<10}"
+                f" {_fmt(device.booted_at):>10}"
+                f" {_fmt(device.last_adjacency_up):>10}"
+                f" {_fmt(device.bgp_established):>10}"
+                f" {_fmt(device.last_route_install):>12}"
+                f" {device.routes:>8}"
+            )
+        return lines
+
+    def _render_counters(self) -> list[str]:
+        if not self.counters:
+            return []
+        lines = ["", "Counters:"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<32} {self.counters[name]:>10}")
+        return lines
+
+    def last_route_install(self) -> Optional[float]:
+        """The run-wide last route install time (the convergence point)."""
+        times = [
+            d.last_route_install
+            for d in self.devices.values()
+            if d.last_route_install is not None
+        ]
+        return max(times) if times else None
+
+
+def _fmt(value: Optional[float]) -> str:
+    return f"{value:.1f}" if value is not None else "-"
+
+
+def summary_text(tracer: Tracer, title: str = "Trace summary") -> str:
+    """The compact formatter used by ``mfv obs summary`` and examples."""
+    timeline = ConvergenceTimeline.from_tracer(tracer)
+    lines = [title, ""]
+    lines += timeline._render_phases()
+    lines += timeline._render_counters()
+    last = timeline.last_route_install()
+    if last is not None:
+        lines.append("")
+        lines.append(f"Last route installed at t={last:.1f} sim-s")
+    lines.append(f"Total events recorded: {timeline.total_events}")
+    return "\n".join(lines)

@@ -25,6 +25,7 @@ from typing import Any, Optional
 from repro.device.model import BgpConfig, BgpNeighborConfig, DeviceConfig
 from repro.device.routing_policy import MatchResult
 from repro.net.addr import Prefix, format_ipv4
+from repro.obs import bus
 from repro.protocols.bgp_attrs import (
     BgpPath,
     Origin,
@@ -221,6 +222,15 @@ class Session:
     def _establish(self) -> None:
         self.state = SessionState.ESTABLISHED
         self.stats.established_at = self.instance.host.kernel.now
+        collector = bus.ACTIVE
+        if collector.enabled:
+            collector.emit(
+                "bgp.session.up",
+                self.instance.host.kernel.now,
+                node=self.instance.host.name,
+                peer=format_ipv4(self.peer_ip),
+                ebgp=self.is_ebgp,
+            )
         self._schedule_keepalive()
         self.instance.on_session_established(self)
 
@@ -278,6 +288,15 @@ class Session:
         if self.state is SessionState.IDLE:
             return
         self.stats.resets += 1
+        collector = bus.ACTIVE
+        if collector.enabled:
+            collector.emit(
+                "bgp.session.down",
+                self.instance.host.kernel.now,
+                node=self.instance.host.name,
+                peer=format_ipv4(self.peer_ip),
+                reason=reason,
+            )
         self._go_idle(reset_stats=False)
         self.instance.on_session_down(self, reason)
         if not self._stopped:
@@ -329,10 +348,14 @@ class Session:
         self._pending.clear()
         rate = self.instance.timers.bgp_update_rate
         chunk = max_routes_per_update(self.instance.timers)
+        collector = bus.ACTIVE
         if withdraw:
             for offset in range(0, len(withdraw), chunk):
                 piece = tuple(withdraw[offset : offset + chunk])
                 self.stats.updates_sent += 1
+                if collector.enabled:
+                    collector.count("bgp.update.sent")
+                    collector.count("bgp.prefixes.sent", len(piece))
                 self.instance.send_to(
                     self, Update(withdraw=piece, wire_cost=len(piece) / rate)
                 )
@@ -340,6 +363,9 @@ class Session:
             for offset in range(0, len(prefixes), chunk):
                 piece = tuple(prefixes[offset : offset + chunk])
                 self.stats.updates_sent += 1
+                if collector.enabled:
+                    collector.count("bgp.update.sent")
+                    collector.count("bgp.prefixes.sent", len(piece))
                 self.instance.send_to(
                     self,
                     Update(
@@ -484,6 +510,10 @@ class BgpInstance:
     # -- update processing ------------------------------------------------------
 
     def receive_update(self, session: Session, update: Update) -> None:
+        collector = bus.ACTIVE
+        if collector.enabled:
+            collector.count("bgp.update.received")
+            collector.count("bgp.prefixes.received", update.route_count)
         rib_in = self.adj_rib_in.setdefault(session.peer_ip, {})
         touched: set[Prefix] = set()
         for attrs, prefixes in update.announce:

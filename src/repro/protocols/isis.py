@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.device.model import DeviceConfig, IsisConfig
 from repro.net.addr import Prefix
+from repro.obs import bus
 from repro.protocols.host import Port, RouterHost
 from repro.protocols.timers import TimerProfile
 from repro.rib.route import NextHop, Protocol, Route
@@ -175,6 +176,15 @@ class IsisInstance:
         adj.neighbor_ip = hello.source_ip
         self._reset_hold_timer(adj)
         if is_new:
+            collector = bus.ACTIVE
+            if collector.enabled:
+                collector.emit(
+                    "isis.adjacency.up",
+                    self.host.kernel.now,
+                    node=self.host.name,
+                    neighbor=hello.system_id,
+                    port=port.name,
+                )
             self._originate()
             self._flood_database_to(port)
             self._schedule_spf()
@@ -198,6 +208,15 @@ class IsisInstance:
         if adj.expiry_event is not None:
             adj.expiry_event.cancel()  # type: ignore[attr-defined]
         self.adjacencies.pop(adj.system_id, None)
+        collector = bus.ACTIVE
+        if collector.enabled:
+            collector.emit(
+                "isis.adjacency.down",
+                self.host.kernel.now,
+                node=self.host.name,
+                neighbor=adj.system_id,
+                port=adj.port.name,
+            )
         self._originate()
         self._schedule_spf()
 
@@ -239,6 +258,8 @@ class IsisInstance:
             self._send_lsp(adj.port, lsp)
 
     def _send_lsp(self, port: Port, lsp: Lsp) -> None:
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("isis.lsp.sent")
         delay = self.host.kernel.jitter(
             self.timers.isis_lsp_flood_delay, self.timers.isis_lsp_flood_delay
         )
@@ -258,6 +279,8 @@ class IsisInstance:
         current = self.lsdb.get(lsp.system_id)
         if not lsp.is_newer_than(current):
             return
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("isis.lsp.accepted")
         self.lsdb[lsp.system_id] = lsp
         self._flood(lsp, except_port=port)
         self._schedule_spf()
@@ -276,6 +299,8 @@ class IsisInstance:
         self._spf_scheduled = False
         if not self._running:
             return
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("isis.spf.runs")
         distance, first_hops = self._dijkstra()
         routes = self._build_routes(distance, first_hops)
         self._install_routes(routes)

@@ -8,6 +8,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs import bus
+
+# Queue depth is sampled (not recorded per event) so tracing a
+# million-event production run stays affordable.
+_QUEUE_DEPTH_SAMPLE_EVERY = 1024
+
 
 class SimulationError(RuntimeError):
     """Raised when the kernel is driven incorrectly."""
@@ -104,6 +110,17 @@ class SimKernel:
                 continue
             self._now = event.time
             self.events_processed += 1
+            collector = bus.ACTIVE
+            if collector.enabled:
+                collector.count("kernel.dispatch")
+                if event.label:
+                    collector.count(
+                        "kernel.dispatch." + event.label.split(":", 1)[0]
+                    )
+                if self.events_processed % _QUEUE_DEPTH_SAMPLE_EVERY == 0:
+                    collector.emit(
+                        "kernel.queue_depth", self._now, depth=len(self._queue)
+                    )
             event.action()
             return event
         return None

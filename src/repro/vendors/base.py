@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 from repro.device.model import DeviceConfig
 from repro.net.addr import Prefix
+from repro.obs import bus
 from repro.protocols.bgp import BgpInstance
 from repro.protocols.host import Port
 from repro.protocols.isis import IsisInstance
@@ -240,12 +241,22 @@ class RouterOS:
             if self.bgp is not None:
                 self.bgp.on_igp_change()
         fib_version = self.rib.fib.version
-        if fib_version != self._last_fib_version and self._fib_listeners:
-            self._last_fib_version = fib_version
-            for listener in list(self._fib_listeners):
-                listener(fib_version)
-        else:
-            self._last_fib_version = fib_version
+        if fib_version != self._last_fib_version:
+            collector = bus.ACTIVE
+            if collector.enabled:
+                collector.emit(
+                    "route.install",
+                    self.kernel.now,
+                    node=self.name,
+                    version=fib_version,
+                    routes=len(self.rib.fib),
+                )
+            if self._fib_listeners:
+                self._last_fib_version = fib_version
+                for listener in list(self._fib_listeners):
+                    listener(fib_version)
+                return
+        self._last_fib_version = fib_version
 
     # -- wiring (KNE plugs virtual wires in here) ------------------------------------
 

@@ -91,3 +91,75 @@ class TestDemo:
         out = capsys.readouterr().out
         assert code == 0
         assert "differentialReachability" in out
+
+
+class TestObs:
+    def test_verify_trace_writes_jsonl(self, topology_dir, capsys):
+        trace_path = topology_dir / "run.jsonl"
+        code = main(
+            [
+                "verify",
+                str(topology_dir / "topo.pb.txt"),
+                "--quiet-period", "5.0",
+                "--trace", str(trace_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"trace written to {trace_path}" in out
+        assert trace_path.exists()
+        # The file is valid JSONL and feeds obs summary.
+        code = main(["obs", "summary", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Phases:" in out
+        assert "deploy" in out and "verify" in out
+        assert "Counters:" in out
+        assert "Last route installed" in out
+
+    def test_obs_timeline_scenario(self, capsys):
+        code = main(["obs", "timeline", "--scenario", "fig3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Phases:" in out
+        assert "deploy" in out and "converge" in out and "verify" in out
+        assert "adj-up" in out and "last-route" in out
+        for node in ("r1", "r2", "r3"):
+            assert node in out
+        assert "kernel.dispatch" in out
+        assert "Total events recorded" in out
+        assert "Verification:" in out
+
+    def test_obs_timeline_topology_file_with_trace(
+        self, topology_dir, capsys
+    ):
+        trace_path = topology_dir / "timeline.jsonl"
+        code = main(
+            [
+                "obs", "timeline",
+                "--topology", str(topology_dir / "topo.pb.txt"),
+                "--trace", str(trace_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert trace_path.exists()
+        assert "trace written to" in out
+
+    def test_obs_summary_missing_kind_errors(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "nope"}\n')
+        with pytest.raises(ValueError):
+            main(["obs", "summary", str(bad)])
+
+    def test_verbose_flag_accepted(self, topology_dir, capsys):
+        code = main(
+            [
+                "-v",
+                "verify",
+                str(topology_dir / "topo.pb.txt"),
+                "--quiet-period", "5.0",
+            ]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out

@@ -82,6 +82,98 @@ class TestCancel:
         del keep
         assert kernel.pending() == 1
 
+    def test_cancel_from_handler_at_same_time(self):
+        # A handler may cancel a peer already due at the same timestamp;
+        # the peer must be skipped even though it was enqueued first in
+        # the equal-time ordering behind the canceller.
+        kernel = SimKernel()
+        seen = []
+        victim = kernel.schedule(
+            1.0, lambda: seen.append("victim"), priority=5
+        )
+        kernel.schedule(1.0, victim.cancel, priority=1)
+        kernel.schedule(1.0, lambda: seen.append("after"), priority=9)
+        kernel.run()
+        assert seen == ["after"]
+
+    def test_cancelled_events_not_counted_as_processed(self):
+        kernel = SimKernel()
+        for _ in range(3):
+            kernel.schedule(1.0, lambda: None).cancel()
+        kernel.schedule(2.0, lambda: None)
+        kernel.run()
+        assert kernel.events_processed == 1
+
+    def test_step_skips_cancelled_head(self):
+        kernel = SimKernel()
+        kernel.schedule(1.0, lambda: None).cancel()
+        live = kernel.schedule(2.0, lambda: None)
+        assert kernel.step() is live
+        assert kernel.now == 2.0
+        assert kernel.step() is None
+
+    def test_cancel_after_firing_is_harmless(self):
+        kernel = SimKernel()
+        seen = []
+        event = kernel.schedule(1.0, lambda: seen.append("x"))
+        kernel.run()
+        event.cancel()
+        assert seen == ["x"]
+        assert kernel.pending() == 0
+
+    def test_run_until_quiet_skips_cancelled_events(self):
+        kernel = SimKernel()
+        seen = []
+
+        def forever():
+            seen.append(kernel.now)
+            kernel.schedule(1.0, forever)
+
+        kernel.schedule(1.0, lambda: seen.append("once"))
+        # A would-be-infinite chain, cancelled before the run: quiet
+        # detection must not count the dead event as activity.
+        kernel.schedule(1.0, forever).cancel()
+        end = kernel.run_until_quiet(3.0)
+        assert seen == ["once"]
+        # Quiet since t=0 with the default poll: the cancelled chain
+        # contributes no activity, so the window closes at t=3.
+        assert end == pytest.approx(3.0)
+
+
+class TestEqualTimeOrdering:
+    def test_priority_then_insertion(self):
+        # Equal-time events sort by priority first, then by insertion
+        # sequence within a priority level.
+        kernel = SimKernel()
+        order = []
+        kernel.schedule(1.0, lambda: order.append("b0"), priority=2)
+        kernel.schedule(1.0, lambda: order.append("a0"), priority=1)
+        kernel.schedule(1.0, lambda: order.append("b1"), priority=2)
+        kernel.schedule(1.0, lambda: order.append("a1"), priority=1)
+        kernel.run()
+        assert order == ["a0", "a1", "b0", "b1"]
+
+    def test_negative_priority_runs_first(self):
+        kernel = SimKernel()
+        order = []
+        kernel.schedule(1.0, lambda: order.append("default"))
+        kernel.schedule(1.0, lambda: order.append("urgent"), priority=-1)
+        kernel.run()
+        assert order == ["urgent", "default"]
+
+    def test_ordering_is_deterministic_across_kernels(self):
+        def run_one():
+            kernel = SimKernel(seed=42)
+            order = []
+            for i in range(20):
+                kernel.schedule(
+                    1.0, lambda i=i: order.append(i), priority=i % 3
+                )
+            kernel.run()
+            return order
+
+        assert run_one() == run_one()
+
 
 class TestRun:
     def test_run_until_stops_before_future_events(self):
