@@ -1,0 +1,119 @@
+"""E7: atom-graph engine vs scalar walks on the production corpus.
+
+The atom-graph engine resolves every device's LPM decision once per
+destination atom and classifies all ingresses in one graph pass, where
+the original evaluation re-walked the network per (ingress, atom) pair
+— re-running the longest-prefix match at every hop of every walk. This
+bench runs the same workload (full reachability from every ingress plus
+the all-pairs matrix) both ways on a generated production-like
+topology, checks the answers agree, and emits ``BENCH_verify.json``
+with the wall times and counter deltas.
+
+Scale: ``MFV_BENCH_SMOKE=1`` shrinks the corpus for CI smoke runs; the
+default size matches the repo's other production-corpus benches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.context import ScenarioContext
+from repro.core.pipeline import ModelFreeBackend
+from repro.corpus.production import production_scenario, scaled_timers
+from repro.obs import tracing
+from repro.verify.engine import clear_engine_cache
+from repro.verify.reachability import ReachabilityAnalysis, pairwise_matrix
+
+from benchmarks.conftest import run_once
+
+SMOKE = bool(os.environ.get("MFV_BENCH_SMOKE"))
+NODES = 6 if SMOKE else 16
+PEERS = 1 if SMOKE else 3
+ROUTES = 60 if SMOKE else 500
+
+
+def _build_snapshot():
+    scenario = production_scenario(
+        NODES, peers=PEERS, routes_per_peer=ROUTES, seed=7
+    )
+    backend = ModelFreeBackend(
+        scenario.topology, timers=scaled_timers(ROUTES), quiet_period=30.0
+    )
+    return backend.run(
+        ScenarioContext(name="prod", injectors=tuple(scenario.injectors))
+    )
+
+
+def _workload(dataplane, use_engine: bool):
+    """Full reachability + all-pairs matrix, timed and counter-traced."""
+    clear_engine_cache()
+    with tracing() as tracer:
+        start = time.perf_counter()
+        rows = ReachabilityAnalysis(dataplane, use_engine=use_engine).analyze()
+        matrix = pairwise_matrix(dataplane, use_engine=use_engine)
+        wall = time.perf_counter() - start
+    counters = tracer.counters
+    return {
+        "rows": rows,
+        "matrix": matrix,
+        "wall_seconds": wall,
+        "lpm_lookups": counters.get("verify.lpm_lookups", 0),
+        "scalar_walks": counters.get("verify.scalar_walks", 0),
+        "index_probes": counters.get("verify.index_probes", 0),
+        "graph_builds": counters.get("verify.graph_builds", 0),
+        "graph_shared": counters.get("verify.graph_shared", 0),
+    }
+
+
+def _row_key(rows):
+    return {(r.ingress, r.dispositions): r.dst_set for r in rows}
+
+
+def test_e7_engine_vs_scalar_walks(benchmark, report):
+    snapshot = run_once(benchmark, _build_snapshot)
+    dataplane = snapshot.dataplane
+
+    old = _workload(dataplane, use_engine=False)
+    new = _workload(dataplane, use_engine=True)
+
+    # Same answers either way — the engine is a faster evaluator, not a
+    # different semantics.
+    assert _row_key(old["rows"]) == _row_key(new["rows"])
+    assert old["matrix"] == new["matrix"]
+
+    lookup_factor = old["lpm_lookups"] / max(1, new["lpm_lookups"])
+    walk_factor = old["scalar_walks"] / max(1, new["scalar_walks"])
+    speedup = old["wall_seconds"] / max(1e-9, new["wall_seconds"])
+
+    payload = {
+        "corpus": {"nodes": NODES, "peers": PEERS, "routes_per_peer": ROUTES,
+                   "smoke": SMOKE},
+        "workload": "full reachability (all ingresses) + all-pairs matrix",
+        "old": {k: v for k, v in old.items() if k not in ("rows", "matrix")},
+        "new": {k: v for k, v in new.items() if k not in ("rows", "matrix")},
+        "lpm_lookup_reduction": lookup_factor,
+        "scalar_walk_reduction": walk_factor,
+        "wall_speedup": speedup,
+    }
+    Path("BENCH_verify.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    report.add(
+        "E7", "per-hop LPM lookups (old vs engine)",
+        ">=5x fewer",
+        f"{old['lpm_lookups']} -> {new['lpm_lookups']} "
+        f"({lookup_factor:.0f}x)",
+    )
+    report.add(
+        "E7", "verification wall time",
+        "speedup",
+        f"{old['wall_seconds']:.2f}s -> {new['wall_seconds']:.2f}s "
+        f"({speedup:.1f}x)",
+    )
+    assert lookup_factor >= 5.0
+    assert new["wall_seconds"] < old["wall_seconds"]
+    # Decision-vector dedup: many atoms resolve to few distinct graphs.
+    assert new["graph_builds"] + new["graph_shared"] > 0
+    assert new["graph_builds"] <= new["graph_builds"] + new["graph_shared"]

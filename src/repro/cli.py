@@ -3,7 +3,8 @@
 Subcommands::
 
     mfv [-v|-vv] verify TOPOLOGY [--backend emulation|model]
-                                 [--save SNAP.json] [--trace OUT.jsonl]
+                                 [--workers N] [--save SNAP.json]
+                                 [--trace OUT.jsonl]
     mfv diff REFERENCE.json SNAPSHOT.json
     mfv trace SNAPSHOT.json NODE DEST
     mfv routes SNAPSHOT.json [NODE]
@@ -37,6 +38,7 @@ from repro.core.snapshot import Snapshot
 from repro.obs import ConvergenceTimeline, read_jsonl, summary_text, tracing, write_jsonl
 from repro.pybf.session import Session
 from repro.topo.parser import load_topology
+from repro.verify.engine import engine_for
 from repro.verify.invariants import detect_blackholes, detect_loops
 from repro.verify.reachability import verify_pairwise_reachability_text
 
@@ -63,6 +65,9 @@ def _run_verify(args: argparse.Namespace) -> int:
     phases = snapshot.metadata.setdefault("phases", {})
     with phase("verify", None, phases):
         dataplane = snapshot.dataplane
+        # Build the shared atom-graph engine up front (optionally across
+        # worker processes); every check below answers from its tables.
+        engine_for(dataplane).precompute(workers=args.workers)
         print(verify_pairwise_reachability_text(dataplane))
         loops = detect_loops(dataplane)
         print(f"forwarding loops: {len(loops)}")
@@ -217,23 +222,20 @@ def _cmd_obs_timeline(args: argparse.Namespace) -> int:
         backend = ModelFreeBackend(
             topology, timers=FAST_TIMERS, quiet_period=args.quiet_period
         )
-        snapshot = backend.run(seed=args.seed)
-        phases = snapshot.metadata["phases"]
-        with phase("verify", None, phases):
-            dataplane = snapshot.dataplane
-            loops = detect_loops(dataplane)
-            blackholes = detect_blackholes(dataplane)
+        snapshot = backend.run(seed=args.seed, verify=True)
+    counts = snapshot.metadata["verification"]
     timeline = ConvergenceTimeline.from_tracer(tracer)
     print(timeline.render(f"{title} (seed {args.seed})"))
     print()
     print(
-        f"Verification: {len(loops)} forwarding loops, "
-        f"{len(blackholes)} blackholed destinations"
+        f"Verification: {counts['loops']} forwarding loops, "
+        f"{counts['blackholes']} blackholed destinations, "
+        f"{counts['unreachable_pairs']} unreachable device pairs"
     )
     if args.trace:
         lines = write_jsonl(tracer, args.trace)
         print(f"trace written to {args.trace} ({lines} records)")
-    return 0 if not loops else 2
+    return 0 if not counts["loops"] else 2
 
 
 def _cmd_obs_summary(args: argparse.Namespace) -> int:
@@ -261,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--seed", type=int, default=0)
     verify.add_argument("--quiet-period", type=float, default=30.0)
+    verify.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="precompute atom-graph verdicts across N worker processes",
+    )
     verify.add_argument("--save", help="write the snapshot JSON here")
     verify.add_argument(
         "--trace", help="record an observability trace to this JSONL file"

@@ -108,8 +108,16 @@ class ModelFreeBackend:
         *,
         seed: int = 0,
         snapshot_name: Optional[str] = None,
+        verify: bool = False,
     ) -> Snapshot:
-        """Execute the full upper stage once and extract AFTs."""
+        """Execute the full upper stage once and extract AFTs.
+
+        With ``verify=True`` the standard invariant battery (loops,
+        blackholes, all-pairs reachability) runs inside a ``verify``
+        phase span, so ``metadata["phases"]`` and ``mfv obs timeline``
+        report query-engine time alongside deploy/converge/extract;
+        the counts land in ``metadata["verification"]``.
+        """
         if context is None:
             context = ScenarioContext()
         phases: dict[str, dict[str, float]] = {}
@@ -140,7 +148,7 @@ class ModelFreeBackend:
         with phase("extract", kernel, phases):
             afts = dump_afts(deployment)
         self.last_run = EmulationRun(deployment=deployment, injectors=injectors)
-        return Snapshot(
+        snapshot = Snapshot(
             name=snapshot_name or f"{self.topology.name}:{context.name}",
             afts=afts,
             backend="emulation",
@@ -155,6 +163,9 @@ class ModelFreeBackend:
                 "phases": phases,
             },
         )
+        if verify:
+            _run_verify_phase(snapshot, kernel, phases)
+        return snapshot
 
 
 class NativeBatfishBackend:
@@ -175,6 +186,7 @@ class NativeBatfishBackend:
         context: Optional[ScenarioContext] = None,
         *,
         snapshot_name: Optional[str] = None,
+        verify: bool = False,
     ) -> Snapshot:
         if context is None:
             context = ScenarioContext()
@@ -198,7 +210,7 @@ class NativeBatfishBackend:
         snapshots = model_run.snapshots
         if context.down_links:
             snapshots = _apply_link_cuts(self.topology, snapshots, context)
-        return Snapshot(
+        snapshot = Snapshot(
             name=snapshot_name or f"{self.topology.name}:{context.name}:model",
             afts=snapshots,
             backend="model",
@@ -207,6 +219,28 @@ class NativeBatfishBackend:
                 "unrecognized_lines": model_run.unrecognized_by_device(),
                 "phases": phases,
             },
+        )
+        if verify:
+            _run_verify_phase(snapshot, None, phases)
+        return snapshot
+
+
+def _run_verify_phase(
+    snapshot: Snapshot,
+    kernel: Optional[SimKernel],
+    phases: dict[str, dict[str, float]],
+) -> None:
+    """The shared verification stage: invariant battery in a phase span.
+
+    Simulated time stands still here (like extraction), so the span's
+    interesting number is its wall duration — the query-engine cost the
+    atom-graph engine is built to shrink.
+    """
+    from repro.verify.invariants import verification_summary
+
+    with phase("verify", kernel, phases):
+        snapshot.metadata["verification"] = verification_summary(
+            snapshot.dataplane
         )
 
 

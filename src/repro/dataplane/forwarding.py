@@ -19,6 +19,7 @@ from repro.dataplane.model import Dataplane, ForwardingEntry
 from repro.net.addr import Prefix, format_ipv4
 from repro.net.headerspace import HeaderSpace
 from repro.net.intervals import IntervalSet, atoms
+from repro.obs import bus
 
 
 class Disposition(enum.Enum):
@@ -149,6 +150,8 @@ class ForwardingWalk:
         slices terminate with DENIED_IN / DENIED_OUT, permitted slices
         continue.
         """
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("verify.scalar_walks")
         traces: list[Trace] = []
         if space is None:
             # Constrain the destination field to the queried address so

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.gnmi.aft import AftSnapshot
 from repro.net.addr import Prefix, parse_ipv4
 from repro.net.trie import PrefixTrie
+from repro.obs import bus
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,7 @@ class DeviceForwarding:
 
         self.name = snapshot.device
         self.trie: PrefixTrie[ForwardingEntry] = PrefixTrie()
+        self._compiled: Optional[CompiledLpmIndex] = None
         self.interface_addresses: dict[str, tuple[int, int]] = {}
         self.local_addresses: set[int] = set()
         self.acls: dict[str, Acl] = {
@@ -94,8 +97,26 @@ class DeviceForwarding:
             )
 
     def lookup(self, address: int) -> Optional[ForwardingEntry]:
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("verify.lpm_lookups")
         match = self.trie.longest_match(address)
         return match[1] if match else None
+
+    def compiled_index(self) -> "CompiledLpmIndex":
+        """The flattened FIB: every possible LPM decision, precomputed.
+
+        Built once per device (lazily) and reused across every
+        destination atom by the atom-graph engine; a probe is one
+        binary search instead of a 32-bit trie walk.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledLpmIndex(self.trie.lpm_intervals())
+        return self._compiled
+
+    @property
+    def has_acls(self) -> bool:
+        """Whether any interface binds an ACL (engine taint marker)."""
+        return bool(self.interface_acls)
 
     def connected_subnets(self) -> Iterator[tuple[str, Prefix]]:
         for name, (address, length) in self.interface_addresses.items():
@@ -121,6 +142,48 @@ class DeviceForwarding:
         return len(self.trie)
 
 
+class CompiledLpmIndex:
+    """A device FIB flattened into sorted, LPM-resolved address ranges.
+
+    ``ranges`` covers the whole 32-bit space: ``(lo, hi, entry)`` where
+    ``entry`` is exactly what :meth:`DeviceForwarding.lookup` would
+    return for any address in ``[lo, hi]``. Probing is a binary search
+    over the range starts — and a batch of sorted probes (the atom
+    sweep) resolves in one linear merge.
+    """
+
+    __slots__ = ("ranges", "_starts")
+
+    def __init__(
+        self, ranges: list[tuple[int, int, Optional[ForwardingEntry]]]
+    ) -> None:
+        self.ranges = ranges
+        self._starts = [lo for lo, _, _ in ranges]
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    def probe(self, address: int) -> Optional[ForwardingEntry]:
+        """The LPM decision for ``address`` (no trie walk)."""
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("verify.index_probes")
+        return self.ranges[bisect_right(self._starts, address) - 1][2]
+
+    def sweep(self, points: list[int]) -> list[Optional[ForwardingEntry]]:
+        """Resolve many ascending probe points in one linear merge."""
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("verify.index_probes", len(points))
+        out: list[Optional[ForwardingEntry]] = []
+        ranges = self.ranges
+        i = 0
+        top = len(ranges) - 1
+        for point in points:
+            while i < top and ranges[i][1] < point:
+                i += 1
+            out.append(ranges[i][2])
+        return out
+
+
 class Dataplane:
     """The whole network's forwarding state, ready for verification."""
 
@@ -136,6 +199,7 @@ class Dataplane:
         # (device, interface) -> neighbors on the shared subnet
         self.adjacency: dict[tuple[str, str], list[tuple[str, str, int]]] = {}
         self._derive_edges()
+        self._fingerprint: Optional[int] = None
 
     @classmethod
     def from_afts(cls, snapshots: dict[str, AftSnapshot]) -> "Dataplane":
@@ -200,6 +264,38 @@ class Dataplane:
             if peer_addr == target:
                 return peer_device, peer_iface
         return None
+
+    def fib_fingerprint(self) -> int:
+        """Content hash of everything forwarding behaviour depends on.
+
+        Two dataplanes with equal fingerprints have identical FIBs,
+        interface addressing, and ACL bindings, so any verification
+        engine built for one is valid for the other — this is the
+        snapshot-cache key used by :func:`repro.verify.engine.engine_for`.
+        Computed once per instance (the dataplane is immutable after
+        construction).
+        """
+        if self._fingerprint is None:
+            parts = []
+            for name in sorted(self.devices):
+                device = self.devices[name]
+                parts.append(
+                    (
+                        name,
+                        tuple(
+                            (prefix, entry.entry_type, entry.hops)
+                            for prefix, entry in device.trie.items()
+                        ),
+                        tuple(sorted(device.interface_addresses.items())),
+                        tuple(sorted(device.interface_acls.items())),
+                        tuple(
+                            (acl_name, tuple(acl.rules))
+                            for acl_name, acl in sorted(device.acls.items())
+                        ),
+                    )
+                )
+            self._fingerprint = hash(tuple(parts))
+        return self._fingerprint
 
     def all_prefixes(self) -> set[Prefix]:
         out: set[Prefix] = set()

@@ -23,6 +23,12 @@ class _Node(Generic[V]):
         self.has_value = False
 
 
+#: Shared placeholder for absent children in the lpm_intervals DFS: a
+#: valueless leaf, so the frame just emits its range with the inherited
+#: value.
+_EMPTY_NODE: _Node = _Node()
+
+
 class PrefixTrie(Generic[V]):
     """A mapping from :class:`Prefix` to values with LPM queries."""
 
@@ -138,6 +144,50 @@ class PrefixTrie(Generic[V]):
             depth += 1
             if node.has_value:
                 yield Prefix.containing(prefix.network, depth), node.value  # type: ignore[misc]
+
+    def lpm_intervals(self) -> list[tuple[int, int, Optional[V]]]:
+        """Flatten the trie into LPM-effective address ranges.
+
+        Returns ``(lo, hi, value)`` triples, sorted and covering the
+        whole 32-bit space, where ``value`` is what
+        :meth:`longest_match` would return for every address in
+        ``[lo, hi]`` (``None`` where nothing matches). Adjacent ranges
+        with the same value are merged. One traversal compiles the trie
+        into a structure that answers every possible lookup — the basis
+        of the verifier's per-device compiled LPM index.
+        """
+        out: list[tuple[int, int, Optional[V]]] = []
+
+        def emit(lo: int, hi: int, value: Optional[V]) -> None:
+            if out and out[-1][2] is value and out[-1][1] + 1 == lo:
+                out[-1] = (out[-1][0], hi, value)
+            else:
+                out.append((lo, hi, value))
+
+        # Iterative DFS; each frame covers [network, network + size - 1].
+        stack: list[tuple[_Node[V], int, int, Optional[V]]] = [
+            (self._root, 0, 0, None)
+        ]
+        while stack:
+            node, network, depth, inherited = stack.pop()
+            value = node.value if node.has_value else inherited
+            left, right = node.children
+            if (left is None and right is None) or depth >= 32:
+                emit(network, network + (1 << (32 - depth)) - 1, value)
+                continue
+            half = 1 << (32 - depth - 1)
+            # Push right first so ranges pop in ascending order.
+            if right is not None:
+                stack.append((right, network | half, depth + 1, value))
+            else:
+                stack.append(
+                    (_EMPTY_NODE, network | half, depth + 1, value)
+                )
+            if left is not None:
+                stack.append((left, network, depth + 1, value))
+            else:
+                stack.append((_EMPTY_NODE, network, depth + 1, value))
+        return out
 
     def items(self) -> Iterator[tuple[Prefix, V]]:
         """All (prefix, value) pairs in lexicographic bit order."""

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.snapshot import Snapshot
 from repro.pybf.questions import QuestionLibrary
+
+if TYPE_CHECKING:
+    from repro.verify.engine import AtomGraphEngine
 
 
 class SessionError(RuntimeError):
@@ -24,6 +27,10 @@ class Session:
 
     def __init__(self) -> None:
         self._snapshots: dict[str, Snapshot] = {}
+        # Per-snapshot atom-graph engines, pinned for the session's
+        # lifetime so the module-level LRU cache cannot evict the
+        # analyses backing registered snapshots between questions.
+        self._engines: dict[str, "AtomGraphEngine"] = {}
         self._current: Optional[str] = None
         self.q = QuestionLibrary(self)
 
@@ -49,6 +56,7 @@ class Session:
 
     def delete_snapshot(self, name: str) -> None:
         self._snapshots.pop(name, None)
+        self._engines.pop(name, None)
         if self._current == name:
             self._current = next(iter(self._snapshots), None)
 
@@ -63,3 +71,23 @@ class Session:
             return self._snapshots[target]
         except KeyError:
             raise SessionError(f"unknown snapshot: {target!r}") from None
+
+    # -- verification engine reuse -------------------------------------------
+
+    def get_engine(self, name: Optional[str] = None) -> "AtomGraphEngine":
+        """The atom-graph engine for a registered snapshot.
+
+        Questions route their dataplane analyses through this method, so
+        every question asked of the same snapshot shares one engine (one
+        set of per-atom graph passes) no matter how many snapshots the
+        session juggles.
+        """
+        from repro.verify.engine import engine_for
+
+        target = name or self._current
+        snapshot = self.get_snapshot(target)
+        engine = self._engines.get(target)
+        if engine is None or engine.dataplane is not snapshot.dataplane:
+            engine = engine_for(snapshot.dataplane)
+            self._engines[target] = engine
+        return engine

@@ -9,6 +9,12 @@ and model-based (simulated) dataplanes, which is how the paper compares
 the two.
 """
 
+from repro.verify.engine import (
+    AtomGraphEngine,
+    AtomVerdict,
+    clear_engine_cache,
+    engine_for,
+)
 from repro.verify.reachability import (
     ReachabilityAnalysis,
     ReachabilityRow,
@@ -19,17 +25,23 @@ from repro.verify.differential import DifferentialRow, differential_reachability
 from repro.verify.invariants import (
     detect_blackholes,
     detect_loops,
+    verification_summary,
     verify_pairwise_reachability,
 )
 
 __all__ = [
+    "AtomGraphEngine",
+    "AtomVerdict",
     "DifferentialRow",
     "ReachabilityAnalysis",
     "ReachabilityRow",
+    "clear_engine_cache",
     "detect_blackholes",
     "detect_loops",
     "differential_reachability",
+    "engine_for",
     "pairwise_matrix",
     "traceroute",
+    "verification_summary",
     "verify_pairwise_reachability",
 ]

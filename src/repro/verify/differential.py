@@ -17,7 +17,7 @@ reported with a concrete witness flow and both traces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.dataplane.forwarding import (
     Disposition,
@@ -29,6 +29,7 @@ from repro.dataplane.model import Dataplane
 from repro.net.addr import format_ipv4
 from repro.net.headerspace import HeaderSpace
 from repro.net.intervals import IntervalSet
+from repro.verify.engine import engine_for
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,7 @@ def differential_reachability(
     *,
     ingress_nodes: Optional[Iterable[str]] = None,
     dst_space: Optional[HeaderSpace] = None,
+    atoms: Optional[Sequence[IntervalSet]] = None,
 ) -> list[DifferentialRow]:
     """All behaviour differences between two snapshots.
 
@@ -78,29 +80,59 @@ def differential_reachability(
     Adjacent differing atoms with identical (before, after) disposition
     pairs are merged, so each row is a maximal destination set with one
     coherent behaviour change.
+
+    Both sides are evaluated by their (content-cached) atom-graph
+    engines over one shared partition, so the comparison per (ingress,
+    atom) is two table lookups; scalar walks run only to attach witness
+    traces to differing rows and for ACL-tainted atoms, whose header-
+    space splits require the exact walk comparison. ``atoms`` may
+    supply a pre-refined partition (it must refine the union partition
+    of both dataplanes — multirun passes one shared across all seeds,
+    so each snapshot's engine is built once, not once per pair).
     """
     common = set(reference.node_names()) & set(snapshot.node_names())
     nodes = sorted(common if ingress_nodes is None else
                    common & set(ingress_nodes))
-    atoms = dst_atoms(reference, snapshot)
+    if atoms is None:
+        atoms = dst_atoms(reference, snapshot)
     restriction = dst_space.dst_values() if dst_space is not None else None
+    ref_engine = engine_for(reference, atoms)
+    new_engine = engine_for(snapshot, atoms)
+    ref_engine.precompute()
+    new_engine.precompute()
     ref_walk = ForwardingWalk(reference)
     new_walk = ForwardingWalk(snapshot)
     rows: list[DifferentialRow] = []
     for ingress in nodes:
         merged: dict[tuple, list] = {}
-        for atom in atoms:
+        for index, atom in enumerate(atoms):
             piece = atom if restriction is None else (atom & restriction)
             if piece.is_empty():
                 continue
             probe = piece.sample()
-            before = ref_walk.walk(ingress, probe)
-            after = new_walk.walk(ingress, probe)
-            # Exact comparison: same dispositions over the same header
-            # slices (ACL splits on src/ports are compared, not sampled).
-            if before.behaviour_equal(after):
-                continue
-            key = (before.dispositions, after.dispositions)
+            ref_verdict = ref_engine.verdict(ingress, index)
+            new_verdict = new_engine.verdict(ingress, index)
+            if ref_verdict.tainted or new_verdict.tainted:
+                # ACLs may split the space on non-destination fields:
+                # compare the exact per-slice behaviour, not samples.
+                before = ref_walk.walk(ingress, probe)
+                after = new_walk.walk(ingress, probe)
+                if before.behaviour_equal(after):
+                    continue
+                key = (before.dispositions, after.dispositions)
+            else:
+                # No ACL anywhere reachable: every trace carries the
+                # full queried space, so behaviour equality reduces to
+                # disposition-set equality — no walk needed, and walks
+                # for witness traces run once per merged row.
+                if ref_verdict.dispositions == new_verdict.dispositions:
+                    continue
+                key = (ref_verdict.dispositions, new_verdict.dispositions)
+                if key in merged:
+                    merged[key][0] = merged[key][0] | piece
+                    continue
+                before = ref_walk.walk(ingress, probe)
+                after = new_walk.walk(ingress, probe)
             bucket = merged.setdefault(key, [piece, before, after])
             if bucket[0] is not piece:
                 bucket[0] = bucket[0] | piece

@@ -1,0 +1,483 @@
+"""The atom-graph verification engine.
+
+The scalar :class:`~repro.dataplane.forwarding.ForwardingWalk` answers
+one (ingress, destination) pair per call, re-running a trie LPM lookup
+at every hop — O(ingresses × atoms × pathlen × 32) for an exhaustive
+query. This engine exploits the defining property of a destination atom
+(every device's LPM decision is constant inside it) to do the whole
+job in one pass per atom:
+
+1. each device's FIB is flattened once into a *compiled LPM index*
+   (:meth:`~repro.dataplane.model.DeviceForwarding.compiled_index`) and
+   every atom's decision on every device is resolved by a single linear
+   sweep — no per-hop lookups at all;
+2. the decisions form a *next-hop graph* over the topology whose nodes
+   either terminate (accept / discard / no-route / leave the network)
+   or point at successor devices;
+3. one SCC condensation of that graph (iterative Tarjan) yields the
+   disposition set of **every** ingress simultaneously: a node's
+   dispositions are the union of its terminals and its successors'
+   dispositions, plus ``LOOP`` when it can reach a cycle.
+
+Total cost is O(atoms × (V + E)) — independent of the number of
+ingresses queried — and atoms whose decision vectors coincide share one
+graph evaluation outright (the Plankton-style equivalence-class trick).
+
+Devices with ACLs make a node's behaviour depend on the arrival
+interface and non-destination header fields, which a per-atom node
+function cannot express; ingresses whose reachable subgraph touches an
+ACL-bearing device are flagged ``tainted`` and transparently fall back
+to the exact scalar walk. The walk also remains the reference oracle:
+``tests/test_verify_engine.py`` asserts row-for-row equivalence on
+every shipped corpus.
+
+Engines are memoized per dataplane *content* — see :func:`engine_for` —
+so differential queries, multirun sweeps, and repeated pybf questions
+stop rebuilding identical analyses.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.dataplane.forwarding import Disposition, ForwardingWalk, dst_atoms
+from repro.dataplane.model import Dataplane
+from repro.net.intervals import IntervalSet
+from repro.obs import bus
+
+logger = logging.getLogger(__name__)
+
+#: Node-structure tags (see ``_resolve_node``).
+_TERMINAL = {
+    None: Disposition.NO_ROUTE,
+    "receive": Disposition.ACCEPTED,
+    "discard": Disposition.NULL_ROUTED,
+}
+
+
+@dataclass(frozen=True)
+class AtomVerdict:
+    """What happens to one atom's traffic entering at one device.
+
+    ``dispositions`` is the union over every ECMP branch; ``accepts``
+    the set of devices whose *receive* entry terminates some branch
+    (what the all-pairs query needs); ``tainted`` marks verdicts whose
+    reachable subgraph includes an ACL-bearing device — the graph
+    abstraction cannot see ACL splits, so tainted queries must use the
+    scalar walk.
+    """
+
+    dispositions: frozenset[Disposition]
+    accepts: frozenset[str]
+    tainted: bool
+
+    @property
+    def success(self) -> bool:
+        return bool(self.dispositions) and all(
+            d.is_success for d in self.dispositions
+        )
+
+
+class AtomGraphEngine:
+    """One next-hop graph per destination atom, shared by every query.
+
+    ``atoms`` defaults to the dataplane's own partition; differential
+    and multirun callers pass a shared refinement so one engine per
+    snapshot serves every pairwise comparison (any refinement of the
+    atom partition keeps per-atom LPM decisions constant).
+    """
+
+    def __init__(
+        self,
+        dataplane: Dataplane,
+        atoms: Optional[Sequence[IntervalSet]] = None,
+    ) -> None:
+        self.dataplane = dataplane
+        self.atoms: list[IntervalSet] = list(
+            atoms if atoms is not None else dst_atoms(dataplane)
+        )
+        self.walker = ForwardingWalk(dataplane)
+        self._reps = [atom.min() for atom in self.atoms]
+        self._names = dataplane.node_names()
+        self._acl_nodes = frozenset(
+            name
+            for name, device in dataplane.devices.items()
+            if device.has_acls
+        )
+        # atom index -> {device -> AtomVerdict}
+        self._tables: dict[int, dict[str, AtomVerdict]] = {}
+        # decision-vector key -> shared verdict table
+        self._shared: dict[tuple, dict[str, AtomVerdict]] = {}
+        # (device, interface, gateway) -> resolved peer device (or None)
+        self._hop_peers: dict[tuple[str, str, int], Optional[str]] = {}
+        # (device, entry id) -> struct, for rep-independent resolutions
+        self._node_cache: dict[tuple[str, int], tuple] = {}
+        self._complete = False
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("verify.engine_builds")
+            bus.ACTIVE.count("verify.atoms", len(self.atoms))
+
+    # -- public queries -----------------------------------------------------
+
+    def verdict(self, ingress: str, atom_index: int) -> AtomVerdict:
+        """The engine's verdict for ``ingress`` over atom ``atom_index``.
+
+        Tainted verdicts describe reachability of an ACL device, not
+        final dispositions — call :meth:`dispositions` for transparent
+        scalar fallback.
+        """
+        table = self._tables.get(atom_index)
+        if table is None:
+            table = self._build_atom(atom_index)
+        return table[ingress]
+
+    def dispositions(
+        self, ingress: str, atom_index: int
+    ) -> frozenset[Disposition]:
+        """Exact disposition set (scalar-walk fallback when tainted)."""
+        verdict = self.verdict(ingress, atom_index)
+        if not verdict.tainted:
+            return verdict.dispositions
+        return self.walker.walk(ingress, self._reps[atom_index]).dispositions
+
+    def atom_index_of(self, address: int) -> int:
+        """Index of the atom containing ``address``.
+
+        Atoms are contiguous ascending spans covering the whole space,
+        so this is a binary search over their lower bounds.
+        """
+        from bisect import bisect_right
+
+        return bisect_right(self._reps, address) - 1
+
+    def precompute(self, workers: Optional[int] = None) -> None:
+        """Materialize every atom's verdict table.
+
+        With ``workers`` > 1 the atom index range is sharded across a
+        process pool — each worker rebuilds the engine from the pickled
+        dataplane and returns its shard's tables. Falls back to the
+        sequential sweep if the pool cannot be used (platform limits,
+        unpicklable state).
+        """
+        if self._complete:
+            return
+        if workers is not None and workers > 1 and len(self.atoms) > 64:
+            try:
+                self._precompute_parallel(workers)
+                return
+            except Exception as exc:  # pragma: no cover - platform dependent
+                logger.warning(
+                    "process-pool precompute failed (%s); "
+                    "falling back to sequential",
+                    exc,
+                )
+        self._ensure_all()
+
+    # -- construction -------------------------------------------------------
+
+    def _ensure_all(self) -> None:
+        """Resolve every (device, atom) decision in one sweep per device
+        and assemble/evaluate each atom's graph."""
+        if self._complete:
+            return
+        decisions = self._sweep_decisions()
+        for index in range(len(self.atoms)):
+            if index not in self._tables:
+                self._build_atom(index, decisions)
+        self._complete = True
+
+    def _sweep_decisions(self) -> dict[str, list]:
+        """Per device: the FIB entry governing each atom, via one
+        linear merge of the compiled index against the sorted reps."""
+        return {
+            name: self.dataplane.devices[name].compiled_index().sweep(
+                self._reps
+            )
+            for name in self._names
+        }
+
+    def _build_atom(
+        self, index: int, decisions: Optional[dict[str, list]] = None
+    ) -> dict[str, AtomVerdict]:
+        rep = self._reps[index]
+        structs: dict[str, tuple] = {}
+        for name in self._names:
+            if decisions is not None:
+                entry = decisions[name][index]
+            else:
+                entry = self.dataplane.devices[name].compiled_index().probe(
+                    rep
+                )
+            structs[name] = self._resolve_node(name, entry, rep)
+        key = tuple(structs[name] for name in self._names)
+        table = self._shared.get(key)
+        if table is None:
+            table = self._evaluate_graph(structs)
+            self._shared[key] = table
+            if bus.ACTIVE.enabled:
+                bus.ACTIVE.count("verify.graph_builds")
+        elif bus.ACTIVE.enabled:
+            bus.ACTIVE.count("verify.graph_shared")
+        self._tables[index] = table
+        return table
+
+    def _resolve_node(self, name: str, entry, rep: int) -> tuple:
+        """One device's behaviour for one atom, as a hashable struct:
+        ``(successor devices, terminal dispositions, accepted-here)``.
+
+        Mirrors ``ForwardingWalk._explore`` exactly (minus ACLs, which
+        taint instead): receive/discard/no-route terminate; forward
+        hops either hand off to the subnet neighbor owning the gateway
+        (or the destination itself when directly attached) or leave the
+        modelled network.
+
+        Most structs do not depend on the representative address at all
+        (every hop names a gateway with a known subnet neighbor); those
+        are memoized per FIB entry, so across a sweep each entry is
+        resolved once — not once per atom it governs.
+        """
+        cache_key = (name, id(entry))
+        cached = self._node_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        if entry is None or entry.entry_type in ("receive", "discard"):
+            kind = None if entry is None else entry.entry_type
+            struct = ((), (_TERMINAL[kind],), kind == "receive")
+            self._node_cache[cache_key] = struct
+            return struct
+        successors: set[str] = set()
+        terminals: set[Disposition] = set()
+        rep_dependent = False
+        for hop in entry.hops:
+            gateway = hop.gateway
+            if gateway is not None:
+                hop_key = (name, hop.interface, gateway)
+                try:
+                    peer = self._hop_peers[hop_key]
+                except KeyError:
+                    resolved = self.dataplane.neighbor_via(
+                        name, hop.interface, gateway, rep
+                    )
+                    peer = resolved[0] if resolved is not None else None
+                    self._hop_peers[hop_key] = peer
+                if peer is not None:
+                    successors.add(peer)
+                elif gateway == rep:
+                    rep_dependent = True
+                    terminals.add(self._direct_disposition(name, hop))
+                else:
+                    # EXITS unless the atom's representative *is* the
+                    # gateway, so this branch is rep-dependent too.
+                    rep_dependent = True
+                    terminals.add(Disposition.EXITS_NETWORK)
+                continue
+            # Directly attached: the neighbor is the destination itself.
+            rep_dependent = True
+            resolved = self.dataplane.neighbor_via(
+                name, hop.interface, None, rep
+            )
+            if resolved is not None:
+                successors.add(resolved[0])
+            else:
+                terminals.add(self._direct_disposition(name, hop))
+        struct = (
+            tuple(sorted(successors)),
+            tuple(sorted(terminals, key=lambda d: d.value)),
+            False,
+        )
+        if not rep_dependent:
+            self._node_cache[cache_key] = struct
+        return struct
+
+    def _direct_disposition(self, name: str, hop) -> Disposition:
+        device = self.dataplane.devices[name]
+        subnet_known = (
+            (name, hop.interface) in self.dataplane.adjacency
+            or hop.interface in device.interface_addresses
+        )
+        return (
+            Disposition.DELIVERED_TO_SUBNET
+            if subnet_known
+            else Disposition.EXITS_NETWORK
+        )
+
+    # -- graph evaluation ---------------------------------------------------
+
+    def _evaluate_graph(
+        self, structs: dict[str, tuple]
+    ) -> dict[str, AtomVerdict]:
+        """Dispositions for every node in one linear pass.
+
+        Tarjan's algorithm (iterative) emits SCCs with all successors
+        already finished, so each SCC's verdict is the union of its
+        members' terminals and its successor SCCs' verdicts — plus
+        ``LOOP`` when the SCC is cyclic, because any walk entering it
+        revisits a device.
+        """
+        index_of: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        verdicts: dict[str, AtomVerdict] = {}
+
+        def successors(v: str) -> tuple:
+            return structs[v][0]
+
+        for root in self._names:
+            if root in index_of:
+                continue
+            # Iterative Tarjan: (node, iterator position) frames.
+            work = [(root, 0)]
+            while work:
+                v, pos = work.pop()
+                if pos == 0:
+                    index_of[v] = lowlink[v] = counter[0]
+                    counter[0] += 1
+                    stack.append(v)
+                    on_stack.add(v)
+                recurse = False
+                succ = successors(v)
+                for i in range(pos, len(succ)):
+                    w = succ[i]
+                    if w not in index_of:
+                        work.append((v, i + 1))
+                        work.append((w, 0))
+                        recurse = True
+                        break
+                    if w in on_stack:
+                        lowlink[v] = min(lowlink[v], index_of[w])
+                if recurse:
+                    continue
+                if lowlink[v] == index_of[v]:
+                    scc: list[str] = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        scc.append(w)
+                        if w == v:
+                            break
+                    self._settle_scc(scc, structs, verdicts)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[v])
+        return verdicts
+
+    def _settle_scc(
+        self,
+        scc: list[str],
+        structs: dict[str, tuple],
+        verdicts: dict[str, AtomVerdict],
+    ) -> None:
+        members = set(scc)
+        cyclic = len(scc) > 1
+        dispositions: set[Disposition] = set()
+        accepts: set[str] = set()
+        tainted = False
+        for v in scc:
+            succ, terms, accepted_here = structs[v]
+            dispositions.update(terms)
+            if accepted_here:
+                accepts.add(v)
+            if v in self._acl_nodes:
+                tainted = True
+            for w in succ:
+                if w in members:
+                    cyclic = True  # covers self-loops
+                    continue
+                downstream = verdicts[w]
+                dispositions.update(downstream.dispositions)
+                accepts.update(downstream.accepts)
+                tainted = tainted or downstream.tainted
+        if cyclic:
+            dispositions.add(Disposition.LOOP)
+        verdict = AtomVerdict(
+            dispositions=frozenset(dispositions),
+            accepts=frozenset(accepts),
+            tainted=tainted,
+        )
+        for v in scc:
+            verdicts[v] = verdict
+
+    # -- parallel fan-out ---------------------------------------------------
+
+    def _precompute_parallel(self, workers: int) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        total = len(self.atoms)
+        bounds = [(a.min(), a.max()) for a in self.atoms]
+        shard_size = (total + workers - 1) // workers
+        shards = [
+            range(start, min(start + shard_size, total))
+            for start in range(0, total, shard_size)
+        ]
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("verify.engine_parallel_shards", len(shards))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = pool.map(
+                _compute_shard,
+                [
+                    (self.dataplane, bounds, shard.start, shard.stop)
+                    for shard in shards
+                ],
+            )
+            for shard_tables in results:
+                self._tables.update(shard_tables)
+        self._complete = True
+
+
+def _compute_shard(payload) -> dict[int, dict[str, AtomVerdict]]:
+    """Worker entry point: rebuild the engine, evaluate one atom shard."""
+    dataplane, bounds, start, stop = payload
+    atoms = [IntervalSet.span(lo, hi) for lo, hi in bounds]
+    engine = AtomGraphEngine(dataplane, atoms)
+    decisions = engine._sweep_decisions()
+    return {
+        index: engine._build_atom(index, decisions)
+        for index in range(start, stop)
+    }
+
+
+# -- the per-snapshot engine cache ------------------------------------------
+
+_CACHE: OrderedDict[tuple, AtomGraphEngine] = OrderedDict()
+_CACHE_LIMIT = 8
+
+
+def _atoms_signature(atoms: Optional[Sequence[IntervalSet]]) -> int:
+    if atoms is None:
+        return 0
+    return hash(tuple(atom.min() for atom in atoms))
+
+
+def engine_for(
+    dataplane: Dataplane,
+    atoms: Optional[Sequence[IntervalSet]] = None,
+) -> AtomGraphEngine:
+    """The memoized engine for ``dataplane`` (and atom partition).
+
+    Keyed by FIB *content* hash, not object identity: two snapshots
+    that converged to the same forwarding state — N seeds in a multirun
+    sweep, a reloaded snapshot file — share one engine, so repeated
+    differential and pybf queries stop rebuilding identical analyses.
+    """
+    key = (dataplane.fib_fingerprint(), _atoms_signature(atoms))
+    engine = _CACHE.get(key)
+    if engine is not None:
+        _CACHE.move_to_end(key)
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("verify.engine_cache_hits")
+        return engine
+    engine = AtomGraphEngine(dataplane, atoms)
+    _CACHE[key] = engine
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+    return engine
+
+
+def clear_engine_cache() -> None:
+    """Drop all memoized engines (tests and long-lived processes)."""
+    _CACHE.clear()

@@ -62,3 +62,20 @@ def verify_pairwise_reachability(
         for (src, dst), reachable in sorted(matrix.items())
         if not reachable
     ]
+
+
+def verification_summary(dataplane: Dataplane) -> dict[str, int]:
+    """The standard invariant battery as counts (pipeline verify phase).
+
+    All three checks share one cached atom-graph engine, so the battery
+    is a single set of per-atom graph passes regardless of how many
+    invariants run.
+    """
+    loops = detect_loops(dataplane)
+    blackholes = detect_blackholes(dataplane)
+    violations = verify_pairwise_reachability(dataplane)
+    return {
+        "loops": len(loops),
+        "blackholes": len(blackholes),
+        "unreachable_pairs": len(violations),
+    }

@@ -1,4 +1,14 @@
-"""Exhaustive reachability analysis."""
+"""Exhaustive reachability analysis.
+
+Since the atom-graph engine (:mod:`repro.verify.engine`) landed, the
+hot path classifies every (ingress, atom) pair from precomputed
+per-atom verdict tables — one graph pass per atom serves all
+ingresses — and the scalar :class:`ForwardingWalk` is only invoked to
+produce witness traces for the final merged rows (and as the exact
+fallback for ACL-tainted queries). Pass ``use_engine=False`` to force
+the original walk-per-pair evaluation; it is kept as the reference
+oracle and the benchmark baseline.
+"""
 
 from __future__ import annotations
 
@@ -16,6 +26,7 @@ from repro.dataplane.model import Dataplane
 from repro.net.addr import format_ipv4
 from repro.net.headerspace import HeaderSpace
 from repro.net.intervals import IntervalSet
+from repro.verify.engine import AtomGraphEngine, engine_for
 
 
 @dataclass(frozen=True)
@@ -30,20 +41,42 @@ class ReachabilityRow:
 
     def __str__(self) -> str:
         kinds = ",".join(sorted(d.value for d in self.dispositions))
+        more = len(self.dst_set) - 1
+        suffix = f" (+{more} more addresses)" if more else ""
         return (
-            f"{self.ingress} -> {format_ipv4(self.sample_destination)} "
-            f"(+{len(self.dst_set) - 1} more): {kinds}"
+            f"{self.ingress} -> {format_ipv4(self.sample_destination)}"
+            f"{suffix}: {kinds}"
         )
 
 
 class ReachabilityAnalysis:
     """Precomputes destination atoms for one dataplane and answers
-    exhaustive reachability queries over them."""
+    exhaustive reachability queries over them.
 
-    def __init__(self, dataplane: Dataplane) -> None:
+    ``engine`` may be supplied to share a prebuilt
+    :class:`~repro.verify.engine.AtomGraphEngine`; by default one is
+    fetched from the content-keyed engine cache, so constructing this
+    class repeatedly for the same forwarding state is cheap.
+    """
+
+    def __init__(
+        self,
+        dataplane: Dataplane,
+        *,
+        engine: Optional[AtomGraphEngine] = None,
+        use_engine: bool = True,
+    ) -> None:
         self.dataplane = dataplane
         self.walker = ForwardingWalk(dataplane)
-        self.atoms = dst_atoms(dataplane)
+        self.use_engine = use_engine
+        if use_engine:
+            self.engine: Optional[AtomGraphEngine] = (
+                engine if engine is not None else engine_for(dataplane)
+            )
+            self.atoms = self.engine.atoms
+        else:
+            self.engine = None
+            self.atoms = dst_atoms(dataplane)
 
     def analyze(
         self,
@@ -57,6 +90,40 @@ class ReachabilityAnalysis:
         """
         nodes = list(ingress_nodes or self.dataplane.node_names())
         restriction = dst_space.dst_values() if dst_space is not None else None
+        if self.engine is None:
+            return self._analyze_scalar(nodes, restriction)
+        self.engine.precompute()
+        rows: list[ReachabilityRow] = []
+        for ingress in nodes:
+            # dispositions -> [merged dst set, first piece's sample]
+            merged: dict[frozenset[Disposition], list] = {}
+            for index, atom in enumerate(self.atoms):
+                piece = atom if restriction is None else (atom & restriction)
+                if piece.is_empty():
+                    continue
+                dispositions = self.engine.dispositions(ingress, index)
+                bucket = merged.get(dispositions)
+                if bucket is None:
+                    merged[dispositions] = [piece, piece.sample()]
+                else:
+                    bucket[0] = bucket[0] | piece
+            for dispositions, (dst_set, sample) in merged.items():
+                result = self.walker.walk(ingress, sample)
+                rows.append(
+                    ReachabilityRow(
+                        ingress=ingress,
+                        dst_set=dst_set,
+                        dispositions=dispositions,
+                        sample_destination=sample,
+                        sample_traces=result.traces,
+                    )
+                )
+        return rows
+
+    def _analyze_scalar(
+        self, nodes: list[str], restriction: Optional[IntervalSet]
+    ) -> list[ReachabilityRow]:
+        """The original walk-per-(ingress, atom) evaluation (oracle)."""
         rows: list[ReachabilityRow] = []
         for ingress in nodes:
             merged: dict[frozenset[Disposition], list] = {}
@@ -105,16 +172,50 @@ def verify_pairwise_reachability_text(dataplane: Dataplane) -> str:
     return "\n".join(lines)
 
 
-def pairwise_matrix(dataplane: Dataplane) -> dict[tuple[str, str], bool]:
+def pairwise_matrix(
+    dataplane: Dataplane,
+    *,
+    engine: Optional[AtomGraphEngine] = None,
+    use_engine: bool = True,
+) -> dict[tuple[str, str], bool]:
     """Full-mesh device reachability by owned addresses.
 
     ``matrix[a, b]`` is True when *every* address owned by ``b`` is
     ACCEPTED at ``b`` for packets entering at ``a`` (and a has at least
     one path there).
+
+    On the engine path each owned address maps to its destination atom
+    once, and every (src, dst) check is a table lookup on the shared
+    per-atom verdict — the per-address re-walks only survive as the
+    exact fallback for ACL-tainted verdicts (and as the oracle under
+    ``use_engine=False``). The first failing address still short-
+    circuits its device pair.
     """
-    walker = ForwardingWalk(dataplane)
-    matrix: dict[tuple[str, str], bool] = {}
     names = dataplane.node_names()
+    matrix: dict[tuple[str, str], bool] = {}
+    if not use_engine:
+        walker = ForwardingWalk(dataplane)
+        for src in names:
+            for dst in names:
+                if src == dst:
+                    continue
+                addresses = sorted(dataplane.devices[dst].local_addresses)
+                ok = bool(addresses)
+                for address in addresses:
+                    if not _walk_accepts_at(walker, src, dst, address):
+                        ok = False
+                        break
+                matrix[(src, dst)] = ok
+        return matrix
+
+    shared = engine if engine is not None else engine_for(dataplane)
+    walker = shared.walker
+    # Owned address -> atom index, resolved once for all N² pairs.
+    atom_of = {
+        address: shared.atom_index_of(address)
+        for device in names
+        for address in dataplane.devices[device].local_addresses
+    }
     for src in names:
         for dst in names:
             if src == dst:
@@ -122,14 +223,27 @@ def pairwise_matrix(dataplane: Dataplane) -> dict[tuple[str, str], bool]:
             addresses = sorted(dataplane.devices[dst].local_addresses)
             ok = bool(addresses)
             for address in addresses:
-                result = walker.walk(src, address)
-                accepted_at_dst = all(
-                    t.disposition is Disposition.ACCEPTED
-                    and t.hops[-1].device == dst
-                    for t in result.traces
-                )
-                if not result.traces or not accepted_at_dst:
+                verdict = shared.verdict(src, atom_of[address])
+                if verdict.tainted:
+                    accepted = _walk_accepts_at(walker, src, dst, address)
+                else:
+                    accepted = (
+                        verdict.dispositions == {Disposition.ACCEPTED}
+                        and verdict.accepts == {dst}
+                    )
+                if not accepted:
                     ok = False
                     break
             matrix[(src, dst)] = ok
     return matrix
+
+
+def _walk_accepts_at(
+    walker: ForwardingWalk, src: str, dst: str, address: int
+) -> bool:
+    """Scalar-walk check: all traces ACCEPTED with ``dst`` as last hop."""
+    result = walker.walk(src, address)
+    return bool(result.traces) and all(
+        t.disposition is Disposition.ACCEPTED and t.hops[-1].device == dst
+        for t in result.traces
+    )

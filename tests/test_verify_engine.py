@@ -1,0 +1,269 @@
+"""Atom-graph engine tests.
+
+The load-bearing property: for every (ingress, atom) pair on every
+shipped corpus, the engine's disposition set is identical to the scalar
+:class:`ForwardingWalk` oracle's. Everything else — verdict tables,
+decision-vector sharing, the content-keyed cache, parallel precompute,
+ACL taint fallback — is tested against that same oracle or against the
+legacy evaluation paths it replaced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import ScenarioContext, single_link_cut_contexts
+from repro.core.multirun import explore_nondeterminism
+from repro.core.pipeline import ModelFreeBackend
+from repro.corpus.production import production_scenario, scaled_timers
+from repro.dataplane.forwarding import Disposition, ForwardingWalk
+from repro.dataplane.model import Dataplane
+from repro.gnmi.aft import (
+    AftInterface,
+    AftIpv4Entry,
+    AftNextHop,
+    AftNextHopGroup,
+    AftSnapshot,
+)
+from repro.device.acl import AclRule
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.headerspace import HeaderSpace
+from repro.net.intervals import IntervalSet
+from repro.obs import tracing
+from repro.protocols.timers import FAST_TIMERS
+from repro.verify.engine import (
+    AtomGraphEngine,
+    clear_engine_cache,
+    engine_for,
+)
+from repro.verify.reachability import (
+    ReachabilityAnalysis,
+    ReachabilityRow,
+    pairwise_matrix,
+)
+
+
+def assert_engine_matches_walker(dataplane: Dataplane) -> None:
+    """The property: engine dispositions == scalar-walk dispositions
+    for every ingress over every destination atom."""
+    engine = AtomGraphEngine(dataplane)
+    walker = ForwardingWalk(dataplane)
+    engine.precompute()
+    for ingress in dataplane.node_names():
+        for index, atom in enumerate(engine.atoms):
+            expected = walker.walk(ingress, atom.sample()).dispositions
+            assert engine.dispositions(ingress, index) == expected, (
+                f"ingress={ingress} atom={atom}"
+            )
+
+
+@pytest.fixture(scope="module")
+def production_snapshot():
+    scenario = production_scenario(8, peers=1, routes_per_peer=80, seed=7)
+    backend = ModelFreeBackend(
+        scenario.topology, timers=scaled_timers(80), quiet_period=30.0
+    )
+    return backend.run(
+        ScenarioContext(name="prod", injectors=tuple(scenario.injectors))
+    )
+
+
+class TestOracleEquivalence:
+    def test_fig2_healthy_and_buggy(self, fig2_snapshots):
+        healthy, buggy = fig2_snapshots
+        assert_engine_matches_walker(healthy.dataplane)
+        assert_engine_matches_walker(buggy.dataplane)
+
+    def test_fig3_emulated(self, fig3_emulated):
+        _, snapshot = fig3_emulated
+        assert_engine_matches_walker(snapshot.dataplane)
+
+    def test_fig3_model(self, fig3_model):
+        _, snapshot = fig3_model
+        assert_engine_matches_walker(snapshot.dataplane)
+
+    def test_production_corpus(self, production_snapshot):
+        assert_engine_matches_walker(production_snapshot.dataplane)
+
+    def test_link_cut_context(self, fig2):
+        context = next(single_link_cut_contexts(fig2.topology))
+        backend = ModelFreeBackend(
+            fig2.topology, timers=FAST_TIMERS, quiet_period=5.0
+        )
+        snapshot = backend.run(context)
+        assert_engine_matches_walker(snapshot.dataplane)
+
+    def test_analysis_rows_match_scalar_path(self, fig2_snapshots):
+        healthy, _ = fig2_snapshots
+        dataplane = healthy.dataplane
+        fast = ReachabilityAnalysis(dataplane).analyze()
+        slow = ReachabilityAnalysis(dataplane, use_engine=False).analyze()
+        key = lambda rows: {
+            (r.ingress, r.dispositions): r.dst_set for r in rows
+        }
+        assert key(fast) == key(slow)
+
+    def test_analysis_respects_dst_restriction(self, fig2_snapshots):
+        healthy, _ = fig2_snapshots
+        dataplane = healthy.dataplane
+        space = HeaderSpace.dst_prefix(Prefix.parse("10.0.0.0/8"))
+        fast = ReachabilityAnalysis(dataplane).analyze(dst_space=space)
+        slow = ReachabilityAnalysis(dataplane, use_engine=False).analyze(
+            dst_space=space
+        )
+        key = lambda rows: {
+            (r.ingress, r.dispositions): r.dst_set for r in rows
+        }
+        assert key(fast) == key(slow)
+
+    def test_pairwise_matrix_matches_legacy(
+        self, fig2_snapshots, production_snapshot
+    ):
+        for snapshot in (*fig2_snapshots, production_snapshot):
+            dataplane = snapshot.dataplane
+            assert pairwise_matrix(dataplane) == pairwise_matrix(
+                dataplane, use_engine=False
+            )
+
+
+class TestParallelPrecompute:
+    def test_worker_pool_matches_sequential(self, production_snapshot):
+        dataplane = production_snapshot.dataplane
+        sequential = AtomGraphEngine(dataplane)
+        sequential.precompute()
+        parallel = AtomGraphEngine(dataplane)
+        parallel.precompute(workers=2)
+        assert parallel._complete
+        for index in range(len(sequential.atoms)):
+            for ingress in dataplane.node_names():
+                assert sequential.verdict(ingress, index) == parallel.verdict(
+                    ingress, index
+                )
+
+
+def _acl_line_dataplane() -> Dataplane:
+    """a -> b -> c where b filters on its ingress interface: traffic to
+    c's loopback is only permitted for one source prefix, so b's node
+    behaviour is not a function of the destination atom alone."""
+
+    def iface(name, cidr, acl_in=None):
+        address, _, length = cidr.partition("/")
+        return AftInterface(
+            name=name,
+            ipv4_address=address,
+            prefix_length=int(length),
+            enabled=True,
+            acl_in=acl_in,
+        )
+
+    a = AftSnapshot(device="a")
+    a.interfaces = [iface("eth0", "10.0.0.0/31"), iface("lo", "1.1.1.1/32")]
+    a.next_hops[1] = AftNextHop(index=1, interface="eth0", ip_address="10.0.0.1")
+    a.next_hop_groups[1] = AftNextHopGroup(group_id=1, next_hop_indices=(1,))
+    a.entries = [
+        AftIpv4Entry(prefix="3.3.3.3/32", entry_type="forward", next_hop_group=1),
+        AftIpv4Entry(prefix="1.1.1.1/32", entry_type="receive"),
+    ]
+
+    b = AftSnapshot(device="b")
+    b.interfaces = [
+        iface("eth0", "10.0.0.1/31", acl_in="FILTER"),
+        iface("eth1", "10.0.1.0/31"),
+        iface("lo", "2.2.2.2/32"),
+    ]
+    b.acls = {
+        "FILTER": (
+            AclRule(seq=10, permit=True, src=Prefix.parse("1.1.1.1/32")),
+            AclRule(seq=20, permit=False),
+        )
+    }
+    b.next_hops[1] = AftNextHop(index=1, interface="eth1", ip_address="10.0.1.1")
+    b.next_hop_groups[1] = AftNextHopGroup(group_id=1, next_hop_indices=(1,))
+    b.entries = [
+        AftIpv4Entry(prefix="3.3.3.3/32", entry_type="forward", next_hop_group=1),
+        AftIpv4Entry(prefix="2.2.2.2/32", entry_type="receive"),
+    ]
+
+    c = AftSnapshot(device="c")
+    c.interfaces = [iface("eth0", "10.0.1.1/31"), iface("lo", "3.3.3.3/32")]
+    c.entries = [AftIpv4Entry(prefix="3.3.3.3/32", entry_type="receive")]
+
+    return Dataplane.from_afts({"a": a, "b": b, "c": c})
+
+
+class TestAclTaint:
+    def test_paths_through_acl_device_are_tainted(self):
+        dataplane = _acl_line_dataplane()
+        engine = AtomGraphEngine(dataplane)
+        target = engine.atom_index_of(parse_ipv4("3.3.3.3"))
+        assert engine.verdict("a", target).tainted
+        # The ACL device itself is tainted; a node that never reaches it
+        # is not.
+        assert engine.verdict("b", target).tainted
+        assert not engine.verdict("c", target).tainted
+
+    def test_tainted_dispositions_fall_back_to_walker(self):
+        dataplane = _acl_line_dataplane()
+        engine = AtomGraphEngine(dataplane)
+        walker = ForwardingWalk(dataplane)
+        for ingress in dataplane.node_names():
+            for index, atom in enumerate(engine.atoms):
+                expected = walker.walk(ingress, atom.sample()).dispositions
+                assert engine.dispositions(ingress, index) == expected
+
+    def test_tainted_pairwise_matches_legacy(self):
+        dataplane = _acl_line_dataplane()
+        assert pairwise_matrix(dataplane) == pairwise_matrix(
+            dataplane, use_engine=False
+        )
+
+
+class TestEngineCache:
+    def test_same_content_shares_engine(self, fig2_snapshots):
+        healthy, _ = fig2_snapshots
+        clear_engine_cache()
+        with tracing() as tracer:
+            first = engine_for(healthy.dataplane)
+            second = engine_for(healthy.dataplane)
+        assert first is second
+        assert tracer.counters["verify.engine_cache_hits"] == 1
+        assert tracer.counters["verify.engine_builds"] == 1
+        clear_engine_cache()
+
+    def test_multirun_builds_n_engines_not_n_squared(self, fig3):
+        backend = ModelFreeBackend(
+            fig3.topology, timers=FAST_TIMERS, quiet_period=5.0
+        )
+        clear_engine_cache()
+        seeds = (0, 1, 2)
+        with tracing() as tracer:
+            result = explore_nondeterminism(backend, seeds=seeds)
+        # 3 pairwise diffs over 3 snapshots: at most one engine build per
+        # distinct converged state (seeds agreeing share even that), never
+        # one per comparison side.
+        assert len(result.snapshots) == len(seeds)
+        builds = tracer.counters["verify.engine_builds"]
+        pairs = len(seeds) * (len(seeds) - 1) // 2
+        assert builds <= len(seeds) < 2 * pairs
+        clear_engine_cache()
+
+
+class TestRowFormatting:
+    def _row(self, dst_set):
+        return ReachabilityRow(
+            ingress="r1",
+            dst_set=dst_set,
+            dispositions=frozenset({Disposition.ACCEPTED}),
+            sample_destination=dst_set.min(),
+            sample_traces=(),
+        )
+
+    def test_singleton_has_no_suffix(self):
+        row = self._row(IntervalSet.of(parse_ipv4("1.1.1.1")))
+        assert str(row) == "r1 -> 1.1.1.1: accepted"
+
+    def test_suffix_counts_remaining_addresses(self):
+        dst = IntervalSet.span(parse_ipv4("10.0.0.0"), parse_ipv4("10.0.0.3"))
+        row = self._row(dst)
+        # Four addresses total: the sample plus three more.
+        assert "(+3 more addresses)" in str(row)
