@@ -1,0 +1,141 @@
+"""What-if campaign: incremental re-convergence vs cold re-runs.
+
+The campaign's economic claim, measured: an exhaustive single-link-
+failure sweep on the production corpus against one warm deployment must
+cost at least 3x less total simulated time than N independent cold
+runs, while producing *identical* per-scenario AFTs — asserted by
+fingerprint against real cold-run oracles for a sampled subset, not
+against an estimate. Emits ``BENCH_whatif.json`` with per-scenario
+incremental seconds, the measured cold cost, and scenarios/minute of
+host wall time.
+
+Scale: ``MFV_BENCH_SMOKE=1`` shrinks the corpus for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.context import ScenarioContext
+from repro.corpus.production import production_scenario, scaled_timers
+from repro.whatif import WhatIfCampaign, cold_run, single_link_failures
+
+from benchmarks.conftest import run_once
+
+SMOKE = bool(os.environ.get("MFV_BENCH_SMOKE"))
+NODES = 6 if SMOKE else 10
+PEERS = 1 if SMOKE else 2
+ROUTES = 60 if SMOKE else 300
+ORACLE_SAMPLES = 2
+
+
+def test_whatif_incremental_vs_cold(benchmark, report):
+    scenario_set = production_scenario(
+        NODES, peers=PEERS, routes_per_peer=ROUTES, seed=7
+    )
+    topology = scenario_set.topology
+    context = ScenarioContext(
+        name="prod", injectors=tuple(scenario_set.injectors)
+    )
+    timers = scaled_timers(ROUTES)
+    scenarios = list(single_link_failures(topology))
+
+    def run_campaign():
+        campaign = WhatIfCampaign(
+            topology,
+            scenarios,
+            context=context,
+            timers=timers,
+            quiet_period=30.0,
+        )
+        started = time.perf_counter()
+        result = campaign.run()
+        return result, time.perf_counter() - started
+
+    campaign_report, campaign_wall = run_once(benchmark, run_campaign)
+
+    # Correctness before economics: every scenario must restore the
+    # baseline, or the incremental numbers are measuring a broken sweep.
+    assert len(campaign_report.verdicts) == len(scenarios)
+    assert all(v.reverted_clean for v in campaign_report.verdicts)
+    assert campaign_report.cold_resets == 0
+
+    # Real cold-run oracles for a sampled subset: first and last
+    # scenario, re-run from scratch with the fault pre-applied. The
+    # warm path's AFTs must match by fingerprint, and the measured cold
+    # cost replaces the report's estimate in the speedup assertion.
+    sampled = [scenarios[0], scenarios[-1]][:ORACLE_SAMPLES]
+    cold_sim_costs = []
+    for sample in sampled:
+        cold = cold_run(
+            topology,
+            sample,
+            context=context,
+            timers=timers,
+            quiet_period=30.0,
+        )
+        warm = next(
+            v
+            for v in campaign_report.verdicts
+            if v.scenario == sample.name
+        )
+        assert cold.dataplane.fib_fingerprint() == warm.fib_fingerprint
+        cold_sim_costs.append(
+            cold.startup_seconds + cold.convergence_seconds
+        )
+
+    incremental_total = campaign_report.incremental_sim_seconds
+    cold_per_run = sum(cold_sim_costs) / len(cold_sim_costs)
+    cold_total = cold_per_run * len(scenarios)
+    measured_speedup = cold_total / max(1e-9, incremental_total)
+    scenarios_per_minute = len(scenarios) / max(1e-9, campaign_wall / 60.0)
+
+    payload = {
+        "corpus": {
+            "nodes": NODES,
+            "peers": PEERS,
+            "routes_per_peer": ROUTES,
+            "smoke": SMOKE,
+        },
+        "scenarios": len(scenarios),
+        "per_scenario": [
+            {
+                "scenario": v.scenario,
+                "reconverge_seconds": v.reconverge_seconds,
+                "revert_seconds": v.revert_seconds,
+                "severity": v.severity,
+            }
+            for v in campaign_report.verdicts
+        ],
+        "incremental_sim_seconds": incremental_total,
+        "cold_sim_seconds_per_run_measured": cold_per_run,
+        "cold_sim_seconds_total_measured": cold_total,
+        "speedup_measured": measured_speedup,
+        "speedup_estimated": campaign_report.speedup,
+        "oracle_fingerprint_matches": len(sampled),
+        "campaign_wall_seconds": campaign_wall,
+        "scenarios_per_minute": scenarios_per_minute,
+    }
+    Path("BENCH_whatif.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    report.add(
+        "whatif", f"incremental vs cold, {len(scenarios)} link cuts",
+        ">=3x less total sim time",
+        f"{incremental_total:.0f} sim-s vs {cold_total:.0f} sim-s "
+        f"({measured_speedup:.0f}x)",
+    )
+    report.add(
+        "whatif", "warm AFTs vs cold-run oracle (sampled)",
+        "identical by fingerprint",
+        f"{len(sampled)}/{len(sampled)} match",
+    )
+    report.add(
+        "whatif", "campaign throughput",
+        "-",
+        f"{scenarios_per_minute:.1f} scenarios/min "
+        f"({campaign_wall:.1f}s wall)",
+    )
+    assert measured_speedup >= 3.0

@@ -28,16 +28,28 @@ from repro.core import (
     explore_nondeterminism,
 )
 from repro.pybf import Session
+from repro.whatif import (
+    CampaignReport,
+    FaultScenario,
+    WhatIfCampaign,
+    single_link_failures,
+    single_node_failures,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignReport",
+    "FaultScenario",
     "ModelFreeBackend",
     "NativeBatfishBackend",
     "ScenarioContext",
     "Session",
     "Snapshot",
+    "WhatIfCampaign",
     "compare_snapshots",
     "explore_nondeterminism",
+    "single_link_failures",
+    "single_node_failures",
     "__version__",
 ]

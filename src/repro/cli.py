@@ -9,7 +9,10 @@ Subcommands::
     mfv trace SNAPSHOT.json NODE DEST
     mfv routes SNAPSHOT.json [NODE]
     mfv demo {fig2,fig3,production} [--trace OUT.jsonl]
-    mfv obs timeline [--scenario fig2|fig3] [--topology FILE]
+    mfv whatif [TOPOLOGY] [--corpus fig2|fig3|production]
+               [--mode links|nodes|flaps|k-links] [--k K] [--limit N]
+               [--workers N] [--json OUT.json] [--trace OUT.jsonl]
+    mfv obs timeline [--scenario fig2|fig3|whatif] [--topology FILE]
                      [--trace OUT.jsonl]
     mfv obs summary TRACE.jsonl
 
@@ -201,9 +204,147 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return code
 
 
+def _whatif_setup(args: argparse.Namespace):
+    """Resolve the whatif target: (topology, context, timers, quiet)."""
+    from repro.core.context import ScenarioContext
+    from repro.protocols.timers import FAST_TIMERS, PRODUCTION_TIMERS
+
+    context = ScenarioContext()
+    if args.topology:
+        topology = load_topology(args.topology)
+        timers = FAST_TIMERS if args.fast else PRODUCTION_TIMERS
+        quiet = args.quiet_period or (5.0 if args.fast else 30.0)
+    elif args.corpus == "production":
+        from repro.corpus.production import production_scenario, scaled_timers
+
+        scenario = production_scenario(
+            args.nodes, peers=2, routes_per_peer=args.routes, seed=7
+        )
+        topology = scenario.topology
+        context = ScenarioContext(
+            name="prod", injectors=tuple(scenario.injectors)
+        )
+        timers = scaled_timers(args.routes)
+        quiet = args.quiet_period or 30.0
+    elif args.corpus == "fig3":
+        from repro.corpus.fig3 import fig3_scenario
+
+        topology = fig3_scenario().topology
+        timers = FAST_TIMERS
+        quiet = args.quiet_period or 5.0
+    else:
+        from repro.corpus.fig2 import fig2_scenario
+
+        topology = fig2_scenario().topology
+        timers = FAST_TIMERS
+        quiet = args.quiet_period or 5.0
+    return topology, context, timers, quiet
+
+
+def _whatif_scenarios(args: argparse.Namespace, topology):
+    from repro.whatif import (
+        k_link_failures,
+        link_flap_scenarios,
+        single_link_failures,
+        single_node_failures,
+    )
+
+    if args.mode == "nodes":
+        scenarios = list(single_node_failures(topology))
+    elif args.mode == "flaps":
+        scenarios = list(
+            link_flap_scenarios(topology, hold_seconds=args.flap_hold)
+        )
+    elif args.mode == "k-links":
+        scenarios = list(k_link_failures(topology, k=args.k))
+    else:
+        scenarios = list(single_link_failures(topology))
+    if args.limit is not None:
+        scenarios = scenarios[: args.limit]
+    return scenarios
+
+
+def _run_whatif(args: argparse.Namespace) -> int:
+    from repro.whatif import WhatIfCampaign
+
+    topology, context, timers, quiet = _whatif_setup(args)
+    scenarios = _whatif_scenarios(args, topology)
+    if not scenarios:
+        print("no scenarios to run")
+        return 0
+    print(
+        f"what-if campaign over {topology.name}: "
+        f"{len(scenarios)} {args.mode} scenario(s)"
+    )
+    campaign = WhatIfCampaign(
+        topology,
+        scenarios,
+        context=context,
+        timers=timers,
+        quiet_period=quiet,
+        seed=args.seed,
+    )
+    report = campaign.run(workers=args.workers)
+    print()
+    print(report.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 2 if report.worst_severity else 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    if not args.trace:
+        return _run_whatif(args)
+    with tracing() as tracer:
+        code = _run_whatif(args)
+    lines = write_jsonl(tracer, args.trace)
+    print(f"trace written to {args.trace} ({lines} records)")
+    return code
+
+
+def _obs_timeline_whatif(args: argparse.Namespace) -> int:
+    """Trace a small what-if campaign and render its timeline: the
+    per-scenario ``whatif:<name>`` phase spans nest apply/converge/
+    extract/verify/revert, and the verdicts section ranks the damage."""
+    from repro.corpus.fig2 import fig2_scenario
+    from repro.protocols.timers import FAST_TIMERS
+    from repro.whatif import WhatIfCampaign, single_link_failures
+
+    topology = fig2_scenario().topology
+    scenarios = list(single_link_failures(topology))[:2]
+    with tracing() as tracer:
+        campaign = WhatIfCampaign(
+            topology,
+            scenarios,
+            timers=FAST_TIMERS,
+            quiet_period=args.quiet_period,
+            seed=args.seed,
+        )
+        report = campaign.run()
+    timeline = ConvergenceTimeline.from_tracer(tracer)
+    print(
+        timeline.render(
+            f"What-if timeline - fig2, {len(scenarios)} scenarios "
+            f"(seed {args.seed})"
+        )
+    )
+    print()
+    print(report.render())
+    if args.trace:
+        lines = write_jsonl(tracer, args.trace)
+        print(f"trace written to {args.trace} ({lines} records)")
+    return 2 if report.worst_severity else 0
+
+
 def _cmd_obs_timeline(args: argparse.Namespace) -> int:
     from repro.protocols.timers import FAST_TIMERS
 
+    if not args.topology and args.scenario == "whatif":
+        return _obs_timeline_whatif(args)
     if args.topology:
         topology = load_topology(args.topology)
         title = f"Convergence timeline - {topology.name}"
@@ -300,6 +441,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.set_defaults(func=_cmd_demo)
 
+    whatif = sub.add_parser(
+        "whatif", help="fault-exploration campaign on a warm deployment"
+    )
+    whatif.add_argument(
+        "topology",
+        nargs="?",
+        default=None,
+        help="KNE-style topology file (default: a built-in corpus)",
+    )
+    whatif.add_argument(
+        "--corpus",
+        choices=("fig2", "fig3", "production"),
+        default="fig2",
+        help="built-in corpus when no topology file is given",
+    )
+    whatif.add_argument(
+        "--nodes", type=int, default=8, help="production corpus size"
+    )
+    whatif.add_argument(
+        "--routes", type=int, default=1000,
+        help="production corpus routes per peer",
+    )
+    whatif.add_argument(
+        "--mode",
+        choices=("links", "nodes", "flaps", "k-links"),
+        default="links",
+        help="which fault sweep to run",
+    )
+    whatif.add_argument(
+        "--k", type=int, default=2, help="combination size for k-links mode"
+    )
+    whatif.add_argument(
+        "--flap-hold", type=float, default=30.0,
+        help="seconds a flapped link stays down",
+    )
+    whatif.add_argument(
+        "--limit", type=int, default=None,
+        help="run only the first N scenarios",
+    )
+    whatif.add_argument("--seed", type=int, default=0)
+    whatif.add_argument("--quiet-period", type=float, default=None)
+    whatif.add_argument(
+        "--fast", action="store_true",
+        help="compressed protocol timers for a topology file",
+    )
+    whatif.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard scenarios across N worker processes "
+        "(each pays its own cold bring-up)",
+    )
+    whatif.add_argument("--json", help="write the campaign report JSON here")
+    whatif.add_argument(
+        "--trace", help="record an observability trace to this JSONL file"
+    )
+    whatif.set_defaults(func=_cmd_whatif)
+
     obs = sub.add_parser("obs", help="observability: timelines and traces")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
 
@@ -307,7 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
         "timeline", help="run a scenario traced and print its timeline"
     )
     timeline.add_argument(
-        "--scenario", choices=("fig2", "fig3"), default="fig2"
+        "--scenario", choices=("fig2", "fig3", "whatif"), default="fig2"
     )
     timeline.add_argument(
         "--topology", help="trace a KNE-style topology file instead"

@@ -10,7 +10,7 @@ reachability, and a report of which behaviour is seed-dependent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.context import ScenarioContext
 from repro.core.pipeline import ModelFreeBackend
@@ -51,7 +51,7 @@ class MultiRunResult:
 
 def explore_nondeterminism(
     backend: ModelFreeBackend,
-    context: ScenarioContext = ScenarioContext(),
+    context: Optional[ScenarioContext] = None,
     *,
     seeds: Sequence[int] = (0, 1, 2),
 ) -> MultiRunResult:
@@ -61,6 +61,8 @@ def explore_nondeterminism(
     (jitter), exposing ordering-dependent tiebreaks; agreement across
     seeds raises confidence that the converged state is unique.
     """
+    if context is None:
+        context = ScenarioContext()
     snapshots = [
         backend.run(context, seed=seed, snapshot_name=f"seed-{seed}")
         for seed in seeds

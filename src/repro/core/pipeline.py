@@ -35,6 +35,14 @@ from repro.topo.model import Topology
 
 logger = logging.getLogger(__name__)
 
+# The model backend has no simulated clock: its computation is a single
+# synchronous fixed point, conceptually evaluated at the epoch rather
+# than over a timeline. Every obs record it emits is therefore stamped
+# with this constant — the ``backend="model"`` detail on the record is
+# what tells a timeline reader the timestamp is a placeholder, not a
+# claim that the event happened at boot.
+MODEL_EPOCH = 0.0
+
 
 @dataclass
 class EmulationRun:
@@ -266,8 +274,9 @@ def _apply_link_cuts(topology, snapshots, context: ScenarioContext):
             if collector.enabled:
                 collector.emit(
                     "pipeline.warning",
-                    0.0,
+                    MODEL_EPOCH,
                     reason="unknown-link",
+                    backend="model",
                     a_node=a_node,
                     z_node=z_node,
                     context=context.name,

@@ -12,7 +12,7 @@ Supports the paths the model-free pipeline uses:
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.gnmi.aft import AftSnapshot
 from repro.gnmi.paths import GnmiPath, parse_path
@@ -130,15 +130,25 @@ class Subscription:
         self._active = False
 
 
-def dump_afts(deployment) -> dict[str, AftSnapshot]:
+def dump_afts(
+    deployment, nodes: Optional[Iterable[str]] = None
+) -> dict[str, AftSnapshot]:
     """gNMI-extract AFT snapshots from every device in a deployment.
 
     This is the upper-to-lower-stage hand-off of the paper's Fig. 1: the
     output is pure data, decoupled from the running emulation.
+
+    ``nodes`` restricts extraction to a subset of devices. What-if
+    campaigns use it to skip killed pods: a failed node's router object
+    still answers gNMI with its frozen pre-failure FIB, which must not
+    masquerade as live forwarding state.
     """
     snapshots: dict[str, AftSnapshot] = {}
     collector = bus.ACTIVE
+    wanted = set(nodes) if nodes is not None else None
     for name, router in deployment.routers.items():
+        if wanted is not None and name not in wanted:
+            continue
         started = time.perf_counter() if collector.enabled else 0.0
         server = GnmiServer(router)
         data = server.get("/network-instances/network-instance[name=default]/afts")

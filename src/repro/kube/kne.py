@@ -297,6 +297,10 @@ class KneDeployment:
         link = self.topology.find_link(a_node, z_node)
         if link is None:
             raise KeyError(f"no link between {a_node} and {z_node}")
+        self._set_link(link, up)
+        return link
+
+    def _set_link(self, link: Link, up: bool) -> None:
         ends = [(link.a.node, link.a.interface), (link.z.node, link.z.interface)]
         for node, interface in ends:
             channel = self._channels.get((node, interface))
@@ -306,10 +310,66 @@ class KneDeployment:
                 else:
                     channel.set_down()
             self.routers[node].ports[interface].set_link_state(up)
-        return link
 
     def link_down(self, a_node: str, z_node: str) -> Link:
         return self.set_link_state(a_node, z_node, up=False)
 
     def link_up(self, a_node: str, z_node: str) -> Link:
         return self.set_link_state(a_node, z_node, up=True)
+
+    # -- node lifecycle (what-if campaigns) ---------------------------------------------
+
+    def node_down(self, name: str) -> list[Link]:
+        """Kill a router's pod: every attached link drops at once.
+
+        The router object stays around (its FIB freezes as-is, which is
+        why AFT extraction must skip failed nodes — see
+        :func:`repro.gnmi.server.dump_afts`'s ``nodes`` filter); what the
+        rest of the network observes is the simultaneous loss of every
+        adjacency, exactly what a hardware failure looks like from one
+        hop away.
+        """
+        pod = self.pods.get(name)
+        if pod is None:
+            raise KeyError(f"no such node: {name}")
+        if pod.phase is PodPhase.FAILED:
+            return []
+        links = list(self.topology.links_of(name))
+        for link in links:
+            self._set_link(link, up=False)
+        pod.phase = PodPhase.FAILED
+        collector = bus.ACTIVE
+        if collector.enabled:
+            collector.emit("kube.pod.failed", self.kernel.now, node=name)
+        return links
+
+    def node_up(self, name: str) -> list[Link]:
+        """Restore a failed pod and re-enable its links.
+
+        Only links whose far end is itself alive come back up — a link
+        to another failed node stays down until that node recovers.
+        """
+        pod = self.pods.get(name)
+        if pod is None:
+            raise KeyError(f"no such node: {name}")
+        if pod.phase is not PodPhase.FAILED:
+            return []
+        pod.phase = PodPhase.RUNNING
+        restored: list[Link] = []
+        for link in self.topology.links_of(name):
+            other = link.z.node if link.a.node == name else link.a.node
+            if self.pods[other].phase is PodPhase.FAILED:
+                continue
+            self._set_link(link, up=True)
+            restored.append(link)
+        collector = bus.ACTIVE
+        if collector.enabled:
+            collector.emit("kube.pod.restored", self.kernel.now, node=name)
+        return restored
+
+    def failed_nodes(self) -> set[str]:
+        return {
+            name
+            for name, pod in self.pods.items()
+            if pod.phase is PodPhase.FAILED
+        }

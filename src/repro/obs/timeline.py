@@ -24,7 +24,10 @@ BGP_SESSION_DOWN = "bgp.session.down"
 ROUTE_INSTALL = "route.install"
 AFT_DUMP = "gnmi.aft.dump"
 POD_SCHEDULED = "kube.pod.scheduled"
+POD_FAILED = "kube.pod.failed"
+POD_RESTORED = "kube.pod.restored"
 PIPELINE_WARNING = "pipeline.warning"
+WHATIF_VERDICT = "whatif.verdict"
 
 
 @dataclass
@@ -49,6 +52,7 @@ class ConvergenceTimeline:
     devices: dict[str, DeviceTimeline] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
     warnings: list[ObsEvent] = field(default_factory=list)
+    whatif_verdicts: list[ObsEvent] = field(default_factory=list)
     total_events: int = 0
 
     @classmethod
@@ -74,6 +78,8 @@ class ConvergenceTimeline:
     def _absorb(self, event: ObsEvent) -> None:
         if event.category == PIPELINE_WARNING:
             self.warnings.append(event)
+        elif event.category == WHATIF_VERDICT:
+            self.whatif_verdicts.append(event)
         if not event.node:
             return
         device = self._device(event.node)
@@ -107,6 +113,7 @@ class ConvergenceTimeline:
         lines += self._render_phases()
         lines += self._render_devices()
         lines += self._render_counters()
+        lines += self._render_whatif()
         if self.warnings:
             lines.append("")
             lines.append("Warnings:")
@@ -159,6 +166,33 @@ class ConvergenceTimeline:
         lines = ["", "Counters:"]
         for name in sorted(self.counters):
             lines.append(f"  {name:<32} {self.counters[name]:>10}")
+        return lines
+
+    def _render_whatif(self) -> list[str]:
+        if not self.whatif_verdicts:
+            return []
+        lines = [
+            "",
+            "What-if verdicts (by severity):",
+            f"  {'scenario':<24} {'sev':>4} {'loops':>5} {'bhole':>5} "
+            f"{'rgrss':>5} {'reconv(s)':>9}  clean",
+        ]
+        ranked = sorted(
+            self.whatif_verdicts,
+            key=lambda e: (
+                -e.detail.get("severity", 0),
+                e.detail.get("scenario", ""),
+            ),
+        )
+        for event in ranked:
+            d = event.detail
+            lines.append(
+                f"  {d.get('scenario', '?'):<24} {d.get('severity', 0):>4} "
+                f"{d.get('new_loops', 0):>5} {d.get('new_blackholes', 0):>5} "
+                f"{d.get('regressed', 0):>5} "
+                f"{d.get('reconverge_seconds', 0.0):>9.1f}  "
+                f"{'yes' if d.get('reverted_clean') else 'NO'}"
+            )
         return lines
 
     def last_route_install(self) -> Optional[float]:

@@ -66,6 +66,90 @@ class DifferentialRow:
         )
 
 
+@dataclass(frozen=True)
+class BaselineComparison:
+    """One snapshot judged against a fixed baseline.
+
+    ``new_*`` counts are invariant *deltas* clamped at zero: a what-if
+    scenario is charged for the loops/blackholes/unreachable pairs it
+    introduces, never credited for ones the baseline already had.
+    """
+
+    rows: tuple[DifferentialRow, ...]
+    invariants: dict[str, int]
+    new_loops: int
+    new_blackholes: int
+    new_unreachable_pairs: int
+    identical: bool = False
+
+    @property
+    def regressed(self) -> int:
+        return sum(1 for row in self.rows if row.regressed)
+
+    @property
+    def improved(self) -> int:
+        return sum(1 for row in self.rows if row.improved)
+
+    @property
+    def changed(self) -> int:
+        return len(self.rows)
+
+
+class BaselineDiff:
+    """Many snapshots, one baseline: the campaign's verification core.
+
+    Holds the reference dataplane plus everything derivable from it that
+    every comparison needs — its fingerprint, its invariant summary —
+    computed once. :meth:`compare` short-circuits on fingerprint
+    equality (the common case for a cleanly reverted scenario and for
+    any failure the IGP routes around without behaviour change), so the
+    atom-graph engine only runs for snapshots that actually differ.
+    """
+
+    def __init__(self, reference: Dataplane) -> None:
+        from repro.verify.invariants import verification_summary
+
+        self.reference = reference
+        self.fingerprint = reference.fib_fingerprint()
+        self.baseline_invariants = verification_summary(reference)
+
+    def compare(self, snapshot: Dataplane) -> BaselineComparison:
+        from repro.obs import bus
+        from repro.verify.invariants import verification_summary
+
+        if snapshot.fib_fingerprint() == self.fingerprint:
+            collector = bus.ACTIVE
+            if collector.enabled:
+                collector.count("verify.baseline_diff_skips")
+            return BaselineComparison(
+                rows=(),
+                invariants=dict(self.baseline_invariants),
+                new_loops=0,
+                new_blackholes=0,
+                new_unreachable_pairs=0,
+                identical=True,
+            )
+        invariants = verification_summary(snapshot)
+        rows = differential_reachability(self.reference, snapshot)
+        return BaselineComparison(
+            rows=tuple(rows),
+            invariants=invariants,
+            new_loops=max(
+                0, invariants["loops"] - self.baseline_invariants["loops"]
+            ),
+            new_blackholes=max(
+                0,
+                invariants["blackholes"]
+                - self.baseline_invariants["blackholes"],
+            ),
+            new_unreachable_pairs=max(
+                0,
+                invariants["unreachable_pairs"]
+                - self.baseline_invariants["unreachable_pairs"],
+            ),
+        )
+
+
 def differential_reachability(
     reference: Dataplane,
     snapshot: Dataplane,

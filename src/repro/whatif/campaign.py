@@ -1,0 +1,326 @@
+"""The campaign runner: one warm deployment, many what-if questions.
+
+The economics this subsystem exists for: a cold emulation pays the full
+infrastructure bring-up plus initial convergence (the paper's 12–17
+minute startup at 1000 devices) *per scenario*, while a warm deployment
+pays it once — each scenario then costs only the incremental
+re-convergence after the perturbation plus the re-convergence after the
+revert, both of which the IGP/BGP machinery completes in seconds to
+minutes. Correctness is anchored two ways:
+
+* after every revert the extracted dataplane fingerprint must equal the
+  baseline's — if it does not, the deployment is considered polluted and
+  the campaign falls back to a **cold reset** (fresh deployment) before
+  the next scenario, charging the bring-up to the offending scenario;
+* :func:`cold_run` re-runs any scenario from scratch with the
+  perturbation pre-applied, giving tests and benchmarks an oracle to
+  compare warm-path AFTs against by fingerprint.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.core.context import ScenarioContext
+from repro.core.pipeline import ModelFreeBackend, phase
+from repro.core.snapshot import Snapshot
+from repro.dataplane.model import Dataplane
+from repro.gnmi.server import dump_afts
+from repro.kube.cluster import KubeCluster
+from repro.kube.kne import KneDeployment
+from repro.obs import bus
+from repro.protocols.timers import TimerProfile, PRODUCTION_TIMERS
+from repro.topo.model import Topology
+from repro.verify.differential import BaselineDiff
+from repro.whatif.report import CampaignReport, ScenarioVerdict
+from repro.whatif.scenarios import FaultScenario
+
+logger = logging.getLogger(__name__)
+
+_SAMPLE_REGRESSIONS = 3
+
+
+class WhatIfCampaign:
+    """Run a set of fault scenarios against one warm deployment."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scenarios: Sequence[FaultScenario],
+        *,
+        context: Optional[ScenarioContext] = None,
+        cluster: Optional[KubeCluster] = None,
+        timers: TimerProfile = PRODUCTION_TIMERS,
+        quiet_period: float = 30.0,
+        convergence_max_time: float = 86_400.0,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.scenarios = list(scenarios)
+        self.context = context if context is not None else ScenarioContext()
+        self.cluster = cluster
+        self.timers = timers
+        self.quiet_period = quiet_period
+        self.convergence_max_time = convergence_max_time
+        self.seed = seed
+        # Per-phase durations from the most recent run (span names are
+        # prefixed "whatif:<scenario>" so they never collide with the
+        # pipeline's own deploy/converge/extract phases in a timeline).
+        self.phases: dict[str, dict[str, float]] = {}
+
+    def run(self, workers: Optional[int] = None) -> CampaignReport:
+        """Execute every scenario; returns the campaign report.
+
+        ``workers > 1`` shards scenarios round-robin across independent
+        deployments in a process pool — each worker pays its own cold
+        bring-up, which amortizes only when its shard is large. Falls
+        back to the sequential path if the pool cannot start (same
+        pattern as the verify engine's parallel precompute).
+        """
+        count = workers or 1
+        if count > 1 and len(self.scenarios) > 1:
+            try:
+                return self._run_parallel(count)
+            except Exception as exc:  # pool unavailable (sandbox, pickling)
+                logger.warning(
+                    "process-pool campaign failed (%s); running sequentially",
+                    exc,
+                )
+        return self._run_sequential(self.scenarios)
+
+    # -- sequential (the real machinery) ------------------------------------------
+
+    def _run_sequential(
+        self, scenarios: Sequence[FaultScenario]
+    ) -> CampaignReport:
+        backend = ModelFreeBackend(
+            self.topology,
+            cluster=self.cluster,
+            timers=self.timers,
+            quiet_period=self.quiet_period,
+            convergence_max_time=self.convergence_max_time,
+        )
+        self.phases = {}
+        baseline, deployment = self._deploy_baseline(backend)
+        diff = BaselineDiff(baseline.dataplane)
+        report = CampaignReport(
+            topology_name=self.topology.name,
+            baseline_invariants=dict(diff.baseline_invariants),
+            baseline_startup_seconds=baseline.startup_seconds,
+            baseline_convergence_seconds=baseline.convergence_seconds,
+        )
+        for scenario in scenarios:
+            verdict = self._run_scenario(scenario, deployment, diff)
+            collector = bus.ACTIVE
+            if collector.enabled:
+                collector.count("whatif.scenarios")
+                collector.emit(
+                    "whatif.verdict",
+                    deployment.kernel.now,
+                    scenario=verdict.scenario,
+                    kind=verdict.kind,
+                    severity=verdict.severity,
+                    new_loops=verdict.new_loops,
+                    new_blackholes=verdict.new_blackholes,
+                    new_unreachable_pairs=verdict.new_unreachable_pairs,
+                    regressed=verdict.regressed,
+                    changed=verdict.changed,
+                    reconverge_seconds=verdict.reconverge_seconds,
+                    reverted_clean=verdict.reverted_clean,
+                )
+            if not verdict.reverted_clean:
+                # The warm deployment no longer matches the baseline —
+                # every later verdict would diff against polluted state.
+                # Pay for a fresh bring-up and charge it to this
+                # scenario's revert cost, keeping the incremental-vs-
+                # cold accounting honest.
+                logger.warning(
+                    "scenario %s did not revert cleanly; cold reset",
+                    scenario.name,
+                )
+                if collector.enabled:
+                    collector.count("whatif.cold_resets")
+                report.cold_resets += 1
+                fresh, deployment = self._deploy_baseline(backend)
+                verdict = replace(
+                    verdict,
+                    revert_seconds=verdict.revert_seconds
+                    + fresh.startup_seconds
+                    + fresh.convergence_seconds,
+                )
+                if fresh.dataplane.fib_fingerprint() != diff.fingerprint:
+                    # Same seed + context is deterministic, so this only
+                    # fires if the topology itself is seed-sensitive;
+                    # re-anchor rather than diff against a stale baseline.
+                    diff = BaselineDiff(fresh.dataplane)
+            report.verdicts.append(verdict)
+        return report
+
+    def _deploy_baseline(
+        self, backend: ModelFreeBackend
+    ) -> tuple[Snapshot, KneDeployment]:
+        snapshot = backend.run(
+            self.context,
+            seed=self.seed,
+            snapshot_name=f"{self.topology.name}:whatif-baseline",
+        )
+        assert backend.last_run is not None
+        return snapshot, backend.last_run.deployment
+
+    def _run_scenario(
+        self,
+        scenario: FaultScenario,
+        deployment: KneDeployment,
+        diff: BaselineDiff,
+    ) -> ScenarioVerdict:
+        kernel = deployment.kernel
+        phases = self.phases
+        prefix = f"whatif:{scenario.name}"
+        quiet = max(self.quiet_period, scenario.min_quiet_period)
+        with phase(prefix, kernel, phases):
+            with phase(f"{prefix}:apply", kernel, phases):
+                scenario.apply(deployment)
+            with phase(f"{prefix}:converge", kernel, phases):
+                reconverge_seconds = deployment.wait_converged(
+                    quiet_period=quiet,
+                    max_time=self.convergence_max_time,
+                )
+            with phase(f"{prefix}:extract", kernel, phases):
+                live = sorted(
+                    set(deployment.routers) - deployment.failed_nodes()
+                )
+                dataplane = Dataplane.from_afts(
+                    dump_afts(deployment, nodes=live)
+                )
+            with phase(f"{prefix}:verify", kernel, phases):
+                comparison = diff.compare(dataplane)
+            with phase(f"{prefix}:revert", kernel, phases):
+                if scenario.self_reverting:
+                    # The flap's restore already ran inside the converge
+                    # window, so the extracted state *is* the post-revert
+                    # state — no extra convergence to pay for.
+                    revert_seconds = 0.0
+                    restored_fingerprint = dataplane.fib_fingerprint()
+                else:
+                    scenario.revert(deployment)
+                    revert_seconds = deployment.wait_converged(
+                        quiet_period=self.quiet_period,
+                        max_time=self.convergence_max_time,
+                    )
+                    restored_fingerprint = Dataplane.from_afts(
+                        dump_afts(deployment)
+                    ).fib_fingerprint()
+        samples = tuple(
+            str(row) for row in comparison.rows if row.regressed
+        )[:_SAMPLE_REGRESSIONS]
+        return ScenarioVerdict(
+            scenario=scenario.name,
+            kind=scenario.kind,
+            reconverge_seconds=reconverge_seconds,
+            revert_seconds=revert_seconds,
+            reverted_clean=restored_fingerprint == diff.fingerprint,
+            regressed=comparison.regressed,
+            improved=comparison.improved,
+            changed=comparison.changed,
+            new_loops=comparison.new_loops,
+            new_blackholes=comparison.new_blackholes,
+            new_unreachable_pairs=comparison.new_unreachable_pairs,
+            sample_regressions=samples,
+            fib_fingerprint=dataplane.fib_fingerprint(),
+        )
+
+    # -- process-pool sharding ---------------------------------------------------------
+
+    def _run_parallel(self, workers: int) -> CampaignReport:
+        from concurrent.futures import ProcessPoolExecutor
+
+        shards = [self.scenarios[i::workers] for i in range(workers)]
+        shards = [shard for shard in shards if shard]
+        payloads = [
+            (
+                self.topology,
+                shard,
+                self.context,
+                self.timers,
+                self.quiet_period,
+                self.convergence_max_time,
+                self.seed,
+            )
+            for shard in shards
+        ]
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            shard_reports = list(pool.map(_campaign_shard, payloads))
+        first = shard_reports[0]
+        merged = CampaignReport(
+            topology_name=first.topology_name,
+            baseline_invariants=dict(first.baseline_invariants),
+            baseline_startup_seconds=first.baseline_startup_seconds,
+            baseline_convergence_seconds=first.baseline_convergence_seconds,
+            workers=len(shards),
+        )
+        by_name = {}
+        for shard_report in shard_reports:
+            merged.cold_resets += shard_report.cold_resets
+            for verdict in shard_report.verdicts:
+                by_name[verdict.scenario] = verdict
+        # Original submission order, not shard order.
+        merged.verdicts = [
+            by_name[s.name] for s in self.scenarios if s.name in by_name
+        ]
+        return merged
+
+
+def _campaign_shard(payload) -> CampaignReport:
+    """Pool worker: run one scenario shard on its own deployment.
+
+    Module-level (not a closure) so it pickles; everything in the
+    payload is plain data. The worker process has the default no-op obs
+    collector — shard runs are untraced by design.
+    """
+    topology, scenarios, context, timers, quiet_period, max_time, seed = payload
+    campaign = WhatIfCampaign(
+        topology,
+        scenarios,
+        context=context,
+        timers=timers,
+        quiet_period=quiet_period,
+        convergence_max_time=max_time,
+        seed=seed,
+    )
+    return campaign._run_sequential(scenarios)
+
+
+def cold_run(
+    topology: Topology,
+    scenario: FaultScenario,
+    *,
+    context: Optional[ScenarioContext] = None,
+    timers: TimerProfile = PRODUCTION_TIMERS,
+    quiet_period: float = 30.0,
+    convergence_max_time: float = 86_400.0,
+    seed: int = 0,
+) -> Snapshot:
+    """Run one scenario the expensive way: fresh deployment, fault
+    pre-applied via the scenario's cold-run context.
+
+    This is the oracle the warm path is validated against: for a
+    link-expressible scenario, the warm post-perturbation AFTs and the
+    cold run's AFTs must agree by fingerprint (asserted for a sampled
+    subset in tests and the whatif benchmark).
+    """
+    backend = ModelFreeBackend(
+        topology,
+        timers=timers,
+        quiet_period=quiet_period,
+        convergence_max_time=convergence_max_time,
+    )
+    cold_context = scenario.to_context(
+        context if context is not None else ScenarioContext()
+    )
+    return backend.run(
+        cold_context,
+        seed=seed,
+        snapshot_name=f"{topology.name}:cold:{scenario.name}",
+    )

@@ -1,0 +1,161 @@
+"""Campaign results: per-scenario verdicts and the ranked summary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ScenarioVerdict:
+    """Everything the campaign learned about one fault scenario.
+
+    All fields are plain data so verdicts survive the process-pool
+    shard boundary and serialize to JSON untouched.
+    """
+
+    scenario: str
+    kind: str
+    reconverge_seconds: float
+    revert_seconds: float
+    reverted_clean: bool
+    regressed: int
+    improved: int
+    changed: int
+    new_loops: int
+    new_blackholes: int
+    new_unreachable_pairs: int
+    sample_regressions: tuple[str, ...] = ()
+    fib_fingerprint: int = 0
+
+    @property
+    def severity(self) -> int:
+        """Damage score for ranking: loops worst, then blackholes,
+        then lost pairs, then any regressed flow."""
+        return (
+            10 * self.new_loops
+            + 5 * self.new_blackholes
+            + 2 * self.new_unreachable_pairs
+            + self.regressed
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "severity": self.severity,
+            "reconverge_seconds": self.reconverge_seconds,
+            "revert_seconds": self.revert_seconds,
+            "reverted_clean": self.reverted_clean,
+            "regressed": self.regressed,
+            "improved": self.improved,
+            "changed": self.changed,
+            "new_loops": self.new_loops,
+            "new_blackholes": self.new_blackholes,
+            "new_unreachable_pairs": self.new_unreachable_pairs,
+            "sample_regressions": list(self.sample_regressions),
+            "fib_fingerprint": self.fib_fingerprint,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """One campaign's output: baseline facts plus every verdict."""
+
+    topology_name: str
+    baseline_invariants: dict[str, int] = field(default_factory=dict)
+    baseline_startup_seconds: float = 0.0
+    baseline_convergence_seconds: float = 0.0
+    verdicts: list[ScenarioVerdict] = field(default_factory=list)
+    cold_resets: int = 0
+    workers: int = 1
+
+    @property
+    def incremental_sim_seconds(self) -> float:
+        """Total simulated seconds the warm campaign actually spent
+        (re-convergence + revert per scenario, cold resets included in
+        the offending scenario's revert cost)."""
+        return sum(
+            v.reconverge_seconds + v.revert_seconds for v in self.verdicts
+        )
+
+    @property
+    def cold_sim_seconds(self) -> float:
+        """What N independent cold runs would have cost: each pays the
+        full startup + baseline convergence before it can even apply its
+        perturbation."""
+        per_run = (
+            self.baseline_startup_seconds + self.baseline_convergence_seconds
+        )
+        return per_run * len(self.verdicts)
+
+    @property
+    def speedup(self) -> float:
+        if self.incremental_sim_seconds <= 0:
+            return float("inf") if self.verdicts else 0.0
+        return self.cold_sim_seconds / self.incremental_sim_seconds
+
+    @property
+    def worst_severity(self) -> int:
+        return max((v.severity for v in self.verdicts), default=0)
+
+    def ranked(self) -> list[ScenarioVerdict]:
+        """Most damaging failures first; ties break alphabetically so
+        the table is stable across runs."""
+        return sorted(
+            self.verdicts, key=lambda v: (-v.severity, v.scenario)
+        )
+
+    def render(self) -> str:
+        base = self.baseline_invariants
+        lines = [
+            f"what-if campaign: {self.topology_name} — "
+            f"{len(self.verdicts)} scenarios"
+            + (f", {self.cold_resets} cold reset(s)" if self.cold_resets else "")
+            + (f", {self.workers} workers" if self.workers > 1 else ""),
+            f"baseline: loops={base.get('loops', 0)} "
+            f"blackholes={base.get('blackholes', 0)} "
+            f"unreachable={base.get('unreachable_pairs', 0)}; "
+            f"startup {self.baseline_startup_seconds:.1f}s + "
+            f"converge {self.baseline_convergence_seconds:.1f}s (sim)",
+            "",
+        ]
+        rows = self.ranked()
+        name_width = max([len("scenario")] + [len(v.scenario) for v in rows])
+        header = (
+            f"{'scenario':<{name_width}}  {'kind':<10}  {'sev':>4}  "
+            f"{'loops':>5}  {'bhole':>5}  {'unrch':>5}  {'rgrss':>5}  "
+            f"{'chngd':>5}  {'reconv(s)':>9}  {'revert(s)':>9}  clean"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for v in rows:
+            lines.append(
+                f"{v.scenario:<{name_width}}  {v.kind:<10}  {v.severity:>4}  "
+                f"{v.new_loops:>5}  {v.new_blackholes:>5}  "
+                f"{v.new_unreachable_pairs:>5}  {v.regressed:>5}  "
+                f"{v.changed:>5}  {v.reconverge_seconds:>9.1f}  "
+                f"{v.revert_seconds:>9.1f}  {'yes' if v.reverted_clean else 'NO'}"
+            )
+        lines.append("")
+        lines.append(
+            f"totals: incremental {self.incremental_sim_seconds:.1f} sim-s "
+            f"vs cold ~{self.cold_sim_seconds:.1f} sim-s (est) — "
+            f"{self.speedup:.1f}x faster"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology_name,
+            "baseline": {
+                "invariants": dict(self.baseline_invariants),
+                "startup_seconds": self.baseline_startup_seconds,
+                "convergence_seconds": self.baseline_convergence_seconds,
+            },
+            "scenarios": [v.to_dict() for v in self.ranked()],
+            "cold_resets": self.cold_resets,
+            "workers": self.workers,
+            "incremental_sim_seconds": self.incremental_sim_seconds,
+            "cold_sim_seconds": self.cold_sim_seconds,
+            "speedup": self.speedup,
+        }

@@ -157,3 +157,74 @@ class TestDeploymentScaling:
         dep = KneDeployment(topo, cluster=cluster, timers=FAST_TIMERS)
         report = dep.deploy()
         assert report.nodes_used == 2
+
+
+class TestLinkFlapAndNodeLifecycle:
+    """The correctness bedrock the what-if campaign's revert stands on:
+    after a full down->up flap (or node kill + restore), protocols must
+    re-form adjacencies and the dataplane must return to the exact
+    baseline fingerprint."""
+
+    @pytest.fixture()
+    def deployment(self):
+        scenario = fig3_scenario()
+        dep = KneDeployment(scenario.topology, timers=FAST_TIMERS, seed=5)
+        dep.deploy()
+        dep.wait_converged(quiet_period=5.0)
+        return dep
+
+    @staticmethod
+    def _fingerprint(deployment):
+        from repro.dataplane.model import Dataplane
+        from repro.gnmi.server import dump_afts
+
+        return Dataplane.from_afts(dump_afts(deployment)).fib_fingerprint()
+
+    def test_flap_reforms_adjacency_and_restores_fingerprint(self, deployment):
+        from repro.obs import tracing
+
+        baseline = self._fingerprint(deployment)
+        deployment.link_down("r2", "r3")
+        deployment.wait_converged(quiet_period=5.0)
+        assert self._fingerprint(deployment) != baseline
+        with tracing() as tracer:
+            deployment.link_up("r2", "r3")
+            deployment.wait_converged(quiet_period=5.0)
+        reformed = {
+            e.node for e in tracer.events_in("isis.adjacency.up")
+        }
+        assert {"r2", "r3"} <= reformed
+        assert self._fingerprint(deployment) == baseline
+
+    def test_node_down_and_up_restores_fingerprint(self, deployment):
+        from repro.net.addr import parse_ipv4
+
+        baseline = self._fingerprint(deployment)
+        links = deployment.node_down("r3")
+        assert len(links) == 1
+        assert deployment.pods["r3"].phase is PodPhase.FAILED
+        assert deployment.failed_nodes() == {"r3"}
+        # Idempotent: a second kill is a no-op.
+        assert deployment.node_down("r3") == []
+        deployment.wait_converged(quiet_period=5.0)
+        assert not deployment.fabric.reachable("r1", parse_ipv4("2.2.2.3"))
+        restored = deployment.node_up("r3")
+        assert len(restored) == 1
+        assert deployment.failed_nodes() == set()
+        assert deployment.node_up("r3") == []
+        deployment.wait_converged(quiet_period=5.0)
+        assert deployment.fabric.reachable("r1", parse_ipv4("2.2.2.3"))
+        assert self._fingerprint(deployment) == baseline
+
+    def test_dump_afts_skips_failed_nodes(self, deployment):
+        from repro.gnmi.server import dump_afts
+
+        deployment.node_down("r3")
+        deployment.wait_converged(quiet_period=5.0)
+        live = sorted(set(deployment.routers) - deployment.failed_nodes())
+        afts = dump_afts(deployment, nodes=live)
+        assert set(afts) == {"r1", "r2"}
+
+    def test_node_down_unknown_node_rejected(self, deployment):
+        with pytest.raises(KeyError):
+            deployment.node_down("r99")

@@ -265,3 +265,31 @@ class TestSharedContextDefault:
         for cls in (ModelFreeBackend, NativeBatfishBackend):
             default = inspect.signature(cls.run).parameters["context"].default
             assert default is None
+
+    def test_multirun_default_context_not_shared(self):
+        # Same bug class in explore_nondeterminism: the default context
+        # used to be one shared ScenarioContext instance.
+        import inspect
+
+        from repro.core.multirun import explore_nondeterminism
+
+        default = inspect.signature(
+            explore_nondeterminism
+        ).parameters["context"].default
+        assert default is None
+
+
+class TestModelWarningClock:
+    def test_model_warning_stamped_at_model_epoch(self):
+        # The model backend has no simulated clock — its warnings are
+        # stamped at MODEL_EPOCH and tagged backend="model" so timeline
+        # readers know the timestamp is a placeholder.
+        from repro.core.pipeline import MODEL_EPOCH
+
+        scenario = fig2_scenario()
+        context = ScenarioContext().with_link_down("r1", "nonexistent")
+        with tracing() as tracer:
+            NativeBatfishBackend(scenario.topology).run(context)
+        [warning] = tracer.events_in("pipeline.warning")
+        assert warning.t == MODEL_EPOCH
+        assert warning.detail["backend"] == "model"
