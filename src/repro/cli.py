@@ -15,6 +15,10 @@ Subcommands::
     mfv obs timeline [--scenario fig2|fig3|whatif] [--topology FILE]
                      [--trace OUT.jsonl]
     mfv obs summary TRACE.jsonl
+    mfv serve [SNAPSHOT.json ...] [--workers N] [--queue-depth N]
+              [--store N] [--trace OUT.jsonl]
+    mfv submit SNAPSHOT.json QUESTION [--param KEY=VALUE ...]
+               [--reference REF.json] [--priority CLASS] [--timeout S]
 
 ``verify`` takes a KNE-style topology file (see
 :mod:`repro.topo.parser`) whose nodes reference config files, runs the
@@ -25,6 +29,12 @@ persist the extracted snapshot for later offline queries.
 tracer installed and prints the convergence timeline: per-phase spans,
 per-device adjacency-up / last-route-install times, and event counters.
 ``obs summary`` renders a previously saved ``--trace`` JSONL file.
+
+``serve`` starts the continuous verification service and speaks
+JSON-lines on stdin/stdout (one request per line; see
+:mod:`repro.service.frontend` for the ops). ``submit`` is the one-shot
+client shape: spin up a service, load snapshots, run one question
+through the queue, print the answer.
 
 ``-v`` raises log verbosity to INFO, ``-vv`` to DEBUG (module-level
 ``logging``; warnings such as ignored link cuts always print).
@@ -385,6 +395,72 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import VerificationService
+    from repro.service.frontend import serve_loop
+
+    service = VerificationService(
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+    )
+    if args.store is not None:
+        service.store.capacity = max(1, args.store)
+    for path in args.snapshots:
+        name, fingerprint = service.load_snapshot(path)
+        print(
+            f"loaded {name} ({fingerprint:#x})", file=sys.stderr, flush=True
+        )
+    with service:
+        handled = serve_loop(service)
+    print(f"served {handled} request(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if not args.trace:
+        return _run_serve(args)
+    with tracing() as tracer:
+        code = _run_serve(args)
+    lines = write_jsonl(tracer, args.trace)
+    print(f"trace written to {args.trace} ({lines} records)", file=sys.stderr)
+    return code
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import JobFailedError, OverloadedError, VerificationService
+
+    params = {}
+    for item in args.param or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"bad --param {item!r} (expected KEY=VALUE)")
+            return 2
+        params[key] = value
+    with VerificationService(workers=args.workers) as service:
+        service.load_snapshot(args.snapshot, name="snapshot")
+        kwargs = {"snapshot": "snapshot"}
+        if args.reference:
+            service.load_snapshot(args.reference, name="reference")
+            kwargs["reference_snapshot"] = "reference"
+        job = service.submit(
+            args.question,
+            params,
+            priority=args.priority,
+            timeout=args.timeout,
+            **kwargs,
+        )
+        try:
+            result = job.result(args.timeout)
+        except OverloadedError as exc:
+            print(f"rejected: {exc}")
+            return 3
+        except JobFailedError as exc:
+            print(f"failed: {exc.__cause__ or exc}")
+            return 2
+    print(result.value)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mfv", description="Model-free network verification"
@@ -523,6 +599,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summary.add_argument("trace_file", help="JSONL file from --trace")
     summary.set_defaults(func=_cmd_obs_summary)
+
+    serve = sub.add_parser(
+        "serve", help="continuous verification service (JSON-lines on stdin)"
+    )
+    serve.add_argument(
+        "snapshots", nargs="*", help="snapshot JSON files to preload"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker threads (default: MFV_SERVICE_WORKERS or 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="admission-control watermark "
+        "(default: MFV_SERVICE_QUEUE_DEPTH or 64)",
+    )
+    serve.add_argument(
+        "--store", type=int, default=None,
+        help="resident snapshot capacity (default: MFV_SERVICE_STORE or 8)",
+    )
+    serve.add_argument(
+        "--trace", help="record an observability trace to this JSONL file"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="run one question through the verification service"
+    )
+    submit.add_argument("snapshot", help="snapshot JSON file")
+    submit.add_argument("question", help="pybf question name")
+    submit.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="question parameter (repeatable)",
+    )
+    submit.add_argument(
+        "--reference", help="reference snapshot for differential questions"
+    )
+    submit.add_argument(
+        "--priority", default=None,
+        help="interactive | differential | campaign",
+    )
+    submit.add_argument("--timeout", type=float, default=None)
+    submit.add_argument("--workers", type=int, default=None)
+    submit.set_defaults(func=_cmd_submit)
 
     return parser
 

@@ -18,6 +18,7 @@ while simulated time stands still.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -135,6 +136,10 @@ class Tracer(Collector):
         self.spans: list[Span] = []
         self.counters: dict[str, int] = {}
         self._phase_stack: list[Span] = []
+        # Counter updates are read-modify-write; the verification
+        # service counts from worker threads, so serialize them (event
+        # and span appends are single bytecode ops and stay lock-free).
+        self._counter_lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
 
@@ -144,7 +149,8 @@ class Tracer(Collector):
         )
 
     def count(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._counter_lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def begin(
         self,

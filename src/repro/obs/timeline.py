@@ -28,6 +28,7 @@ POD_FAILED = "kube.pod.failed"
 POD_RESTORED = "kube.pod.restored"
 PIPELINE_WARNING = "pipeline.warning"
 WHATIF_VERDICT = "whatif.verdict"
+SERVICE_JOB = "service.job"
 
 
 @dataclass
@@ -53,6 +54,7 @@ class ConvergenceTimeline:
     counters: dict[str, int] = field(default_factory=dict)
     warnings: list[ObsEvent] = field(default_factory=list)
     whatif_verdicts: list[ObsEvent] = field(default_factory=list)
+    service_jobs: list[ObsEvent] = field(default_factory=list)
     total_events: int = 0
 
     @classmethod
@@ -80,6 +82,8 @@ class ConvergenceTimeline:
             self.warnings.append(event)
         elif event.category == WHATIF_VERDICT:
             self.whatif_verdicts.append(event)
+        elif event.category == SERVICE_JOB:
+            self.service_jobs.append(event)
         if not event.node:
             return
         device = self._device(event.node)
@@ -114,6 +118,7 @@ class ConvergenceTimeline:
         lines += self._render_devices()
         lines += self._render_counters()
         lines += self._render_whatif()
+        lines += self._render_service()
         if self.warnings:
             lines.append("")
             lines.append("Warnings:")
@@ -192,6 +197,30 @@ class ConvergenceTimeline:
                 f"{d.get('regressed', 0):>5} "
                 f"{d.get('reconverge_seconds', 0.0):>9.1f}  "
                 f"{'yes' if d.get('reverted_clean') else 'NO'}"
+            )
+        return lines
+
+    def _render_service(self) -> list[str]:
+        if not self.service_jobs:
+            return []
+        # Service timestamps are wall seconds since the service epoch
+        # (there is no simulated kernel behind a query job).
+        lines = [
+            "",
+            "Service jobs (wall seconds since service start):",
+            f"  {'t':>8} {'job':>5} {'label':<28} {'prio':<12} "
+            f"{'state':<9} {'queue(s)':>9} {'run(s)':>8} {'coal':>5}",
+        ]
+        for event in self.service_jobs:
+            d = event.detail
+            lines.append(
+                f"  {event.t:>8.3f} {d.get('job', '?'):>5} "
+                f"{str(d.get('label', '')):<28.28} "
+                f"{str(d.get('priority', '')):<12} "
+                f"{str(d.get('state', '')):<9} "
+                f"{d.get('queue_seconds', 0.0):>9.3f} "
+                f"{d.get('run_seconds', 0.0):>8.3f} "
+                f"{d.get('coalesced', 1):>5}"
             )
         return lines
 

@@ -8,6 +8,7 @@ from repro.core.snapshot import Snapshot
 from repro.pybf.questions import QuestionLibrary
 
 if TYPE_CHECKING:
+    from repro.service.store import SnapshotStore
     from repro.verify.engine import AtomGraphEngine
 
 
@@ -23,14 +24,23 @@ class Session:
     current one, ask questions. Snapshots are produced by either backend
     in :mod:`repro.core` (or loaded from disk via
     :meth:`Snapshot.load <repro.core.snapshot.Snapshot.load>`).
+
+    With ``store`` set, the session is backed by a content-addressed
+    :class:`~repro.service.store.SnapshotStore`: snapshots register on
+    init and every question's engine comes from the store's pinned
+    entry, so any number of sessions (and the verification service's
+    worker threads) sharing one store share one engine per distinct
+    forwarding state. Without a store, engines are pinned per session
+    exactly as before.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional["SnapshotStore"] = None) -> None:
         self._snapshots: dict[str, Snapshot] = {}
         # Per-snapshot atom-graph engines, pinned for the session's
         # lifetime so the module-level LRU cache cannot evict the
         # analyses backing registered snapshots between questions.
         self._engines: dict[str, "AtomGraphEngine"] = {}
+        self._store = store
         self._current: Optional[str] = None
         self.q = QuestionLibrary(self)
 
@@ -46,6 +56,9 @@ class Session:
                 f"snapshot {name!r} already initialized (overwrite=True?)"
             )
         self._snapshots[name] = snapshot
+        self._engines.pop(name, None)
+        if self._store is not None:
+            self._store.register(snapshot)
         self._current = name
         return name
 
@@ -55,7 +68,9 @@ class Session:
         self._current = name
 
     def delete_snapshot(self, name: str) -> None:
-        self._snapshots.pop(name, None)
+        if name not in self._snapshots:
+            raise SessionError(f"unknown snapshot: {name!r}")
+        del self._snapshots[name]
         self._engines.pop(name, None)
         if self._current == name:
             self._current = next(iter(self._snapshots), None)
@@ -80,12 +95,16 @@ class Session:
         Questions route their dataplane analyses through this method, so
         every question asked of the same snapshot shares one engine (one
         set of per-atom graph passes) no matter how many snapshots the
-        session juggles.
+        session juggles. Store-backed sessions delegate to the store,
+        sharing engines *across* sessions and worker threads by
+        forwarding content.
         """
         from repro.verify.engine import engine_for
 
         target = name or self._current
         snapshot = self.get_snapshot(target)
+        if self._store is not None:
+            return self._store.engine(snapshot)
         engine = self._engines.get(target)
         if engine is None or engine.dataplane is not snapshot.dataplane:
             engine = engine_for(snapshot.dataplane)

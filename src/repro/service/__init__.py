@@ -1,0 +1,46 @@
+"""repro.service — the continuous verification service.
+
+A long-lived daemon over the one-shot pipeline: converged snapshots
+stay resident in a content-addressed :class:`SnapshotStore`, query jobs
+flow through a priority :class:`JobQueue` into a thread
+:class:`WorkerPool`, identical in-flight requests coalesce onto one
+execution, and completed answers serve from a bounded
+:class:`ResultCache`. :class:`VerificationService` is the front door;
+``mfv serve`` wraps it in a JSON-lines loop.
+"""
+
+from repro.service.jobs import (
+    Job,
+    JobFailedError,
+    JobPriority,
+    JobQueue,
+    JobResult,
+    JobState,
+    JobTimeoutError,
+    OverloadedError,
+    ResultCache,
+)
+from repro.service.service import VerificationService
+from repro.service.store import (
+    DeploymentLostError,
+    SnapshotStore,
+    StoreEntry,
+)
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "DeploymentLostError",
+    "Job",
+    "JobFailedError",
+    "JobPriority",
+    "JobQueue",
+    "JobResult",
+    "JobState",
+    "JobTimeoutError",
+    "OverloadedError",
+    "ResultCache",
+    "SnapshotStore",
+    "StoreEntry",
+    "VerificationService",
+    "WorkerPool",
+]

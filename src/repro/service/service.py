@@ -1,0 +1,459 @@
+"""`VerificationService` — the resident verification front end.
+
+One long-lived object owning the four moving parts the tentpole names:
+a content-addressed :class:`~repro.service.store.SnapshotStore`, a
+priority :class:`~repro.service.jobs.JobQueue` drained by a thread
+:class:`~repro.service.workers.WorkerPool`, a request-coalescing
+registry over in-flight jobs, and a bounded
+:class:`~repro.service.jobs.ResultCache` of completed answers.
+
+The query surface is deliberately *not* new: questions execute through
+an ordinary store-backed :class:`~repro.pybf.session.Session`, so every
+question in the pybf library runs unchanged — the service only decides
+*when* they run (priority, admission) and *how often* the underlying
+analyses are rebuilt (ideally once per distinct forwarding state).
+
+Time base: the service lives in wall-clock time (there is no simulated
+kernel behind a query), so its obs events and spans are stamped with
+seconds since the service's epoch. The ``service.*`` counters and
+``service.job`` events feed the ``mfv obs timeline`` service section.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.core.snapshot import Snapshot
+from repro.obs import bus
+from repro.pybf.session import Session, SessionError
+from repro.service.jobs import (
+    Job,
+    JobPriority,
+    JobQueue,
+    JobState,
+    ResultCache,
+)
+from repro.service.store import DeploymentLostError, SnapshotStore, env_int
+from repro.service.workers import WorkerPool
+
+logger = logging.getLogger(__name__)
+
+#: Queue-depth watermark (override: ``MFV_SERVICE_QUEUE_DEPTH``).
+DEFAULT_QUEUE_DEPTH = 64
+#: Result-cache capacity (override: ``MFV_SERVICE_RESULT_CACHE``).
+DEFAULT_RESULT_CACHE = 256
+
+#: Questions whose ``answer()`` accepts a reference snapshot.
+_DIFFERENTIAL_QUESTIONS = frozenset({"differentialReachability", "routes"})
+
+
+class VerificationService:
+    """Submit/await verification jobs against resident snapshots."""
+
+    def __init__(
+        self,
+        *,
+        store: Optional[SnapshotStore] = None,
+        workers: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        result_cache_size: Optional[int] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+    ) -> None:
+        if max_queue_depth is None:
+            max_queue_depth = env_int(
+                "MFV_SERVICE_QUEUE_DEPTH", DEFAULT_QUEUE_DEPTH
+            )
+        if result_cache_size is None:
+            result_cache_size = env_int(
+                "MFV_SERVICE_RESULT_CACHE", DEFAULT_RESULT_CACHE
+            )
+        self.store = store if store is not None else SnapshotStore()
+        self.session = Session(store=self.store)
+        self.queue = JobQueue(max_depth=max_queue_depth)
+        self.results = ResultCache(result_cache_size)
+        self.pool = WorkerPool(
+            self.queue,
+            workers=workers,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            on_done=self._job_settled,
+            on_retry=self._job_retried,
+        )
+        self._inflight: dict[tuple, Job] = {}
+        self._lock = threading.Lock()
+        self._epoch = time.monotonic()
+        self.counters: dict[str, int] = {
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "jobs_failed": 0,
+            "jobs_rejected": 0,
+            "coalesced": 0,
+            "result_cache_hits": 0,
+            "retries": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "VerificationService":
+        self.pool.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self.pool.stop(timeout)
+
+    def __enter__(self) -> "VerificationService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    # -- snapshot residence ----------------------------------------------------
+
+    def register_snapshot(
+        self,
+        snapshot: Snapshot,
+        name: Optional[str] = None,
+        overwrite: bool = True,
+    ) -> tuple[str, int]:
+        """Make a snapshot queryable; returns (name, fingerprint).
+
+        Unlike a bare session, re-registering under an existing name
+        defaults to overwrite — a service replacing a snapshot with a
+        newer converged state is the normal flow, not a mistake.
+        """
+        name = self.session.init_snapshot(
+            snapshot, name=name, overwrite=overwrite
+        )
+        return name, snapshot.dataplane.fib_fingerprint()
+
+    def load_snapshot(
+        self, path: Union[str, Path], name: Optional[str] = None
+    ) -> tuple[str, int]:
+        return self.register_snapshot(Snapshot.load(path), name=name)
+
+    def snapshots(self) -> list[str]:
+        return self.session.list_snapshots()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        question: str,
+        params: Optional[dict] = None,
+        *,
+        snapshot: Optional[str] = None,
+        reference_snapshot: Optional[str] = None,
+        priority: Optional[Union[JobPriority, int, str]] = None,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Enqueue one pybf question; returns its (possibly shared) job.
+
+        The job signature folds in the *fingerprints* of the named
+        snapshots, so identical questions against identical forwarding
+        content coalesce even across snapshot names. Differential
+        questions default to the DIFFERENTIAL priority class,
+        everything else to INTERACTIVE.
+        """
+        params = dict(params or {})
+        if not hasattr(self.session.q, question):
+            raise SessionError(f"unknown question: {question!r}")
+        if (
+            reference_snapshot is not None
+            and question not in _DIFFERENTIAL_QUESTIONS
+        ):
+            raise SessionError(
+                f"question {question!r} does not take a reference snapshot"
+            )
+        if priority is None:
+            priority = (
+                JobPriority.DIFFERENTIAL
+                if question in _DIFFERENTIAL_QUESTIONS
+                and reference_snapshot is not None
+                else JobPriority.INTERACTIVE
+            )
+        signature = self._question_signature(
+            question, params, snapshot, reference_snapshot
+        )
+        label = f"{question}"
+        run = self._question_executor(
+            question, params, snapshot, reference_snapshot, label
+        )
+        return self._submit_job(
+            signature,
+            run,
+            priority=JobPriority.parse(priority),
+            timeout=timeout,
+            label=label,
+        )
+
+    def submit_callable(
+        self,
+        run: Callable[[], Any],
+        *,
+        signature: tuple,
+        priority: Union[JobPriority, int, str] = JobPriority.CAMPAIGN,
+        timeout: Optional[float] = None,
+        label: str = "",
+        cacheable: bool = True,
+    ) -> Job:
+        """Enqueue an arbitrary execution (batch work, tests).
+
+        Coalescing and result caching key on the caller's ``signature``;
+        pass ``cacheable=False`` for non-deterministic work.
+        """
+        return self._submit_job(
+            signature,
+            run,
+            priority=JobPriority.parse(priority),
+            timeout=timeout,
+            label=label,
+            cacheable=cacheable,
+        )
+
+    def submit_campaign(
+        self,
+        topology,
+        scenarios: Sequence,
+        *,
+        context=None,
+        timers=None,
+        quiet_period: float = 30.0,
+        seed: int = 0,
+        priority: Union[JobPriority, int, str] = JobPriority.CAMPAIGN,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """A what-if campaign as one batch job (CAMPAIGN priority).
+
+        The campaign's baseline snapshot registers with the service's
+        store, so interactive questions asked afterwards reuse its
+        engine. Deterministic per (topology, scenarios, seed), hence
+        coalescable and cacheable like any question.
+        """
+        from repro.protocols.timers import PRODUCTION_TIMERS
+        from repro.whatif.campaign import WhatIfCampaign
+
+        scenario_list = list(scenarios)
+        signature = (
+            "whatif",
+            topology.name,
+            tuple(s.name for s in scenario_list),
+            context.name if context is not None else "",
+            seed,
+            quiet_period,
+        )
+
+        def run():
+            campaign = WhatIfCampaign(
+                topology,
+                scenario_list,
+                context=context,
+                timers=timers if timers is not None else PRODUCTION_TIMERS,
+                quiet_period=quiet_period,
+                seed=seed,
+                store=self.store,
+            )
+            return campaign.run()
+
+        return self._submit_job(
+            signature,
+            run,
+            priority=JobPriority.parse(priority),
+            timeout=timeout,
+            label=f"whatif:{topology.name}",
+        )
+
+    # -- waiting ----------------------------------------------------------------
+
+    def result(self, job: Job, timeout: Optional[float] = None):
+        """``job.result(timeout)``, for symmetry with submit()."""
+        return job.result(timeout)
+
+    def stats(self) -> dict:
+        with self._lock:
+            counters = dict(self.counters)
+            inflight = len(self._inflight)
+        return {
+            "uptime_seconds": self._now(),
+            "workers": self.pool.workers,
+            "queue_depth": self.queue.depth,
+            "queue_watermark": self.queue.max_depth,
+            "inflight": inflight,
+            "snapshots": self.snapshots(),
+            "store": self.store.stats(),
+            "result_cache": self.results.stats(),
+            **counters,
+        }
+
+    # -- internals ---------------------------------------------------------------
+
+    def _question_signature(
+        self,
+        question: str,
+        params: dict,
+        snapshot: Optional[str],
+        reference_snapshot: Optional[str],
+    ) -> tuple:
+        """Content key: question + params + snapshot *fingerprints*."""
+
+        def fingerprint(name: Optional[str], required: bool) -> Optional[int]:
+            if name is None and not required:
+                return None
+            return self.session.get_snapshot(name).dataplane.fib_fingerprint()
+
+        return (
+            question,
+            tuple(sorted(params.items())),
+            fingerprint(snapshot, required=True),
+            fingerprint(reference_snapshot, required=False)
+            if reference_snapshot is not None
+            else None,
+        )
+
+    def _question_executor(
+        self,
+        question: str,
+        params: dict,
+        snapshot: Optional[str],
+        reference_snapshot: Optional[str],
+        label: str,
+    ) -> Callable[[], Any]:
+        def run():
+            collector = bus.ACTIVE
+            span = (
+                collector.begin(
+                    f"service:{label}", self._now(), category="service"
+                )
+                if collector.enabled
+                else None
+            )
+            try:
+                factory = getattr(self.session.q, question)
+                kwargs = {"snapshot": snapshot}
+                if reference_snapshot is not None:
+                    kwargs["reference_snapshot"] = reference_snapshot
+                try:
+                    return factory(**params).answer(**kwargs)
+                except SessionError as exc:
+                    # The snapshot left the session between submit and
+                    # run (deleted/replaced mid-flight): transient from
+                    # the worker's viewpoint — retry, then surface.
+                    raise DeploymentLostError(str(exc)) from exc
+            finally:
+                if span is not None:
+                    collector.end(span, self._now())
+
+        return run
+
+    def _submit_job(
+        self,
+        signature: tuple,
+        run: Callable[[], Any],
+        *,
+        priority: JobPriority,
+        timeout: Optional[float],
+        label: str,
+        cacheable: bool = True,
+    ) -> Job:
+        with self._lock:
+            cached = self.results.get(signature) if cacheable else None
+            if cached is not None:
+                self.counters["result_cache_hits"] += 1
+                if bus.ACTIVE.enabled:
+                    bus.ACTIVE.count("service.result_cache_hits")
+                job = Job(
+                    signature, run, priority=priority, timeout=timeout,
+                    label=label,
+                )
+                job.attempts = cached.attempts
+                job.coalesced = cached.coalesced
+                job.cached = True
+                job.finish(cached.value)
+                self._emit_job_event(job)
+                return job
+            inflight = self._inflight.get(signature)
+            if inflight is not None and not inflight.done:
+                inflight.coalesced += 1
+                self.counters["coalesced"] += 1
+                if bus.ACTIVE.enabled:
+                    bus.ACTIVE.count("service.coalesced")
+                return inflight
+            job = Job(
+                signature, run, priority=priority, timeout=timeout,
+                label=label,
+            )
+            job.cacheable = cacheable
+            accepted, shed = self.queue.submit(job)
+            if shed is not None:
+                self._inflight.pop(shed.signature, None)
+                self.counters["jobs_rejected"] += 1
+                if bus.ACTIVE.enabled:
+                    bus.ACTIVE.count("service.rejected_overloaded")
+                self._emit_job_event(shed)
+            if not accepted:
+                self.counters["jobs_rejected"] += 1
+                if bus.ACTIVE.enabled:
+                    bus.ACTIVE.count("service.rejected_overloaded")
+                self._emit_job_event(job)
+                return job
+            self._inflight[signature] = job
+            self.counters["jobs_submitted"] += 1
+            if bus.ACTIVE.enabled:
+                bus.ACTIVE.count("service.jobs_submitted")
+        if not self.pool.running:
+            logger.warning(
+                "job %s submitted to a stopped service; call start()", job.id
+            )
+        return job
+
+    def _job_retried(self, job: Job, exc: BaseException) -> None:
+        del exc
+        with self._lock:
+            self.counters["retries"] += 1
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("service.retries")
+
+    def _job_settled(self, job: Job) -> None:
+        """Worker-pool completion hook: cache, uncoalesce, instrument."""
+        with self._lock:
+            if self._inflight.get(job.signature) is job:
+                del self._inflight[job.signature]
+            if job.state is JobState.DONE:
+                self.counters["jobs_completed"] += 1
+                if getattr(job, "cacheable", True):
+                    self.results.put(
+                        job.signature,
+                        job.result(timeout=0),
+                    )
+            elif job.state is JobState.FAILED:
+                self.counters["jobs_failed"] += 1
+        if bus.ACTIVE.enabled:
+            if job.state is JobState.DONE:
+                bus.ACTIVE.count("service.jobs_completed")
+            elif job.state is JobState.FAILED:
+                bus.ACTIVE.count("service.jobs_failed")
+        self._emit_job_event(job)
+
+    def _emit_job_event(self, job: Job) -> None:
+        collector = bus.ACTIVE
+        if not collector.enabled:
+            return
+        collector.emit(
+            "service.job",
+            self._now(),
+            job=job.id,
+            label=job.label,
+            priority=job.priority.name.lower(),
+            state=job.state.value,
+            queue_seconds=round(job.queue_seconds, 6),
+            run_seconds=round(job.run_seconds, 6),
+            attempts=job.attempts,
+            coalesced=job.coalesced,
+        )

@@ -1,0 +1,186 @@
+"""The content-addressed snapshot store.
+
+The service's amortization substrate: converged snapshots are keyed by
+:meth:`Dataplane.fib_fingerprint() <repro.dataplane.model.Dataplane.fib_fingerprint>`
+— pure forwarding *content*, never object identity or snapshot name —
+so any two registrations of the same converged state (two seeds that
+agreed, a reloaded snapshot file, the same snapshot under two session
+names) collapse onto one entry holding one pinned
+:class:`~repro.verify.engine.AtomGraphEngine`.
+
+Entries are evicted LRU once ``capacity`` is exceeded; every lookup and
+eviction is counted on the obs bus (``service.store_hits`` /
+``service.store_misses`` / ``service.store_evictions``), which is how
+``BENCH_service.json`` measures the amortization. All operations are
+thread-safe: the store is shared by every worker in the service's pool,
+and engine builds for *distinct* fingerprints proceed in parallel while
+concurrent requests for the *same* fingerprint coalesce onto one build
+(the per-entry lock here plus :func:`engine_for`'s own build locks).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.snapshot import Snapshot
+from repro.obs import bus
+from repro.verify.engine import AtomGraphEngine, engine_for
+
+#: Default resident-snapshot capacity (override: ``MFV_SERVICE_STORE``).
+DEFAULT_CAPACITY = 8
+
+
+def env_int(name: str, default: int, minimum: int = 1) -> int:
+    """An integer knob from the environment, clamped and fail-safe."""
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            return max(minimum, int(raw))
+        except ValueError:
+            pass
+    return default
+
+
+class DeploymentLostError(RuntimeError):
+    """A job's backing state vanished mid-flight (evicted, deleted).
+
+    Transient by definition — re-registration rebuilds the entry — so
+    the worker pool retries jobs that raise it (with backoff) before
+    declaring them failed.
+    """
+
+
+class StoreEntry:
+    """One resident converged state: snapshot + lazily pinned engine."""
+
+    __slots__ = ("snapshot", "fingerprint", "_engine", "_lock")
+
+    def __init__(self, snapshot: Snapshot) -> None:
+        self.snapshot = snapshot
+        self.fingerprint = snapshot.dataplane.fib_fingerprint()
+        self._engine: Optional[AtomGraphEngine] = None
+        self._lock = threading.Lock()
+
+    def engine(self) -> AtomGraphEngine:
+        """The pinned atom-graph engine (built once, on first demand)."""
+        if self._engine is None:
+            with self._lock:
+                if self._engine is None:
+                    self._engine = engine_for(self.snapshot.dataplane)
+        return self._engine
+
+    @property
+    def engine_built(self) -> bool:
+        return self._engine is not None
+
+
+class SnapshotStore:
+    """LRU-bounded, fingerprint-keyed residence for converged snapshots."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is None:
+            capacity = env_int("MFV_SERVICE_STORE", DEFAULT_CAPACITY)
+        self.capacity = max(1, capacity)
+        self._entries: "OrderedDict[int, StoreEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- registration / lookup ------------------------------------------------
+
+    def register(self, snapshot: Snapshot) -> int:
+        """Make ``snapshot`` resident; returns its fingerprint.
+
+        Re-registering existing content is a hit (the entry is
+        refreshed in LRU order, its pinned engine survives).
+        """
+        self._entry_for(snapshot)
+        return snapshot.dataplane.fib_fingerprint()
+
+    def get(self, fingerprint: int) -> StoreEntry:
+        """The resident entry for ``fingerprint``.
+
+        Raises :class:`DeploymentLostError` when the state is no longer
+        resident — callers holding only a fingerprint cannot rebuild it.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                if bus.ACTIVE.enabled:
+                    bus.ACTIVE.count("service.store_misses")
+                raise DeploymentLostError(
+                    f"snapshot {fingerprint:#x} is no longer resident"
+                )
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            if bus.ACTIVE.enabled:
+                bus.ACTIVE.count("service.store_hits")
+            return entry
+
+    def engine(self, snapshot: Snapshot) -> AtomGraphEngine:
+        """The pinned engine for ``snapshot``, registering it if needed.
+
+        This is the path :class:`~repro.pybf.session.Session` routes
+        questions through when backed by a store: an eviction between
+        two questions costs one rebuild, never a wrong answer.
+        """
+        return self._entry_for(snapshot).engine()
+
+    def _entry_for(self, snapshot: Snapshot) -> StoreEntry:
+        fingerprint = snapshot.dataplane.fib_fingerprint()
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                if bus.ACTIVE.enabled:
+                    bus.ACTIVE.count("service.store_hits")
+                return entry
+            self.misses += 1
+            if bus.ACTIVE.enabled:
+                bus.ACTIVE.count("service.store_misses")
+            entry = StoreEntry(snapshot)
+            self._entries[fingerprint] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if bus.ACTIVE.enabled:
+                    bus.ACTIVE.count("service.store_evictions")
+            return entry
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: int) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def fingerprints(self) -> list[int]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "resident": len(self._entries),
+                "engines_built": sum(
+                    1 for e in self._entries.values() if e.engine_built
+                ),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotStore(resident={len(self)}, capacity={self.capacity})"
+        )

@@ -1,0 +1,156 @@
+"""The worker pool: threads draining the job queue.
+
+Workers are *threads*, not processes: one verification job spends its
+time in the atom-graph engine's table builds and graph passes, which
+the existing process-pool precompute (``AtomGraphEngine.precompute``)
+already shards when a single build is big enough to matter. What the
+service needs from its pool is cheap shared access to the resident
+:class:`~repro.service.store.SnapshotStore` — which a process pool
+would have to re-pickle per job — plus strict priority ordering, which
+one shared queue gives for free.
+
+Per-job resilience lives here:
+
+* **timeout** — a job whose per-job deadline passed while it queued is
+  failed with :class:`JobTimeoutError` instead of burning a worker;
+* **retry with backoff** — executions raising
+  :class:`~repro.service.store.DeploymentLostError` (the job's backing
+  state left the store mid-flight) are retried up to ``max_retries``
+  times with exponential backoff before the failure is surfaced.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.service.jobs import Job, JobQueue, JobTimeoutError
+from repro.service.store import DeploymentLostError, env_int
+
+logger = logging.getLogger(__name__)
+
+#: Default worker-thread count (override: ``MFV_SERVICE_WORKERS``).
+DEFAULT_WORKERS = 2
+
+
+class WorkerPool:
+    """Threads executing jobs from one :class:`JobQueue`."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        workers: Optional[int] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        on_done: Optional[Callable[[Job], None]] = None,
+        on_retry: Optional[Callable[[Job, BaseException], None]] = None,
+    ) -> None:
+        if workers is None:
+            workers = env_int("MFV_SERVICE_WORKERS", DEFAULT_WORKERS)
+        self.queue = queue
+        self.workers = max(1, workers)
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = max(0.0, retry_backoff)
+        self._on_done = on_done
+        self._on_retry = on_retry
+        self._threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._stopping.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._loop,
+                name=f"mfv-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stopping.set()
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads)
+
+    # -- execution ------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stopping.is_set():
+            job = self.queue.pop(timeout=0.2)
+            if job is None:
+                if self._stopping.is_set():
+                    return
+                continue
+            try:
+                self._run_one(job)
+            except Exception:  # pragma: no cover - last-resort guard
+                logger.exception("worker crashed running job %s", job.id)
+                if not job.done:
+                    job.fail(RuntimeError("worker crashed"))
+
+    def _expired(self, job: Job) -> bool:
+        return (
+            job.timeout is not None
+            and time.monotonic() - job.submitted_at > job.timeout
+        )
+
+    def _run_one(self, job: Job) -> None:
+        try:
+            self._execute(job)
+        finally:
+            if self._on_done is not None:
+                self._on_done(job)
+
+    def _execute(self, job: Job) -> None:
+        if self._expired(job):
+            job.mark_running()
+            job.fail(
+                JobTimeoutError(
+                    f"job {job.id} ({job.label}) missed its "
+                    f"{job.timeout}s deadline while queued"
+                )
+            )
+            return
+        job.mark_running()
+        attempt = 0
+        while True:
+            job.attempts = attempt + 1
+            try:
+                job.finish(job.run())
+                return
+            except DeploymentLostError as exc:
+                if attempt >= self.max_retries or self._stopping.is_set():
+                    job.fail(exc)
+                    return
+                if self._on_retry is not None:
+                    self._on_retry(job, exc)
+                delay = self.retry_backoff * (2**attempt)
+                logger.info(
+                    "job %s lost its deployment (%s); retry %d/%d in %.3fs",
+                    job.id, exc, attempt + 1, self.max_retries, delay,
+                )
+                if delay:
+                    time.sleep(delay)
+                attempt += 1
+            except BaseException as exc:
+                job.fail(exc)
+                return
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(workers={self.workers}, "
+            f"running={self.running}, retries={self.max_retries})"
+        )

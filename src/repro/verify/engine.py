@@ -39,6 +39,8 @@ stop rebuilding identical analyses.
 from __future__ import annotations
 
 import logging
+import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -113,8 +115,12 @@ class AtomGraphEngine:
         self._shared: dict[tuple, dict[str, AtomVerdict]] = {}
         # (device, interface, gateway) -> resolved peer device (or None)
         self._hop_peers: dict[tuple[str, str, int], Optional[str]] = {}
-        # (device, entry id) -> struct, for rep-independent resolutions
-        self._node_cache: dict[tuple[str, int], tuple] = {}
+        # (device, entry) -> struct, for rep-independent resolutions.
+        # Keyed by entry *content*, not id(): id() values are recycled
+        # after GC, which in a long-lived process could silently alias
+        # two different FIB entries; ForwardingEntry is frozen/hashable
+        # so content keying is exact (and lets equal entries share).
+        self._node_cache: dict[tuple, tuple] = {}
         self._complete = False
         if bus.ACTIVE.enabled:
             bus.ACTIVE.count("verify.engine_builds")
@@ -239,7 +245,7 @@ class AtomGraphEngine:
         are memoized per FIB entry, so across a sweep each entry is
         resolved once — not once per atom it governs.
         """
-        cache_key = (name, id(entry))
+        cache_key = (name, entry)
         cached = self._node_cache.get(cache_key)
         if cached is not None:
             return cached
@@ -444,13 +450,39 @@ def _compute_shard(payload) -> dict[int, dict[str, AtomVerdict]]:
 # -- the per-snapshot engine cache ------------------------------------------
 
 _CACHE: OrderedDict[tuple, AtomGraphEngine] = OrderedDict()
-_CACHE_LIMIT = 8
+_CACHE_LIMIT = 8  # default; override per process with MFV_ENGINE_CACHE
+_CACHE_LOCK = threading.Lock()
+# key -> build lock, so concurrent engine_for calls for the *same*
+# forwarding state coalesce onto one build while distinct states still
+# build in parallel (the service's worker threads hit this constantly).
+_BUILDS: dict[tuple, threading.Lock] = {}
+
+
+def _cache_limit() -> int:
+    """The engine cache capacity (``MFV_ENGINE_CACHE``, default 8)."""
+    raw = os.environ.get("MFV_ENGINE_CACHE")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            logger.warning("ignoring non-integer MFV_ENGINE_CACHE=%r", raw)
+    return _CACHE_LIMIT
 
 
 def _atoms_signature(atoms: Optional[Sequence[IntervalSet]]) -> int:
     if atoms is None:
         return 0
     return hash(tuple(atom.min() for atom in atoms))
+
+
+def _cached_engine(key: tuple) -> Optional[AtomGraphEngine]:
+    with _CACHE_LOCK:
+        engine = _CACHE.get(key)
+        if engine is not None:
+            _CACHE.move_to_end(key)
+            if bus.ACTIVE.enabled:
+                bus.ACTIVE.count("verify.engine_cache_hits")
+        return engine
 
 
 def engine_for(
@@ -463,21 +495,39 @@ def engine_for(
     that converged to the same forwarding state — N seeds in a multirun
     sweep, a reloaded snapshot file — share one engine, so repeated
     differential and pybf queries stop rebuilding identical analyses.
+
+    Thread-safe: concurrent calls for one forwarding state coalesce
+    onto a single build and all receive the shared engine object.
     """
     key = (dataplane.fib_fingerprint(), _atoms_signature(atoms))
-    engine = _CACHE.get(key)
+    engine = _cached_engine(key)
     if engine is not None:
-        _CACHE.move_to_end(key)
-        if bus.ACTIVE.enabled:
-            bus.ACTIVE.count("verify.engine_cache_hits")
         return engine
-    engine = AtomGraphEngine(dataplane, atoms)
-    _CACHE[key] = engine
-    while len(_CACHE) > _CACHE_LIMIT:
-        _CACHE.popitem(last=False)
+    with _CACHE_LOCK:
+        build = _BUILDS.get(key)
+        if build is None:
+            build = _BUILDS[key] = threading.Lock()
+    with build:
+        # A racing thread may have finished this build while we waited.
+        engine = _cached_engine(key)
+        if engine is not None:
+            return engine
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count("verify.engine_cache_misses")
+        engine = AtomGraphEngine(dataplane, atoms)
+        with _CACHE_LOCK:
+            _CACHE[key] = engine
+            limit = _cache_limit()
+            while len(_CACHE) > limit:
+                _CACHE.popitem(last=False)
+                if bus.ACTIVE.enabled:
+                    bus.ACTIVE.count("verify.engine_cache_evictions")
+            _BUILDS.pop(key, None)
     return engine
 
 
 def clear_engine_cache() -> None:
     """Drop all memoized engines (tests and long-lived processes)."""
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _BUILDS.clear()

@@ -56,6 +56,7 @@ class WhatIfCampaign:
         quiet_period: float = 30.0,
         convergence_max_time: float = 86_400.0,
         seed: int = 0,
+        store=None,
     ) -> None:
         self.topology = topology
         self.scenarios = list(scenarios)
@@ -65,6 +66,11 @@ class WhatIfCampaign:
         self.quiet_period = quiet_period
         self.convergence_max_time = convergence_max_time
         self.seed = seed
+        # Optional verification-service SnapshotStore: the baseline
+        # snapshot registers there, so service questions asked after a
+        # campaign reuse its engine. Sequential path only — process-pool
+        # shards cannot share an in-memory store.
+        self.store = store
         # Per-phase durations from the most recent run (span names are
         # prefixed "whatif:<scenario>" so they never collide with the
         # pipeline's own deploy/converge/extract phases in a timeline).
@@ -101,6 +107,7 @@ class WhatIfCampaign:
             timers=self.timers,
             quiet_period=self.quiet_period,
             convergence_max_time=self.convergence_max_time,
+            store=self.store,
         )
         self.phases = {}
         baseline, deployment = self._deploy_baseline(backend)

@@ -35,10 +35,39 @@ class TestSessionManagement:
         session.delete_snapshot("model")
         assert session.list_snapshots() == ["emulated"]
 
+    def test_delete_unknown_snapshot_errors(self, session):
+        with pytest.raises(SessionError, match="ghost"):
+            session.delete_snapshot("ghost")
+
     def test_empty_session_errors(self):
         bf = Session()
         with pytest.raises(SessionError):
             bf.get_snapshot()
+
+    def test_replacing_snapshot_invalidates_engine(
+        self, fig3_emulated, fig3_model
+    ):
+        """Re-initializing a name must drop the pinned engine: answers
+        after the overwrite have to reflect the new forwarding state."""
+        emulated = fig3_emulated[1]
+        model = fig3_model[1]
+        bf = Session()
+        bf.init_snapshot(emulated, name="x")
+        before = bf.get_engine("x")
+        # Content equality, not object identity: the module-level
+        # engine cache may serve an engine built from an equal-content
+        # dataplane elsewhere in the test session.
+        assert (
+            before.dataplane.fib_fingerprint()
+            == emulated.dataplane.fib_fingerprint()
+        )
+        bf.init_snapshot(model, name="x", overwrite=True)
+        after = bf.get_engine("x")
+        assert after is not before
+        assert (
+            after.dataplane.fib_fingerprint()
+            == model.dataplane.fib_fingerprint()
+        )
 
 
 class TestQuestions:

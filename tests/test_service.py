@@ -1,0 +1,563 @@
+"""Verification-service tests: store, queue, coalescing, admission.
+
+The blocking pattern used throughout: a one-worker pool occupied by a
+job that waits on a ``threading.Event``, so everything submitted behind
+it stays queued in a known order until the test releases the gate.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.pybf.session import Session, SessionError
+from repro.service import (
+    DeploymentLostError,
+    Job,
+    JobFailedError,
+    JobPriority,
+    JobQueue,
+    JobState,
+    JobTimeoutError,
+    OverloadedError,
+    SnapshotStore,
+    VerificationService,
+)
+from repro.service.frontend import serve_loop
+from repro.verify.engine import clear_engine_cache, engine_for
+
+
+def _job(n, priority=JobPriority.INTERACTIVE, run=None, **kwargs):
+    return Job(
+        ("test", n), run or (lambda: n), priority=priority, **kwargs
+    )
+
+
+class _Gate:
+    """A controllable job body: started fires on entry, release lets it
+    return. Lets tests hold a worker mid-job deterministically."""
+
+    def __init__(self, value="gated"):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.value = value
+
+    def __call__(self):
+        self.started.set()
+        assert self.release.wait(10), "test forgot to release the gate"
+        return self.value
+
+
+@pytest.fixture()
+def service():
+    svc = VerificationService(workers=1, max_queue_depth=4)
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+class TestSnapshotStore:
+    def test_register_is_content_addressed(self, fig3_emulated, fig3_model):
+        store = SnapshotStore(capacity=4)
+        fp1 = store.register(fig3_emulated[1])
+        fp2 = store.register(fig3_emulated[1])  # same content: a hit
+        fp3 = store.register(fig3_model[1])
+        assert fp1 == fp2 != fp3
+        assert len(store) == 2
+        assert store.hits == 1 and store.misses == 2
+
+    def test_engine_pinned_per_entry(self, fig3_emulated):
+        store = SnapshotStore(capacity=4)
+        clear_engine_cache()
+        with tracing() as tracer:
+            first = store.engine(fig3_emulated[1])
+            second = store.engine(fig3_emulated[1])
+        assert first is second
+        assert tracer.counters["verify.engine_builds"] == 1
+        clear_engine_cache()
+
+    def test_lru_eviction_counts(self, fig2_snapshots, fig3_emulated):
+        healthy, buggy = fig2_snapshots
+        store = SnapshotStore(capacity=2)
+        with tracing() as tracer:
+            store.register(healthy)
+            store.register(buggy)
+            store.register(fig3_emulated[1])  # evicts healthy (LRU)
+        assert store.evictions == 1
+        assert tracer.counters["service.store_evictions"] == 1
+        assert healthy.dataplane.fib_fingerprint() not in store
+        assert buggy.dataplane.fib_fingerprint() in store
+
+    def test_get_unknown_raises_deployment_lost(self):
+        store = SnapshotStore(capacity=2)
+        with pytest.raises(DeploymentLostError):
+            store.get(0xDEAD)
+        assert store.misses == 1
+
+    def test_env_capacity_knob(self, monkeypatch):
+        monkeypatch.setenv("MFV_SERVICE_STORE", "3")
+        assert SnapshotStore().capacity == 3
+        monkeypatch.setenv("MFV_SERVICE_STORE", "junk")
+        assert SnapshotStore().capacity == SnapshotStore(capacity=8).capacity
+
+    def test_stats_shape(self, fig3_emulated):
+        store = SnapshotStore(capacity=4)
+        store.register(fig3_emulated[1])
+        stats = store.stats()
+        assert stats["resident"] == 1
+        assert stats["engines_built"] == 0  # lazy until first question
+
+
+class TestJobQueue:
+    def test_priority_classes_strictly_ordered(self):
+        queue = JobQueue(max_depth=8)
+        campaign = _job(1, JobPriority.CAMPAIGN)
+        diff = _job(2, JobPriority.DIFFERENTIAL)
+        interactive = _job(3, JobPriority.INTERACTIVE)
+        for job in (campaign, diff, interactive):
+            queue.submit(job)
+        assert queue.pop(0.1) is interactive
+        assert queue.pop(0.1) is diff
+        assert queue.pop(0.1) is campaign
+
+    def test_fifo_within_class(self):
+        queue = JobQueue(max_depth=8)
+        jobs = [_job(n) for n in range(4)]
+        for job in jobs:
+            queue.submit(job)
+        assert [queue.pop(0.1) for _ in jobs] == jobs
+
+    def test_watermark_rejects_equal_priority_arrival(self):
+        queue = JobQueue(max_depth=2)
+        queue.submit(_job(1))
+        queue.submit(_job(2))
+        late = _job(3)
+        accepted, shed = queue.submit(late)
+        assert not accepted and shed is None
+        assert late.state is JobState.REJECTED
+        assert late.rejection["error"] == "overloaded"
+        assert late.rejection["watermark"] == 2
+        with pytest.raises(OverloadedError) as info:
+            late.result(timeout=0)
+        assert info.value.detail["queue_depth"] == 2
+
+    def test_watermark_sheds_newest_lowest_priority(self):
+        queue = JobQueue(max_depth=2)
+        old_campaign = _job(1, JobPriority.CAMPAIGN)
+        new_campaign = _job(2, JobPriority.CAMPAIGN)
+        queue.submit(old_campaign)
+        queue.submit(new_campaign)
+        interactive = _job(3, JobPriority.INTERACTIVE)
+        accepted, shed = queue.submit(interactive)
+        assert accepted and shed is new_campaign  # newest of the lowest
+        assert shed.rejection["shed_by"] == interactive.id
+        assert queue.pop(0.1) is interactive
+        assert queue.pop(0.1) is old_campaign
+
+
+class TestServiceExecution:
+    def test_submit_callable_round_trip(self, service):
+        job = service.submit_callable(
+            lambda: 41 + 1, signature=("answer",), label="answer"
+        )
+        assert job.result(timeout=5).value == 42
+
+    def test_coalescing_attaches_to_inflight(self, service):
+        gate = _Gate()
+        blocker = service.submit_callable(
+            gate, signature=("blocker",), cacheable=False
+        )
+        assert gate.started.wait(5)
+        jobs = [
+            service.submit_callable(lambda: "x", signature=("dup",))
+            for _ in range(3)
+        ]
+        assert len({job.id for job in jobs}) == 1  # one shared execution
+        gate.release.set()
+        result = jobs[0].result(timeout=5)
+        assert result.value == "x" and result.coalesced == 3
+        assert service.counters["coalesced"] == 2
+        blocker.result(timeout=5)
+
+    def test_result_cache_serves_repeats(self, service):
+        first = service.submit_callable(lambda: "v", signature=("rc",))
+        assert first.result(timeout=5).value == "v"
+        # Settle the on_done bookkeeping before resubmitting.
+        repeat = service.submit_callable(
+            lambda: pytest.fail("must not re-run"), signature=("rc",)
+        )
+        result = repeat.result(timeout=5)
+        assert result.value == "v" and result.cached
+        assert service.counters["result_cache_hits"] == 1
+
+    def test_retry_on_deployment_lost(self, service):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise DeploymentLostError("evicted")
+            return "recovered"
+
+        job = service.submit_callable(
+            flaky, signature=("flaky",), cacheable=False
+        )
+        result = job.result(timeout=5)
+        assert result.value == "recovered"
+        assert result.attempts == 3
+        assert service.counters["retries"] == 2
+
+    def test_retries_exhausted_surface_failure(self, service):
+        def doomed():
+            raise DeploymentLostError("gone for good")
+
+        job = service.submit_callable(
+            doomed, signature=("doomed",), cacheable=False
+        )
+        with pytest.raises(JobFailedError) as info:
+            job.result(timeout=5)
+        assert isinstance(info.value.__cause__, DeploymentLostError)
+        assert job.attempts == 3  # initial try + max_retries
+
+    def test_queued_timeout_fails_structured(self, service):
+        gate = _Gate()
+        blocker = service.submit_callable(
+            gate, signature=("blk",), cacheable=False
+        )
+        assert gate.started.wait(5)
+        stale = service.submit_callable(
+            lambda: "late", signature=("late",), timeout=0.05,
+            cacheable=False,
+        )
+        threading.Event().wait(0.1)  # let the deadline lapse while queued
+        gate.release.set()
+        with pytest.raises(JobTimeoutError):
+            stale.result(timeout=5)
+        blocker.result(timeout=5)
+
+    def test_no_priority_inversion(self, service):
+        """An interactive arrival overtakes already-queued campaign
+        jobs: it must finish first even though it was submitted last."""
+        gate = _Gate()
+        blocker = service.submit_callable(
+            gate, signature=("hold",), cacheable=False
+        )
+        assert gate.started.wait(5)
+        campaigns = [
+            service.submit_callable(
+                lambda n=n: n, signature=("camp", n),
+                priority=JobPriority.CAMPAIGN, cacheable=False,
+            )
+            for n in range(2)
+        ]
+        interactive = service.submit_callable(
+            lambda: "now", signature=("now",),
+            priority=JobPriority.INTERACTIVE, cacheable=False,
+        )
+        gate.release.set()
+        for job in (interactive, *campaigns, blocker):
+            job.result(timeout=5)
+        assert interactive.finished_at < min(
+            job.finished_at for job in campaigns
+        )
+
+    def test_overload_burst_structured_rejections(self, service):
+        """A burst past the watermark gets structured ``overloaded``
+        rejections and the queue depth stays bounded — never an
+        unbounded backlog, never a silent drop."""
+        gate = _Gate()
+        service.submit_callable(gate, signature=("wall",), cacheable=False)
+        assert gate.started.wait(5)
+        burst = [
+            service.submit_callable(
+                lambda n=n: n, signature=("burst", n),
+                priority=JobPriority.CAMPAIGN, cacheable=False,
+            )
+            for n in range(20)
+        ]
+        assert service.queue.depth <= service.queue.max_depth
+        rejected = [job for job in burst if job.state is JobState.REJECTED]
+        assert rejected
+        with pytest.raises(OverloadedError) as info:
+            rejected[0].result(timeout=0)
+        assert info.value.detail["error"] == "overloaded"
+        assert info.value.detail["watermark"] == 4
+        assert service.counters["jobs_rejected"] == len(rejected)
+        gate.release.set()
+        survivors = [job for job in burst if job.state is not JobState.REJECTED]
+        for job in survivors:
+            job.result(timeout=5)
+
+
+class TestServiceQuestions:
+    def test_question_round_trip_uses_store(self, fig2_snapshots):
+        healthy, buggy = fig2_snapshots
+        clear_engine_cache()
+        with tracing() as tracer:
+            with VerificationService(workers=2) as svc:
+                svc.register_snapshot(healthy, name="healthy")
+                svc.register_snapshot(buggy, name="buggy")
+                jobs = [
+                    svc.submit("reachability", snapshot="healthy"),
+                    svc.submit("detectLoops", snapshot="healthy"),
+                    svc.submit("routes", {"nodes": "r1"}, snapshot="healthy"),
+                ]
+                for job in jobs:
+                    assert job.result(timeout=10).value is not None
+        # Three questions, one forwarding state: one engine build.
+        assert tracer.counters["verify.engine_builds"] == 1
+        clear_engine_cache()
+
+    def test_unknown_question_rejected_at_submit(self, fig2_snapshots):
+        with VerificationService(workers=1) as svc:
+            svc.register_snapshot(fig2_snapshots[0], name="s")
+            with pytest.raises(SessionError, match="unknown question"):
+                svc.submit("nosuchquestion", snapshot="s")
+
+    def test_differential_defaults_to_differential_priority(
+        self, fig2_snapshots
+    ):
+        healthy, buggy = fig2_snapshots
+        with VerificationService(workers=1) as svc:
+            svc.register_snapshot(healthy, name="healthy")
+            svc.register_snapshot(buggy, name="buggy")
+            job = svc.submit(
+                "differentialReachability",
+                snapshot="buggy",
+                reference_snapshot="healthy",
+            )
+            assert job.priority is JobPriority.DIFFERENTIAL
+            rows = job.result(timeout=10).value.frame().rows
+            assert any(row["Regressed"] for row in rows)
+
+    def test_signatures_coalesce_across_snapshot_names(self, fig2_snapshots):
+        """Two names over identical forwarding content are the same
+        work: the second submission is a cache hit, not a re-run."""
+        healthy, _ = fig2_snapshots
+        with VerificationService(workers=1) as svc:
+            svc.register_snapshot(healthy, name="a")
+            svc.register_snapshot(healthy, name="b")
+            first = svc.submit("reachability", snapshot="a")
+            first.result(timeout=10)
+            second = svc.submit("reachability", snapshot="b")
+            assert second.result(timeout=10).cached
+
+    def test_deleted_snapshot_mid_flight_retries_then_fails(
+        self, fig2_snapshots
+    ):
+        healthy, _ = fig2_snapshots
+        svc = VerificationService(
+            workers=1, max_retries=1, retry_backoff=0.0
+        )
+        svc.start()
+        try:
+            gate = _Gate()
+            svc.submit_callable(gate, signature=("g",), cacheable=False)
+            assert gate.started.wait(5)
+            svc.register_snapshot(healthy, name="victim")
+            job = svc.submit("reachability", snapshot="victim")
+            svc.session.delete_snapshot("victim")
+            gate.release.set()
+            with pytest.raises(JobFailedError) as info:
+                job.result(timeout=5)
+            assert isinstance(info.value.__cause__, DeploymentLostError)
+            assert job.attempts == 2  # retried once, then surfaced
+        finally:
+            svc.stop()
+
+
+class TestConcurrentEngineAccess:
+    def test_engine_for_races_coalesce_to_one_build(self, fig2_snapshots):
+        """Satellite: concurrent engine_for calls for one fingerprint
+        must coalesce onto a single build returning one shared object."""
+        healthy, _ = fig2_snapshots
+        clear_engine_cache()
+        barrier = threading.Barrier(6)
+        engines = []
+
+        def hammer():
+            barrier.wait(5)
+            engines.append(engine_for(healthy.dataplane))
+
+        with tracing() as tracer:
+            threads = [threading.Thread(target=hammer) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(10)
+        assert len(engines) == 6
+        assert len({id(engine) for engine in engines}) == 1
+        assert tracer.counters["verify.engine_builds"] == 1
+        clear_engine_cache()
+
+    def test_store_races_share_one_entry(self, fig2_snapshots):
+        healthy, _ = fig2_snapshots
+        store = SnapshotStore(capacity=4)
+        clear_engine_cache()
+        barrier = threading.Barrier(6)
+        engines = []
+
+        def hammer():
+            barrier.wait(5)
+            engines.append(store.engine(healthy))
+
+        with tracing() as tracer:
+            threads = [threading.Thread(target=hammer) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(10)
+        assert len({id(engine) for engine in engines}) == 1
+        assert tracer.counters["verify.engine_builds"] == 1
+        assert len(store) == 1
+        clear_engine_cache()
+
+
+class TestSessionStoreWiring:
+    def test_sessions_sharing_store_share_engines(self, fig2_snapshots):
+        healthy, _ = fig2_snapshots
+        store = SnapshotStore(capacity=4)
+        one = Session(store=store)
+        two = Session(store=store)
+        one.init_snapshot(healthy, name="mine")
+        two.init_snapshot(healthy, name="theirs")
+        clear_engine_cache()
+        with tracing() as tracer:
+            assert one.get_engine("mine") is two.get_engine("theirs")
+        assert tracer.counters["verify.engine_builds"] == 1
+        clear_engine_cache()
+
+    def test_pipeline_registers_snapshot_with_store(self, fig2):
+        from repro.core.pipeline import ModelFreeBackend
+        from repro.protocols.timers import FAST_TIMERS
+
+        store = SnapshotStore(capacity=4)
+        backend = ModelFreeBackend(
+            fig2.topology, timers=FAST_TIMERS, quiet_period=5.0, store=store
+        )
+        snapshot = backend.run(snapshot_name="piped")
+        assert snapshot.dataplane.fib_fingerprint() in store
+
+    def test_model_backend_registers_with_store(self, fig3):
+        from repro.core.pipeline import NativeBatfishBackend
+
+        store = SnapshotStore(capacity=4)
+        backend = NativeBatfishBackend(fig3.topology, store=store)
+        snapshot = backend.run(snapshot_name="modeled")
+        assert snapshot.dataplane.fib_fingerprint() in store
+
+
+class TestCampaignJobs:
+    def test_campaign_runs_as_batch_job(self, fig2):
+        from repro.protocols.timers import FAST_TIMERS
+        from repro.whatif import single_link_failures
+
+        scenarios = list(single_link_failures(fig2.topology))[:1]
+        with VerificationService(workers=1) as svc:
+            job = svc.submit_campaign(
+                fig2.topology,
+                scenarios,
+                timers=FAST_TIMERS,
+                quiet_period=5.0,
+            )
+            assert job.priority is JobPriority.CAMPAIGN
+            report = job.result(timeout=60).value
+        assert len(report.verdicts) == 1
+        # The campaign baseline became resident in the service store.
+        assert svc.store.stats()["resident"] >= 1
+
+
+class TestFrontend:
+    def test_serve_loop_round_trip(self, fig2_snapshots, tmp_path):
+        healthy, _ = fig2_snapshots
+        path = tmp_path / "healthy.json"
+        healthy.save(path)
+        requests = [
+            {"op": "load", "path": str(path), "name": "healthy"},
+            {"op": "submit", "question": "reachability",
+             "snapshot": "healthy"},
+            {"op": "submit", "question": "reachability",
+             "snapshot": "healthy", "wait": False},
+            {"op": "result", "job": None, "timeout": 5},
+            {"op": "nonsense"},
+            {"op": "stats"},
+            {"op": "shutdown"},
+        ]
+        stdin = io.StringIO(
+            "\n".join(json.dumps(r) for r in requests)
+            + "\nnot json\n"  # after shutdown: must not be reached
+        )
+        stdout = io.StringIO()
+        with VerificationService(workers=1) as svc:
+            handled = serve_loop(svc, stdin, stdout)
+        responses = [
+            json.loads(line) for line in stdout.getvalue().splitlines()
+        ]
+        assert handled == len(requests)  # loop stopped at shutdown
+        load, answer, async_submit, late, bad, stats, bye = responses
+        assert load["ok"] and load["snapshot"] == "healthy"
+        assert answer["ok"] and len(answer["rows"]) == 6
+        assert answer["state"] == "done"
+        assert async_submit["ok"] and "rows" not in async_submit
+        assert not late["ok"]  # unknown job id (None)
+        assert not bad["ok"] and "unknown op" in bad["error"]
+        assert stats["ok"] and stats["stats"]["jobs_submitted"] >= 1
+        assert bye["ok"] and bye["stopped"]
+
+    def test_serve_loop_surfaces_overload(self, fig2_snapshots, tmp_path):
+        healthy, _ = fig2_snapshots
+        path = tmp_path / "healthy.json"
+        healthy.save(path)
+        svc = VerificationService(workers=1, max_queue_depth=1)
+        svc.start()
+        try:
+            gate = _Gate()
+            svc.submit_callable(gate, signature=("wall",), cacheable=False)
+            assert gate.started.wait(5)
+            svc.load_snapshot(path, name="healthy")
+            requests = [
+                {"op": "submit", "question": "reachability",
+                 "snapshot": "healthy", "wait": False},
+                {"op": "submit", "question": "detectLoops",
+                 "snapshot": "healthy", "wait": False},
+            ]
+            stdin = io.StringIO(
+                "\n".join(json.dumps(r) for r in requests) + "\n"
+            )
+            stdout = io.StringIO()
+            serve_loop(svc, stdin, stdout)
+            first, second = [
+                json.loads(line) for line in stdout.getvalue().splitlines()
+            ]
+            assert first["ok"]
+            assert not second["ok"]
+            assert second["error"] == "overloaded"
+            assert second["watermark"] == 1
+            gate.release.set()
+        finally:
+            svc.stop()
+
+
+class TestServiceObservability:
+    def test_job_events_feed_timeline(self, fig2_snapshots):
+        from repro.obs import ConvergenceTimeline
+
+        healthy, _ = fig2_snapshots
+        with tracing() as tracer:
+            with VerificationService(workers=1) as svc:
+                svc.register_snapshot(healthy, name="healthy")
+                svc.submit(
+                    "reachability", snapshot="healthy"
+                ).result(timeout=10)
+        timeline = ConvergenceTimeline.from_tracer(tracer)
+        assert timeline.service_jobs
+        event = timeline.service_jobs[-1].detail
+        assert event["state"] == "done"
+        assert event["label"] == "reachability"
+        rendered = timeline.render()
+        assert "Service jobs" in rendered
+        assert "reachability" in rendered

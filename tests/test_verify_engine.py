@@ -230,6 +230,85 @@ class TestEngineCache:
         assert tracer.counters["verify.engine_builds"] == 1
         clear_engine_cache()
 
+    def test_miss_counter_increments_per_build(self, fig2_snapshots):
+        healthy, buggy = fig2_snapshots
+        clear_engine_cache()
+        with tracing() as tracer:
+            engine_for(healthy.dataplane)
+            engine_for(buggy.dataplane)
+            engine_for(healthy.dataplane)
+        assert tracer.counters["verify.engine_cache_misses"] == 2
+        assert tracer.counters["verify.engine_cache_hits"] == 1
+        assert tracer.counters["verify.engine_builds"] == 2
+        clear_engine_cache()
+
+    def test_eviction_counter_with_env_limit(
+        self, fig3_emulated, fig3_model, monkeypatch
+    ):
+        """MFV_ENGINE_CACHE=1 keeps one engine resident: the second
+        distinct dataplane evicts the first, and re-requesting the first
+        is a rebuild, not a hit."""
+        monkeypatch.setenv("MFV_ENGINE_CACHE", "1")
+        emulated = fig3_emulated[1].dataplane
+        model = fig3_model[1].dataplane
+        clear_engine_cache()
+        with tracing() as tracer:
+            first = engine_for(emulated)
+            engine_for(model)
+            again = engine_for(emulated)
+        assert tracer.counters["verify.engine_cache_evictions"] == 2
+        assert tracer.counters["verify.engine_builds"] == 3
+        assert "verify.engine_cache_hits" not in tracer.counters
+        assert again is not first
+        clear_engine_cache()
+
+    def test_bad_env_limit_falls_back_to_default(
+        self, fig2_snapshots, monkeypatch
+    ):
+        monkeypatch.setenv("MFV_ENGINE_CACHE", "not-a-number")
+        healthy, _ = fig2_snapshots
+        clear_engine_cache()
+        with tracing() as tracer:
+            first = engine_for(healthy.dataplane)
+            second = engine_for(healthy.dataplane)
+        assert first is second
+        assert tracer.counters["verify.engine_cache_hits"] == 1
+        clear_engine_cache()
+
+    def test_node_cache_keys_by_entry_content(self, fig2_snapshots):
+        """Two distinct-but-equal ForwardingEntry objects must share one
+        node-cache slot (content keying); id() keying would give two —
+        and, worse, could alias different entries after GC recycling."""
+        from repro.dataplane.model import ForwardingEntry, ResolvedHop
+
+        healthy, _ = fig2_snapshots
+        engine = AtomGraphEngine(healthy.dataplane)
+        name = next(iter(healthy.dataplane.devices))
+        entry_a = ForwardingEntry(
+            prefix=Prefix.parse("2.2.2.1/32"),
+            entry_type="receive",
+            hops=(),
+        )
+        entry_b = ForwardingEntry(
+            prefix=Prefix.parse("2.2.2.1/32"),
+            entry_type="receive",
+            hops=(ResolvedHop(interface="lo", gateway=None),),
+        )
+        entry_a_clone = ForwardingEntry(
+            prefix=Prefix.parse("2.2.2.1/32"),
+            entry_type="receive",
+            hops=(),
+        )
+        assert entry_a_clone is not entry_a
+        rep = parse_ipv4("2.2.2.1")
+        engine._node_cache.clear()
+        engine._resolve_node(name, entry_a, rep)
+        slots = len(engine._node_cache)
+        engine._resolve_node(name, entry_a_clone, rep)
+        assert len(engine._node_cache) == slots  # shared, not duplicated
+        engine._resolve_node(name, entry_b, rep)
+        assert len(engine._node_cache) == slots + 1  # different content
+
     def test_multirun_builds_n_engines_not_n_squared(self, fig3):
         backend = ModelFreeBackend(
             fig3.topology, timers=FAST_TIMERS, quiet_period=5.0
