@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import sys
+from collections import OrderedDict
 from typing import Any, Optional, TextIO
 
 from repro.service.jobs import (
@@ -81,12 +82,32 @@ def _await_job(job: Job, timeout: Optional[float]) -> dict:
         }
 
 
-class ServiceFrontend:
-    """Dispatches decoded requests against one service instance."""
+#: Default bound on retained async (``wait: false``) jobs.
+DEFAULT_PENDING_JOBS = 256
 
-    def __init__(self, service: VerificationService) -> None:
+
+class ServiceFrontend:
+    """Dispatches decoded requests against one service instance.
+
+    Only async submissions (``wait: false``) are retained, in a bounded
+    LRU awaiting their ``result`` call; delivered jobs are dropped
+    immediately, so a long-lived serve session never accumulates
+    settled jobs.
+    """
+
+    def __init__(
+        self,
+        service: VerificationService,
+        max_pending: int = DEFAULT_PENDING_JOBS,
+    ) -> None:
         self.service = service
-        self._jobs: dict[int, Job] = {}
+        self.max_pending = max(1, max_pending)
+        self._jobs: "OrderedDict[int, Job]" = OrderedDict()
+
+    def _retain(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        while len(self._jobs) > self.max_pending:
+            self._jobs.popitem(last=False)
 
     def handle(self, request: dict) -> tuple[dict, bool]:
         """Returns (response, keep_running)."""
@@ -110,7 +131,6 @@ class ServiceFrontend:
                     priority=request.get("priority"),
                     timeout=request.get("timeout"),
                 )
-                self._jobs[job.id] = job
                 if job.state is JobState.REJECTED:
                     # Surface admission control immediately — a client
                     # that said wait=false must still see the rejection.
@@ -121,15 +141,22 @@ class ServiceFrontend:
                     }, True
                 if request.get("wait", True):
                     return _await_job(job, request.get("timeout")), True
+                self._retain(job)
                 return {"ok": True, **job.describe()}, True
             if op == "result":
-                job = self._jobs.get(request.get("job"))
+                job_id = request.get("job")
+                job = self._jobs.get(job_id)
                 if job is None:
                     return {
                         "ok": False,
-                        "error": f"unknown job: {request.get('job')!r}",
+                        "error": f"unknown job: {job_id!r}",
                     }, True
-                return _await_job(job, request.get("timeout")), True
+                response = _await_job(job, request.get("timeout"))
+                if job.done:
+                    # Delivered terminally: drop the reference. A wait
+                    # that merely timed out keeps the job for a retry.
+                    self._jobs.pop(job_id, None)
+                return response, True
             if op == "stats":
                 return {"ok": True, "stats": self.service.stats()}, True
             if op == "shutdown":

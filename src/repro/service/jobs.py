@@ -254,6 +254,26 @@ class JobQueue:
             self._available.notify()
             return True, shed
 
+    def promote(self, job: Job, priority: JobPriority) -> bool:
+        """Raise a queued job to a better priority class in place.
+
+        Used when a higher-priority submission coalesces onto ``job``:
+        the shared execution adopts the best class asked of it rather
+        than stranding the new caller at the old rank. A job already
+        claimed by a worker (or settled) is left untouched; returns
+        True iff the queue entry was re-keyed.
+        """
+        with self._lock:
+            if priority >= job.priority:
+                return False
+            for index, (_, seq, queued) in enumerate(self._heap):
+                if queued is job:
+                    job.priority = priority
+                    self._heap[index] = (int(priority), seq, job)
+                    heapq.heapify(self._heap)
+                    return True
+            return False
+
     # -- consumer side --------------------------------------------------------
 
     def pop(self, timeout: Optional[float] = None) -> Optional[Job]:

@@ -158,9 +158,11 @@ class VerificationService:
 
         The job signature folds in the *fingerprints* of the named
         snapshots, so identical questions against identical forwarding
-        content coalesce even across snapshot names. Differential
-        questions default to the DIFFERENTIAL priority class,
-        everything else to INTERACTIVE.
+        content coalesce even across snapshot names. Coalescing onto an
+        in-flight job promotes it to the best priority class asked of
+        it; the shared execution keeps the first submitter's timeout.
+        Differential questions default to the DIFFERENTIAL priority
+        class, everything else to INTERACTIVE.
         """
         params = dict(params or {})
         if not hasattr(self.session.q, question):
@@ -179,12 +181,30 @@ class VerificationService:
                 and reference_snapshot is not None
                 else JobPriority.INTERACTIVE
             )
-        signature = self._question_signature(
-            question, params, snapshot, reference_snapshot
+        # The fingerprints resolved here are the content the signature
+        # keys on — the executor re-verifies them at run time so a
+        # replaced name can never cache an answer under them.
+        snapshot_fp = self._fingerprint_of(snapshot)
+        reference_fp = (
+            self._fingerprint_of(reference_snapshot)
+            if reference_snapshot is not None
+            else None
+        )
+        signature = (
+            question,
+            tuple(sorted(params.items())),
+            snapshot_fp,
+            reference_fp,
         )
         label = f"{question}"
         run = self._question_executor(
-            question, params, snapshot, reference_snapshot, label
+            question,
+            params,
+            snapshot,
+            snapshot_fp,
+            reference_snapshot,
+            reference_fp,
+            label,
         )
         return self._submit_job(
             signature,
@@ -294,35 +314,40 @@ class VerificationService:
 
     # -- internals ---------------------------------------------------------------
 
-    def _question_signature(
-        self,
-        question: str,
-        params: dict,
-        snapshot: Optional[str],
-        reference_snapshot: Optional[str],
-    ) -> tuple:
-        """Content key: question + params + snapshot *fingerprints*."""
+    def _fingerprint_of(self, name: Optional[str]) -> int:
+        return self.session.get_snapshot(name).dataplane.fib_fingerprint()
 
-        def fingerprint(name: Optional[str], required: bool) -> Optional[int]:
-            if name is None and not required:
-                return None
-            return self.session.get_snapshot(name).dataplane.fib_fingerprint()
+    def _resolve_pinned(self, name: Optional[str], expected: int) -> Snapshot:
+        """The snapshot ``name`` resolves to, iff it still carries the
+        forwarding content the job was keyed on at submit time.
 
-        return (
-            question,
-            tuple(sorted(params.items())),
-            fingerprint(snapshot, required=True),
-            fingerprint(reference_snapshot, required=False)
-            if reference_snapshot is not None
-            else None,
-        )
+        Raises :class:`DeploymentLostError` when the name is gone
+        (deleted mid-flight) *or* points at different content
+        (replaced via ``register_snapshot(overwrite=True)``) — either
+        way the retry/failure path engages instead of an answer for
+        the new content being cached under the old content's
+        signature.
+        """
+        try:
+            snap = self.session.get_snapshot(name)
+        except SessionError as exc:
+            raise DeploymentLostError(str(exc)) from exc
+        actual = snap.dataplane.fib_fingerprint()
+        if actual != expected:
+            raise DeploymentLostError(
+                f"snapshot {name or '<current>'} was replaced mid-flight: "
+                f"submitted against {expected:#x}, now {actual:#x}"
+            )
+        return snap
 
     def _question_executor(
         self,
         question: str,
         params: dict,
         snapshot: Optional[str],
+        snapshot_fp: int,
         reference_snapshot: Optional[str],
+        reference_fp: Optional[int],
         label: str,
     ) -> Callable[[], Any]:
         def run():
@@ -335,17 +360,24 @@ class VerificationService:
                 else None
             )
             try:
-                factory = getattr(self.session.q, question)
-                kwargs = {"snapshot": snapshot}
+                # Resolve by verified content and answer through a
+                # private session over the exact resolved objects, so a
+                # rename between this check and the answer cannot swap
+                # the content out from under the signature. The private
+                # session shares the service store, hence its pinned
+                # engines.
+                snap = self._resolve_pinned(snapshot, snapshot_fp)
+                runner = Session(store=self.store)
+                runner.init_snapshot(snap, name="__job__")
+                kwargs: dict[str, Any] = {"snapshot": "__job__"}
                 if reference_snapshot is not None:
-                    kwargs["reference_snapshot"] = reference_snapshot
-                try:
-                    return factory(**params).answer(**kwargs)
-                except SessionError as exc:
-                    # The snapshot left the session between submit and
-                    # run (deleted/replaced mid-flight): transient from
-                    # the worker's viewpoint — retry, then surface.
-                    raise DeploymentLostError(str(exc)) from exc
+                    ref = self._resolve_pinned(
+                        reference_snapshot, reference_fp
+                    )
+                    runner.init_snapshot(ref, name="__reference__")
+                    kwargs["reference_snapshot"] = "__reference__"
+                factory = getattr(runner.q, question)
+                return factory(**params).answer(**kwargs)
             finally:
                 if span is not None:
                     collector.end(span, self._now())
@@ -384,6 +416,12 @@ class VerificationService:
                 self.counters["coalesced"] += 1
                 if bus.ACTIVE.enabled:
                     bus.ACTIVE.count("service.coalesced")
+                # The shared execution adopts the best class asked of
+                # it: an interactive caller attaching to a queued
+                # campaign job must not wait at campaign rank. (The
+                # timeout stays the first submitter's — the execution
+                # is shared, so there is only one deadline.)
+                self.queue.promote(inflight, priority)
                 return inflight
             job = Job(
                 signature, run, priority=priority, timeout=timeout,

@@ -12,7 +12,10 @@ one shared queue gives for free.
 Per-job resilience lives here:
 
 * **timeout** — a job whose per-job deadline passed while it queued is
-  failed with :class:`JobTimeoutError` instead of burning a worker;
+  failed with :class:`JobTimeoutError` instead of burning a worker, and
+  the deadline is re-checked before every retry so backoff can never
+  extend a job past it. A single *running* execution is cooperative —
+  it is never preempted mid-attempt;
 * **retry with backoff** — executions raising
   :class:`~repro.service.store.DeploymentLostError` (the job's backing
   state left the store mid-flight) are retried up to ``max_retries``
@@ -132,6 +135,17 @@ class WorkerPool:
                 job.finish(job.run())
                 return
             except DeploymentLostError as exc:
+                if self._expired(job):
+                    # The deadline bounds the whole job, retries
+                    # included — never back off past it.
+                    job.fail(
+                        JobTimeoutError(
+                            f"job {job.id} ({job.label}) missed its "
+                            f"{job.timeout}s deadline after "
+                            f"{job.attempts} attempt(s)"
+                        )
+                    )
+                    return
                 if attempt >= self.max_retries or self._stopping.is_set():
                     job.fail(exc)
                     return
@@ -145,9 +159,15 @@ class WorkerPool:
                 if delay:
                     time.sleep(delay)
                 attempt += 1
-            except BaseException as exc:
+            except Exception as exc:
                 job.fail(exc)
                 return
+            except BaseException as exc:
+                # KeyboardInterrupt/SystemExit: settle waiters so
+                # nobody blocks forever, then let the interrupt
+                # propagate and terminate the worker loop.
+                job.fail(exc)
+                raise
 
     def __repr__(self) -> str:
         return (

@@ -10,6 +10,7 @@ from __future__ import annotations
 import io
 import json
 import threading
+import time
 
 import pytest
 
@@ -27,7 +28,8 @@ from repro.service import (
     SnapshotStore,
     VerificationService,
 )
-from repro.service.frontend import serve_loop
+from repro.service.frontend import ServiceFrontend, serve_loop
+from repro.service.workers import WorkerPool
 from repro.verify.engine import clear_engine_cache, engine_for
 
 
@@ -144,6 +146,30 @@ class TestJobQueue:
         with pytest.raises(OverloadedError) as info:
             late.result(timeout=0)
         assert info.value.detail["queue_depth"] == 2
+
+    def test_promote_requeues_queued_job(self):
+        queue = JobQueue(max_depth=8)
+        first = _job(1, JobPriority.CAMPAIGN)
+        second = _job(2, JobPriority.CAMPAIGN)
+        queue.submit(first)
+        queue.submit(second)
+        assert queue.promote(second, JobPriority.INTERACTIVE)
+        assert second.priority is JobPriority.INTERACTIVE
+        assert queue.pop(0.1) is second  # overtakes the older campaign
+        assert queue.pop(0.1) is first
+
+    def test_promote_leaves_running_and_worse_priorities_alone(self):
+        queue = JobQueue(max_depth=8)
+        queued = _job(1, JobPriority.DIFFERENTIAL)
+        queue.submit(queued)
+        # Demotion is not a thing.
+        assert not queue.promote(queued, JobPriority.CAMPAIGN)
+        assert queued.priority is JobPriority.DIFFERENTIAL
+        # A job a worker already claimed is not in the heap: untouched.
+        popped = queue.pop(0.1)
+        assert popped is queued
+        assert not queue.promote(popped, JobPriority.INTERACTIVE)
+        assert popped.priority is JobPriority.DIFFERENTIAL
 
     def test_watermark_sheds_newest_lowest_priority(self):
         queue = JobQueue(max_depth=2)
@@ -265,6 +291,67 @@ class TestServiceExecution:
             job.finished_at for job in campaigns
         )
 
+    def test_coalesce_promotes_inflight_priority(self, service):
+        """A higher-priority submission coalescing onto a queued
+        lower-priority job promotes the shared execution — the
+        interactive caller must not wait at campaign rank."""
+        gate = _Gate()
+        blocker = service.submit_callable(
+            gate, signature=("hold",), cacheable=False
+        )
+        assert gate.started.wait(5)
+        decoy = service.submit_callable(
+            lambda: "decoy", signature=("decoy",),
+            priority=JobPriority.CAMPAIGN, cacheable=False,
+        )
+        shared = service.submit_callable(
+            lambda: "shared", signature=("shared",),
+            priority=JobPriority.CAMPAIGN, cacheable=False,
+        )
+        rider = service.submit_callable(
+            lambda: "shared", signature=("shared",),
+            priority=JobPriority.INTERACTIVE, cacheable=False,
+        )
+        assert rider is shared  # coalesced onto the queued job...
+        assert shared.priority is JobPriority.INTERACTIVE  # ...promoted
+        gate.release.set()
+        for job in (shared, decoy, blocker):
+            job.result(timeout=5)
+        assert shared.finished_at < decoy.finished_at
+
+    def test_retry_backoff_respects_deadline(self):
+        """The per-job timeout bounds retries: a lost deployment must
+        not back off past the deadline (structured JobTimeoutError
+        instead of retrying indefinitely)."""
+        pool = WorkerPool(
+            JobQueue(), workers=1, max_retries=50, retry_backoff=0.0
+        )
+
+        def lost():
+            time.sleep(0.05)
+            raise DeploymentLostError("still gone")
+
+        job = Job(("deadline",), lost, timeout=0.02)
+        pool._execute(job)
+        assert job.state is JobState.FAILED
+        assert isinstance(job.error, JobTimeoutError)
+        assert job.attempts == 1  # never retried past the deadline
+
+    def test_keyboard_interrupt_settles_job_and_propagates(self):
+        """KeyboardInterrupt in a job is not swallowed as a mere job
+        failure: waiters are settled, then the interrupt propagates to
+        terminate the worker loop."""
+        pool = WorkerPool(JobQueue(), workers=1)
+
+        def interrupted():
+            raise KeyboardInterrupt
+
+        job = Job(("ki",), interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            pool._execute(job)
+        assert job.state is JobState.FAILED  # waiters do not hang
+        assert isinstance(job.error, KeyboardInterrupt)
+
     def test_overload_burst_structured_rejections(self, service):
         """A burst past the watermark gets structured ``overloaded``
         rejections and the queue depth stays bounded — never an
@@ -345,6 +432,41 @@ class TestServiceQuestions:
             first.result(timeout=10)
             second = svc.submit("reachability", snapshot="b")
             assert second.result(timeout=10).cached
+
+    def test_replaced_snapshot_mid_flight_fails_not_poisons_cache(
+        self, fig2_snapshots
+    ):
+        """register_snapshot(overwrite=True) between submit and run is
+        the documented replacement flow — the in-flight job keyed on
+        the OLD content must fail (DeploymentLostError), never cache
+        the NEW content's answer under the old content's signature."""
+        healthy, buggy = fig2_snapshots
+        svc = VerificationService(
+            workers=1, max_retries=1, retry_backoff=0.0
+        )
+        svc.start()
+        try:
+            gate = _Gate()
+            svc.submit_callable(gate, signature=("g",), cacheable=False)
+            assert gate.started.wait(5)
+            svc.register_snapshot(healthy, name="victim")
+            job = svc.submit("reachability", snapshot="victim")
+            svc.register_snapshot(buggy, name="victim")  # silent replace
+            gate.release.set()
+            with pytest.raises(JobFailedError) as info:
+                job.result(timeout=5)
+            assert isinstance(info.value.__cause__, DeploymentLostError)
+            # The healthy-content signature must NOT have been filled
+            # with the buggy snapshot's answer: ask the same question
+            # against healthy content under a fresh name and check it
+            # is a real (uncached) run with healthy's answer.
+            svc.register_snapshot(healthy, name="restored")
+            fresh = svc.submit("reachability", snapshot="restored")
+            result = fresh.result(timeout=10)
+            assert not result.cached
+            assert len(result.value.frame().rows) == 6  # healthy answer
+        finally:
+            svc.stop()
 
     def test_deleted_snapshot_mid_flight_retries_then_fails(
         self, fig2_snapshots
@@ -507,6 +629,32 @@ class TestFrontend:
         assert not bad["ok"] and "unknown op" in bad["error"]
         assert stats["ok"] and stats["stats"]["jobs_submitted"] >= 1
         assert bye["ok"] and bye["stopped"]
+
+    def test_frontend_does_not_retain_delivered_jobs(self, fig2_snapshots):
+        """A long-lived serve session must not leak settled jobs: only
+        async submissions are retained (bounded), and delivering a
+        result drops the reference."""
+        healthy, _ = fig2_snapshots
+        with VerificationService(workers=1) as svc:
+            svc.register_snapshot(healthy, name="healthy")
+            frontend = ServiceFrontend(svc, max_pending=4)
+            submit = {"op": "submit", "question": "reachability",
+                      "snapshot": "healthy"}
+            response, _ = frontend.handle(submit)
+            assert response["ok"]
+            assert not frontend._jobs  # wait=true delivered inline
+            response, _ = frontend.handle({**submit, "wait": False})
+            assert response["ok"] and len(frontend._jobs) == 1
+            response, _ = frontend.handle(
+                {"op": "result", "job": response["job"], "timeout": 10}
+            )
+            assert response["ok"]
+            assert not frontend._jobs  # delivered: reference dropped
+            # Async submissions never grow past the bound (these are
+            # result-cache hits, so each settles instantly).
+            for _ in range(10):
+                frontend.handle({**submit, "wait": False})
+            assert len(frontend._jobs) == 4
 
     def test_serve_loop_surfaces_overload(self, fig2_snapshots, tmp_path):
         healthy, _ = fig2_snapshots
