@@ -1,0 +1,48 @@
+"""repro.chaos — deterministic fault injection for the emulation substrate.
+
+A seeded, declarative fault layer in the spirit of chaos engineering:
+:class:`~repro.chaos.plan.FaultPlan` describes pod crashes, slow boots,
+gNMI flakes, stale/truncated AFT responses, lossy virtual wires, and
+convergence stalls; :class:`~repro.chaos.injector.ChaosInjector` arms a
+plan against one deployment, driving every fault from the simulated-time
+kernel so any seed replays byte-identically; and
+:func:`~repro.chaos.runner.run_chaos` scores a corpus scenario's verdict
+stability under a plan against its fault-free baseline.
+
+The point is not the faults — it is proving the *pipeline* degrades
+gracefully: retries with capped backoff, health probes with
+restart-and-reconverge, and partial snapshots whose degraded nodes
+answer ``UNKNOWN_DEGRADED`` instead of a fabricated ``NO_ROUTE``.
+"""
+
+from repro.chaos.injector import CHAOS_FAULT, ChaosInjector
+from repro.chaos.plan import (
+    ConvergenceStall,
+    Fault,
+    FaultPlan,
+    GnmiFlake,
+    LinkLoss,
+    PodCrash,
+    SlowBoot,
+    StaleAft,
+    acceptance_plan,
+    sampled_plan,
+)
+from repro.chaos.runner import ChaosRunReport, run_chaos
+
+__all__ = [
+    "CHAOS_FAULT",
+    "ChaosInjector",
+    "ChaosRunReport",
+    "ConvergenceStall",
+    "Fault",
+    "FaultPlan",
+    "GnmiFlake",
+    "LinkLoss",
+    "PodCrash",
+    "SlowBoot",
+    "StaleAft",
+    "acceptance_plan",
+    "run_chaos",
+    "sampled_plan",
+]

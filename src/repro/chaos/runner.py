@@ -1,0 +1,146 @@
+"""Run a corpus scenario under a fault plan and score the damage.
+
+The runner executes the model-free pipeline twice over the same
+topology/context/seed — once fault-free, once under the plan — and
+reports *verdict stability*: the fraction of pairwise reachability
+verdicts common to both runs that agree. Answers that exist only under
+degradation (pairs involving a degraded node) are excluded from the
+stability denominator and reported separately as the degraded-verdict
+fraction, because ``UNKNOWN_DEGRADED`` is an absence of proof, not a
+disagreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chaos.plan import FaultPlan
+from repro.core.context import ScenarioContext
+from repro.core.pipeline import ModelFreeBackend
+from repro.core.snapshot import Snapshot
+from repro.dataplane.forwarding import Disposition
+from repro.dataplane.model import Dataplane
+from repro.protocols.timers import PRODUCTION_TIMERS, TimerProfile
+from repro.topo.model import Topology
+from repro.verify.reachability import ReachabilityAnalysis, pairwise_matrix
+
+
+def pairwise_verdicts(dataplane: Dataplane) -> dict[str, bool]:
+    """The all-pairs matrix with JSON-friendly ``src->dst`` keys."""
+    return {
+        f"{src}->{dst}": reachable
+        for (src, dst), reachable in sorted(pairwise_matrix(dataplane).items())
+    }
+
+
+def verdict_stability(
+    baseline: dict[str, bool], faulted: dict[str, bool]
+) -> float:
+    """Fraction of verdicts present in both runs that agree."""
+    common = set(baseline) & set(faulted)
+    if not common:
+        return 1.0
+    agreeing = sum(1 for key in common if baseline[key] == faulted[key])
+    return agreeing / len(common)
+
+
+def degraded_fraction(dataplane: Dataplane) -> float:
+    """Fraction of reachability rows answering UNKNOWN_DEGRADED."""
+    rows = ReachabilityAnalysis(dataplane).analyze()
+    if not rows:
+        return 0.0
+    degraded = sum(
+        1
+        for row in rows
+        if Disposition.UNKNOWN_DEGRADED in row.dispositions
+    )
+    return degraded / len(rows)
+
+
+@dataclass
+class ChaosRunReport:
+    """Everything the ``mfv chaos`` verb and the bench report."""
+
+    plan: dict
+    seed: int
+    survived: bool
+    degraded_nodes: dict[str, str] = field(default_factory=dict)
+    retries: dict[str, int] = field(default_factory=dict)
+    fault_log: list = field(default_factory=list)
+    stability: float = 1.0
+    degraded_verdict_fraction: float = 0.0
+    baseline_verification: dict = field(default_factory=dict)
+    chaos_verification: dict = field(default_factory=dict)
+    baseline_snapshot: Optional[Snapshot] = None
+    chaos_snapshot: Optional[Snapshot] = None
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "survived": self.survived,
+            "degraded_nodes": dict(self.degraded_nodes),
+            "retries": dict(self.retries),
+            "total_retries": self.total_retries,
+            "faults_fired": len(self.fault_log),
+            "stability": self.stability,
+            "degraded_verdict_fraction": self.degraded_verdict_fraction,
+            "baseline_verification": self.baseline_verification,
+            "chaos_verification": self.chaos_verification,
+        }
+
+
+def run_chaos(
+    topology: Topology,
+    plan: FaultPlan,
+    *,
+    context: Optional[ScenarioContext] = None,
+    seed: int = 0,
+    timers: TimerProfile = PRODUCTION_TIMERS,
+    quiet_period: float = 30.0,
+    convergence_max_time: float = 86_400.0,
+) -> ChaosRunReport:
+    """Fault-free baseline + faulted run, scored for verdict stability.
+
+    Both runs share the topology, context, and seed, so with an empty
+    plan the two snapshots' verdicts are byte-identical — the bench's
+    fault-free regression gate.
+    """
+    backend = ModelFreeBackend(
+        topology,
+        timers=timers,
+        quiet_period=quiet_period,
+        convergence_max_time=convergence_max_time,
+    )
+    baseline = backend.run(
+        context, seed=seed, snapshot_name="chaos:baseline", verify=True
+    )
+    faulted = backend.run(
+        context,
+        seed=seed,
+        snapshot_name=f"chaos:{plan.name}",
+        verify=True,
+        chaos=plan,
+    )
+    base_verdicts = pairwise_verdicts(baseline.dataplane)
+    fault_verdicts = pairwise_verdicts(faulted.dataplane)
+    chaos_meta = faulted.metadata.get("chaos", {})
+    return ChaosRunReport(
+        plan=plan.describe(),
+        seed=seed,
+        survived=True,
+        degraded_nodes=dict(faulted.degraded_nodes),
+        retries=dict(faulted.metadata.get("extraction_retries", {})),
+        fault_log=list(chaos_meta.get("log", [])),
+        stability=verdict_stability(base_verdicts, fault_verdicts),
+        degraded_verdict_fraction=degraded_fraction(faulted.dataplane),
+        baseline_verification=dict(baseline.metadata.get("verification", {})),
+        chaos_verification=dict(faulted.metadata.get("verification", {})),
+        baseline_snapshot=baseline,
+        chaos_snapshot=faulted,
+    )

@@ -12,6 +12,9 @@ Subcommands::
     mfv whatif [TOPOLOGY] [--corpus fig2|fig3|production]
                [--mode links|nodes|flaps|k-links] [--k K] [--limit N]
                [--workers N] [--json OUT.json] [--trace OUT.jsonl]
+    mfv chaos [TOPOLOGY] [--corpus fig2|fig3|production]
+              [--plan acceptance|sampled] [--plan-seed N] [--intensity N]
+              [--json OUT.json] [--trace OUT.jsonl]
     mfv obs timeline [--scenario fig2|fig3|whatif] [--topology FILE]
                      [--trace OUT.jsonl]
     mfv obs summary TRACE.jsonl
@@ -316,6 +319,61 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     return code
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import acceptance_plan, run_chaos, sampled_plan
+
+    topology, context, timers, quiet = _whatif_setup(args)
+    names = sorted(spec.name for spec in topology.nodes)
+    if args.plan == "acceptance":
+        plan = acceptance_plan(names, crash_at=args.crash_at)
+    else:
+        plan = sampled_plan(
+            names,
+            seed=args.plan_seed,
+            intensity=args.intensity,
+            crash=not args.no_crash,
+            crash_at=args.crash_at,
+        )
+    print(f"chaos run over {topology.name}: plan {plan.name!r}, "
+          f"{len(plan)} fault(s)")
+    for line in plan.describe()["faults"]:
+        print(f"  - {line}")
+    report = run_chaos(
+        topology,
+        plan,
+        context=context,
+        seed=args.seed,
+        timers=timers,
+        quiet_period=quiet,
+    )
+    print()
+    print(f"survived:                  {'yes' if report.survived else 'NO'}")
+    print(f"faults fired:              {len(report.fault_log)}")
+    print(f"extraction retries:        {report.total_retries}")
+    print(f"degraded nodes:            "
+          f"{', '.join(sorted(report.degraded_nodes)) or '(none)'}")
+    print(f"verdict stability:         {report.stability:.4f}")
+    print(f"degraded verdict fraction: "
+          f"{report.degraded_verdict_fraction:.4f}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0 if report.survived else 2
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if not args.trace:
+        return _run_chaos(args)
+    with tracing() as tracer:
+        code = _run_chaos(args)
+    lines = write_jsonl(tracer, args.trace)
+    print(f"trace written to {args.trace} ({lines} records)")
+    return code
+
+
 def _obs_timeline_whatif(args: argparse.Namespace) -> int:
     """Trace a small what-if campaign and render its timeline: the
     per-scenario ``whatif:<name>`` phase spans nest apply/converge/
@@ -574,6 +632,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", help="record an observability trace to this JSONL file"
     )
     whatif.set_defaults(func=_cmd_whatif)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a corpus under a fault plan and score verdict stability",
+    )
+    chaos.add_argument(
+        "topology",
+        nargs="?",
+        default=None,
+        help="KNE-style topology file (default: a built-in corpus)",
+    )
+    chaos.add_argument(
+        "--corpus",
+        choices=("fig2", "fig3", "production"),
+        default="production",
+        help="built-in corpus when no topology file is given",
+    )
+    chaos.add_argument(
+        "--nodes", type=int, default=8, help="production corpus size"
+    )
+    chaos.add_argument(
+        "--routes", type=int, default=1000,
+        help="production corpus routes per peer",
+    )
+    chaos.add_argument(
+        "--plan",
+        choices=("acceptance", "sampled"),
+        default="acceptance",
+        help="acceptance: one crash + gNMI flakes; "
+        "sampled: seed-drawn fault mix",
+    )
+    chaos.add_argument(
+        "--plan-seed", type=int, default=0,
+        help="seed for the sampled plan's fault draw",
+    )
+    chaos.add_argument(
+        "--intensity", type=int, default=3,
+        help="fault count for the sampled plan",
+    )
+    chaos.add_argument(
+        "--no-crash", action="store_true",
+        help="sampled plan: skip the pod crash",
+    )
+    chaos.add_argument(
+        "--crash-at", type=float, default=900.0,
+        help="simulated seconds before the pod crash fires",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--quiet-period", type=float, default=None)
+    chaos.add_argument(
+        "--fast", action="store_true",
+        help="compressed protocol timers for a topology file",
+    )
+    chaos.add_argument("--json", help="write the chaos report JSON here")
+    chaos.add_argument(
+        "--trace", help="record an observability trace to this JSONL file"
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     obs = sub.add_parser("obs", help="observability: timelines and traces")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

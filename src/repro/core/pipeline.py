@@ -23,9 +23,9 @@ from typing import TYPE_CHECKING, Iterator, Optional
 from repro.batfish_model.ibdp import ModelRun, run_model
 from repro.batfish_model.issues import DEFAULT_ASSUMPTIONS, ModelAssumptions
 from repro.core.context import ScenarioContext
-from repro.core.snapshot import Snapshot
+from repro.core.snapshot import PartialSnapshot, Snapshot
 from repro.corpus.routes import RouteInjector
-from repro.gnmi.server import dump_afts
+from repro.gnmi.server import extract_afts
 from repro.kube.cluster import KubeCluster
 from repro.kube.kne import KneDeployment
 from repro.obs import bus
@@ -125,6 +125,7 @@ class ModelFreeBackend:
         seed: int = 0,
         snapshot_name: Optional[str] = None,
         verify: bool = False,
+        chaos=None,
     ) -> Snapshot:
         """Execute the full upper stage once and extract AFTs.
 
@@ -133,6 +134,13 @@ class ModelFreeBackend:
         phase span, so ``metadata["phases"]`` and ``mfv obs timeline``
         report query-engine time alongside deploy/converge/extract;
         the counts land in ``metadata["verification"]``.
+
+        ``chaos`` accepts a :class:`~repro.chaos.plan.FaultPlan`: the
+        substrate runs under that fault schedule, extraction degrades
+        gracefully (a node unextractable past the retry budget lands in
+        the returned :class:`PartialSnapshot`'s ``degraded_nodes``
+        manifest instead of failing the run), and every fault/retry/
+        degradation is visible on the obs timeline.
         """
         if context is None:
             context = ScenarioContext()
@@ -143,6 +151,11 @@ class ModelFreeBackend:
             timers=self.timers,
             seed=seed,
         )
+        chaos_injector = None
+        if chaos is not None and not chaos.is_empty:
+            from repro.chaos.injector import ChaosInjector
+
+            chaos_injector = ChaosInjector(deployment, chaos).arm()
         kernel = deployment.kernel
         with phase("deploy", kernel, phases):
             deployment.deploy()
@@ -161,23 +174,71 @@ class ModelFreeBackend:
                 quiet_period=self.quiet_period,
                 max_time=self.convergence_max_time,
             )
+            if (
+                chaos_injector is not None
+                and kernel.now < chaos_injector.schedule_horizon
+            ):
+                # The network quiesced before the plan finished: a
+                # chaos run is not converged until every scheduled
+                # fault has fired and the network has re-quiesced
+                # around the damage.
+                kernel.run(until=chaos_injector.schedule_horizon)
+                deployment.wait_converged(
+                    quiet_period=self.quiet_period,
+                    max_time=self.convergence_max_time,
+                )
         with phase("extract", kernel, phases):
-            afts = dump_afts(deployment)
+            extraction = extract_afts(deployment)
         self.last_run = EmulationRun(deployment=deployment, injectors=injectors)
-        snapshot = Snapshot(
+        metadata = {
+            "context": context.name,
+            "devices": len(self.topology),
+            "kube_nodes_used": deployment.report.nodes_used,
+            "injected_routes": sum(i.routes_sent for i in injectors),
+            "phases": phases,
+        }
+        if extraction.retries:
+            metadata["extraction_retries"] = dict(extraction.retries)
+        if chaos_injector is not None:
+            metadata["chaos"] = {
+                "plan": chaos.name,
+                "plan_seed": chaos.seed,
+                "faults": len(chaos),
+                "log": [list(entry) for entry in chaos_injector.log],
+            }
+        snapshot_cls = Snapshot
+        if extraction.degraded:
+            # Graceful degradation: the run completes as a partial
+            # snapshot with an explicit manifest; answers about the
+            # degraded nodes become UNKNOWN_DEGRADED downstream.
+            snapshot_cls = PartialSnapshot
+            metadata["degraded_addresses"] = dict(
+                extraction.degraded_addresses
+            )
+            collector = bus.ACTIVE
+            if collector.enabled:
+                for node, reason in extraction.degraded.items():
+                    collector.count("pipeline.degraded")
+                    collector.emit(
+                        "pipeline.degraded",
+                        kernel.now,
+                        node=node,
+                        reason=reason,
+                    )
+            logger.warning(
+                "extraction degraded for %d node(s): %s",
+                len(extraction.degraded),
+                ", ".join(sorted(extraction.degraded)),
+            )
+        snapshot = snapshot_cls(
             name=snapshot_name or f"{self.topology.name}:{context.name}",
-            afts=afts,
+            afts=extraction.afts,
             backend="emulation",
             seed=seed,
             startup_seconds=deployment.report.startup_seconds,
             convergence_seconds=deployment.report.convergence_seconds,
-            metadata={
-                "context": context.name,
-                "devices": len(self.topology),
-                "kube_nodes_used": deployment.report.nodes_used,
-                "injected_routes": sum(i.routes_sent for i in injectors),
-                "phases": phases,
-            },
+            metadata=metadata,
+            degraded_nodes=dict(extraction.degraded),
         )
         if verify:
             _run_verify_phase(snapshot, kernel, phases)

@@ -33,6 +33,10 @@ class Disposition(enum.Enum):
     LOOP = "loop"
     DENIED_IN = "denied-in"
     DENIED_OUT = "denied-out"
+    # The destination belongs to a node whose forwarding state could
+    # not be extracted (a partial snapshot). Explicitly *not* NO_ROUTE:
+    # the network may well deliver, we just cannot prove it.
+    UNKNOWN_DEGRADED = "unknown-degraded"
 
     @property
     def is_success(self) -> bool:
@@ -157,6 +161,21 @@ class ForwardingWalk:
             # Constrain the destination field to the queried address so
             # sampled witness packets are actual members of the query.
             space = HeaderSpace.dst_set(IntervalSet.of(destination))
+        if destination in self.dataplane.degraded_owned:
+            # The destination's owner could not be extracted: answer
+            # UNKNOWN_DEGRADED instead of tracing toward a hole in the
+            # snapshot and concluding NO_ROUTE.
+            return WalkResult(
+                ingress=ingress,
+                destination=destination,
+                traces=(
+                    Trace(
+                        Disposition.UNKNOWN_DEGRADED,
+                        (Hop(ingress, None, None),),
+                        space=space,
+                    ),
+                ),
+            )
         self._explore(ingress, destination, space, None, (), frozenset(), traces)
         return WalkResult(
             ingress=ingress, destination=destination, traces=tuple(traces)

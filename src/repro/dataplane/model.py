@@ -187,7 +187,13 @@ class CompiledLpmIndex:
 class Dataplane:
     """The whole network's forwarding state, ready for verification."""
 
-    def __init__(self, snapshots: dict[str, AftSnapshot]) -> None:
+    def __init__(
+        self,
+        snapshots: dict[str, AftSnapshot],
+        *,
+        degraded_nodes: Optional[dict[str, str]] = None,
+        degraded_addresses: Optional[dict[str, list[str]]] = None,
+    ) -> None:
         self.devices: dict[str, DeviceForwarding] = {
             name: DeviceForwarding(snap) for name, snap in snapshots.items()
         }
@@ -195,6 +201,15 @@ class Dataplane:
         for name, device in self.devices.items():
             for address in device.local_addresses:
                 self.address_owner[address] = name
+        # Nodes whose forwarding state could not be extracted (a partial
+        # snapshot). Their configured addresses are still known, and any
+        # query about them must answer UNKNOWN_DEGRADED — never a
+        # confident NO_ROUTE computed from their absence.
+        self.degraded_nodes: frozenset[str] = frozenset(degraded_nodes or ())
+        self.degraded_owned: dict[int, str] = {}
+        for node, addresses in (degraded_addresses or {}).items():
+            for text in addresses:
+                self.degraded_owned[parse_ipv4(text)] = node
         self.edges: list[L3Edge] = []
         # (device, interface) -> neighbors on the shared subnet
         self.adjacency: dict[tuple[str, str], list[tuple[str, str, int]]] = {}
@@ -202,8 +217,18 @@ class Dataplane:
         self._fingerprint: Optional[int] = None
 
     @classmethod
-    def from_afts(cls, snapshots: dict[str, AftSnapshot]) -> "Dataplane":
-        return cls(snapshots)
+    def from_afts(
+        cls,
+        snapshots: dict[str, AftSnapshot],
+        *,
+        degraded_nodes: Optional[dict[str, str]] = None,
+        degraded_addresses: Optional[dict[str, list[str]]] = None,
+    ) -> "Dataplane":
+        return cls(
+            snapshots,
+            degraded_nodes=degraded_nodes,
+            degraded_addresses=degraded_addresses,
+        )
 
     @classmethod
     def from_dicts(cls, raw: dict[str, dict]) -> "Dataplane":
@@ -294,6 +319,16 @@ class Dataplane:
                         ),
                     )
                 )
+            if self.degraded_nodes or self.degraded_owned:
+                # Folded only for partial snapshots so every fault-free
+                # fingerprint stays byte-identical to pre-chaos builds.
+                parts.append(
+                    (
+                        "__degraded__",
+                        tuple(sorted(self.degraded_nodes)),
+                        tuple(sorted(self.degraded_owned.items())),
+                    )
+                )
             self._fingerprint = hash(tuple(parts))
         return self._fingerprint
 
@@ -311,6 +346,11 @@ class Dataplane:
                 for rule in acl.rules:
                     if rule.dst is not None:
                         out.add(rule.dst)
+        # Each degraded node's configured addresses become /32 atom
+        # boundaries, so a degraded destination is exactly one atom and
+        # its UNKNOWN_DEGRADED verdict never bleeds into neighbours.
+        for address in self.degraded_owned:
+            out.add(Prefix.containing(address, 32))
         return out
 
     def __len__(self) -> int:

@@ -9,16 +9,27 @@ the verification stage vendor-independent.
 
 from repro.gnmi.aft import AftIpv4Entry, AftNextHop, AftNextHopGroup, AftSnapshot
 from repro.gnmi.paths import GnmiPath, parse_path
-from repro.gnmi.server import GnmiError, GnmiServer, dump_afts
+from repro.gnmi.server import (
+    ExtractionError,
+    ExtractionReport,
+    GnmiError,
+    GnmiServer,
+    GnmiUnavailableError,
+    dump_afts,
+    extract_afts,
+)
 
 __all__ = [
     "AftIpv4Entry",
     "AftNextHop",
     "AftNextHopGroup",
     "AftSnapshot",
+    "ExtractionError",
+    "ExtractionReport",
     "GnmiError",
-    "GnmiPath",
     "GnmiServer",
+    "GnmiUnavailableError",
     "dump_afts",
+    "extract_afts",
     "parse_path",
 ]

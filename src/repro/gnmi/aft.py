@@ -71,6 +71,10 @@ class AftSnapshot:
     # the serialized form). Keys are ACL names; values are rule tuples.
     acls: dict[str, tuple["AclRule", ...]] = field(default_factory=dict)
     extracted_at: float = 0.0
+    # The source FIB's version counter at extraction time. The hardened
+    # extraction path re-checks this against the live FIB to detect a
+    # dump that raced a convergence event (or a stale fault).
+    fib_version: int = 0
 
     # -- construction ------------------------------------------------------
 
@@ -126,6 +130,7 @@ class AftSnapshot:
             extracted_at=now,
             interfaces=list(interfaces),
             acls=dict(acls or {}),
+            fib_version=getattr(fib, "version", 0),
         )
         nh_index = 0
         group_id = 0
@@ -278,7 +283,11 @@ class AftSnapshot:
                     for name, rules in sorted(self.acls.items())
                 ]
             },
-            "meta": {"device": self.device, "extracted-at": self.extracted_at},
+            "meta": {
+                "device": self.device,
+                "extracted-at": self.extracted_at,
+                "fib-version": self.fib_version,
+            },
         }
 
     @classmethod
@@ -287,6 +296,7 @@ class AftSnapshot:
         snapshot = cls(
             device=meta.get("device", ""),
             extracted_at=meta.get("extracted-at", 0.0),
+            fib_version=meta.get("fib-version", 0),
         )
         instances = data["network-instances"]["network-instance"]
         afts = instances[0]["afts"]

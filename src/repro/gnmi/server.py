@@ -11,11 +11,14 @@ Supports the paths the model-free pipeline uses:
 
 from __future__ import annotations
 
+import os
 import time
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.gnmi.aft import AftSnapshot
 from repro.gnmi.paths import GnmiPath, parse_path
+from repro.net.addr import format_ipv4
 from repro.obs import bus
 
 if TYPE_CHECKING:
@@ -24,6 +27,42 @@ if TYPE_CHECKING:
 
 class GnmiError(RuntimeError):
     """Raised for unsupported paths or unavailable targets."""
+
+
+class GnmiUnavailableError(GnmiError):
+    """A transient target failure: booting, crashed pod, or an injected
+    RPC flake. Retryable — the hardened extraction path backs off and
+    tries again instead of failing the whole pipeline."""
+
+
+class ExtractionError(GnmiError):
+    """Extraction exhausted its retry budget for one or more nodes.
+
+    Raised by the strict :func:`dump_afts` wrapper; callers that can
+    tolerate partial results use :func:`extract_afts` and consume the
+    ``degraded`` manifest instead.
+    """
+
+    def __init__(self, degraded: dict[str, str]) -> None:
+        self.degraded = dict(degraded)
+        names = ", ".join(sorted(degraded))
+        super().__init__(
+            f"AFT extraction failed for {len(degraded)} node(s): {names}"
+        )
+
+
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    try:
+        return max(minimum, int(os.environ.get(name, default)))
+    except (TypeError, ValueError):
+        return default
+
+
+def _env_float(name: str, default: float, minimum: float = 0.0) -> float:
+    try:
+        return max(minimum, float(os.environ.get(name, default)))
+    except (TypeError, ValueError):
+        return default
 
 
 class GnmiServer:
@@ -59,7 +98,13 @@ class GnmiServer:
     def get(self, path: Union[str, GnmiPath]) -> dict:
         """Serve a gNMI Get for ``path``."""
         if self.router.state.value != "running":
-            raise GnmiError(f"{self.router.name}: target unavailable (booting)")
+            raise GnmiUnavailableError(
+                f"{self.router.name}: target unavailable (booting)"
+            )
+        injector = getattr(self.router, "fault_injector", None)
+        if injector is not None:
+            # May raise GnmiUnavailableError (an injected RPC flake).
+            injector.before_gnmi_get(self.router.name, str(path))
         if isinstance(path, str):
             path = parse_path(path)
         if path.starts_with("network-instances"):
@@ -89,6 +134,12 @@ class GnmiServer:
             if instance.keys and instance.key("name") != "default":
                 raise GnmiError(f"unknown network instance in {path}")
         full = self._snapshot().to_dict()
+        injector = getattr(self.router, "fault_injector", None)
+        if injector is not None:
+            # Stale or truncated AFT responses, keyed off the FIB
+            # version counter carried in ``meta`` so the extraction
+            # staleness re-check can catch them.
+            full = injector.transform_aft(self.router.name, full)
         return {"network-instances": full["network-instances"], "meta": full["meta"]}
 
     def _get_interfaces(self, path: GnmiPath) -> dict:
@@ -130,40 +181,180 @@ class Subscription:
         self._active = False
 
 
+@dataclass
+class ExtractionReport:
+    """The outcome of a hardened AFT extraction pass.
+
+    ``afts`` holds every node that extracted cleanly; ``degraded`` maps
+    each node that exhausted its retry budget to a reason string, and
+    ``degraded_addresses`` carries those nodes' configured interface
+    addresses (config-derived, so safe to report even when the frozen
+    FIB is not) for the verification layer's ``UNKNOWN_DEGRADED``
+    marking. ``retries`` counts per-node retry attempts.
+    """
+
+    afts: dict[str, AftSnapshot] = field(default_factory=dict)
+    degraded: dict[str, str] = field(default_factory=dict)
+    degraded_addresses: dict[str, list[str]] = field(default_factory=dict)
+    retries: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.degraded)
+
+
+def _configured_addresses(router) -> list[str]:
+    """The router's configured interface addresses (incl. loopbacks).
+
+    Addresses come from config, not the FIB, so they are trustworthy
+    even for a node whose forwarding state could not be extracted —
+    exactly what the degraded-node manifest needs.
+    """
+    addresses = []
+    for name in sorted(router.ports):
+        config = router.ports[name].config
+        if config.is_routed and config.address is not None:
+            addresses.append(format_ipv4(config.address))
+    return addresses
+
+
+def _extract_one(router) -> AftSnapshot:
+    server = GnmiServer(router)
+    data = server.get("/network-instances/network-instance[name=default]/afts")
+    interfaces = server.get("/interfaces")
+    acls = server.get("/acls")
+    merged = dict(data)
+    merged["interfaces"] = interfaces["interfaces"]
+    merged["acls"] = acls["acls"]
+    return AftSnapshot.from_dict(merged)
+
+
+def extract_afts(
+    deployment,
+    nodes: Optional[Iterable[str]] = None,
+    *,
+    max_attempts: Optional[int] = None,
+    backoff_base: Optional[float] = None,
+    backoff_cap: Optional[float] = None,
+) -> ExtractionReport:
+    """gNMI-extract AFT snapshots with retry, backoff, and degradation.
+
+    This is the upper-to-lower-stage hand-off of the paper's Fig. 1: the
+    output is pure data, decoupled from the running emulation. Unlike
+    the strict :func:`dump_afts`, this survives a faulty substrate:
+
+    * a transient :class:`GnmiUnavailableError` (booting router, crashed
+      pod, injected RPC flake) is retried up to ``max_attempts`` times
+      with capped exponential backoff in *simulated* time — backing off
+      runs the kernel forward, so a scheduled pod restart can heal the
+      target between attempts;
+    * every successful dump is re-checked for staleness: a snapshot
+      whose ``fib_version`` no longer matches the live FIB (a dump that
+      raced a convergence event, or an injected stale/truncated
+      response) is discarded and retried;
+    * a node still failing after the budget lands in the ``degraded``
+      manifest with a reason, never silently in the result.
+
+    Budgets default from ``MFV_CHAOS_RETRIES`` / ``MFV_CHAOS_BACKOFF`` /
+    ``MFV_CHAOS_BACKOFF_CAP``. ``nodes`` restricts extraction to a
+    subset of devices; unknown names raise ``KeyError`` rather than
+    silently narrowing the snapshot.
+    """
+    if max_attempts is None:
+        max_attempts = _env_int("MFV_CHAOS_RETRIES", 4)
+    if backoff_base is None:
+        backoff_base = _env_float("MFV_CHAOS_BACKOFF", 0.5)
+    if backoff_cap is None:
+        backoff_cap = _env_float("MFV_CHAOS_BACKOFF_CAP", 8.0)
+    if nodes is not None:
+        wanted = set(nodes)
+        unknown = wanted - set(deployment.routers)
+        if unknown:
+            raise KeyError(
+                "unknown node(s) in extraction request: "
+                + ", ".join(sorted(unknown))
+            )
+        names = [n for n in deployment.routers if n in wanted]
+    else:
+        names = list(deployment.routers)
+
+    report = ExtractionReport()
+    collector = bus.ACTIVE
+    kernel = deployment.kernel
+    for name in names:
+        router = deployment.routers[name]
+        last_reason = ""
+        for attempt in range(max_attempts):
+            if attempt:
+                report.retries[name] = report.retries.get(name, 0) + 1
+                if collector.enabled:
+                    collector.count("gnmi.retry")
+                    collector.emit(
+                        "gnmi.retry",
+                        kernel.now,
+                        node=name,
+                        attempt=attempt,
+                        reason=last_reason,
+                    )
+                # Capped exponential backoff in simulated time; running
+                # the kernel forward lets restart/fault-expiry events
+                # fire, so a retry can actually observe a healed target.
+                delay = min(backoff_cap, backoff_base * (2 ** (attempt - 1)))
+                kernel.run(until=kernel.now + delay)
+            failed_nodes = getattr(deployment, "failed_nodes", None)
+            if failed_nodes is not None and name in failed_nodes():
+                last_reason = "pod-failed"
+                continue
+            started = time.perf_counter() if collector.enabled else 0.0
+            try:
+                snapshot = _extract_one(router)
+            except GnmiUnavailableError as exc:
+                last_reason = f"unavailable: {exc}"
+                continue
+            live_version = getattr(router.rib.fib, "version", None)
+            if live_version is not None and snapshot.fib_version != live_version:
+                last_reason = (
+                    f"stale dump: fib_version={snapshot.fib_version} "
+                    f"behind live version={live_version}"
+                )
+                continue
+            report.afts[name] = snapshot
+            if collector.enabled:
+                collector.emit(
+                    "gnmi.aft.dump",
+                    kernel.now,
+                    node=name,
+                    entries=len(snapshot),
+                    wall_ms=(time.perf_counter() - started) * 1e3,
+                )
+            break
+        else:
+            report.degraded[name] = last_reason or "retry budget exhausted"
+            report.degraded_addresses[name] = _configured_addresses(router)
+    return report
+
+
 def dump_afts(
     deployment, nodes: Optional[Iterable[str]] = None
 ) -> dict[str, AftSnapshot]:
     """gNMI-extract AFT snapshots from every device in a deployment.
 
-    This is the upper-to-lower-stage hand-off of the paper's Fig. 1: the
-    output is pure data, decoupled from the running emulation.
+    The strict wrapper over :func:`extract_afts`: any node that cannot
+    be extracted within the retry budget raises :class:`ExtractionError`
+    naming the degraded nodes — callers that want partial results use
+    :func:`extract_afts` directly.
 
     ``nodes`` restricts extraction to a subset of devices. What-if
     campaigns use it to skip killed pods: a failed node's router object
     still answers gNMI with its frozen pre-failure FIB, which must not
-    masquerade as live forwarding state.
+    masquerade as live forwarding state. Unknown names raise
+    ``KeyError``; an empty set extracts nothing.
     """
-    snapshots: dict[str, AftSnapshot] = {}
-    collector = bus.ACTIVE
-    wanted = set(nodes) if nodes is not None else None
-    for name, router in deployment.routers.items():
-        if wanted is not None and name not in wanted:
-            continue
-        started = time.perf_counter() if collector.enabled else 0.0
-        server = GnmiServer(router)
-        data = server.get("/network-instances/network-instance[name=default]/afts")
-        interfaces = server.get("/interfaces")
-        acls = server.get("/acls")
-        merged = dict(data)
-        merged["interfaces"] = interfaces["interfaces"]
-        merged["acls"] = acls["acls"]
-        snapshots[name] = AftSnapshot.from_dict(merged)
-        if collector.enabled:
-            collector.emit(
-                "gnmi.aft.dump",
-                router.kernel.now,
-                node=name,
-                entries=len(snapshots[name]),
-                wall_ms=(time.perf_counter() - started) * 1e3,
-            )
-    return snapshots
+    report = extract_afts(deployment, nodes)
+    if report.degraded:
+        raise ExtractionError(report.degraded)
+    return report.afts

@@ -10,11 +10,13 @@ orchestrator that brings a topology up (:mod:`repro.kube.kne`).
 
 from repro.kube.cluster import KubeCluster, KubeNode, e2_standard_32
 from repro.kube.fabric import Fabric
-from repro.kube.kne import KneDeployment
+from repro.kube.kne import ConvergenceTimeout, DeployTimeout, KneDeployment
 from repro.kube.pod import Pod, PodPhase
 from repro.kube.scheduler import Scheduler, UnschedulableError
 
 __all__ = [
+    "ConvergenceTimeout",
+    "DeployTimeout",
     "Fabric",
     "KneDeployment",
     "KubeCluster",

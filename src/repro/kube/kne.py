@@ -30,7 +30,7 @@ from repro.kube.scheduler import Scheduler
 from repro.protocols.timers import TimerProfile, PRODUCTION_TIMERS
 from repro.rib.fib import global_fib_version
 from repro.sim.channel import Channel
-from repro.sim.kernel import SimKernel
+from repro.sim.kernel import QuiescenceTimeout, SimKernel
 from repro.topo.model import Link, Topology
 from repro.vendors.base import RouterOS, SshSession
 from repro.vendors.quirks import quirks_for
@@ -45,6 +45,39 @@ _CONFIG_PUSH_DELAY = (20.0, 60.0)  # agent-ready + config load after boot
 _LINK_LATENCY = 0.0005
 _LINK_JITTER = 0.001
 
+# Default simulated-time deadline for deploy(): generous multiples of
+# the worst-case startup model, so only a genuinely wedged bring-up
+# (a pod that never boots or configures) trips it.
+_DEPLOY_MAX_TIME = 14_400.0
+
+
+class ConvergenceTimeout(RuntimeError):
+    """The network failed to quiesce before the deadline.
+
+    Carries the routers whose FIBs were still churning inside the final
+    quiet window (``unstable``) — an empty list means the churn came
+    from outside the routers' own FIBs (e.g. injected global-version
+    noise or fabric traffic).
+    """
+
+    def __init__(self, message: str, *, unstable: list[str], elapsed: float) -> None:
+        super().__init__(message)
+        self.unstable = list(unstable)
+        self.elapsed = elapsed
+
+
+class DeployTimeout(RuntimeError):
+    """``deploy()`` hit its simulated-time deadline.
+
+    ``pending`` names each pod that never finished bring-up, mapped to
+    where it got stuck (pod phase, or ``unconfigured`` for a running
+    router that never received its configuration).
+    """
+
+    def __init__(self, message: str, *, pending: dict[str, str]) -> None:
+        super().__init__(message)
+        self.pending = dict(pending)
+
 
 @dataclass
 class DeploymentReport:
@@ -54,6 +87,9 @@ class DeploymentReport:
     convergence_seconds: float = 0.0
     placements: dict[str, str] = field(default_factory=dict)
     nodes_used: int = 0
+    # False once wait_converged gives up — convergence_seconds is NaN
+    # then, never a plausible-looking number.
+    converged: bool = True
 
 
 class ConvergenceDetector:
@@ -110,6 +146,12 @@ class KneDeployment:
         self._channels: dict[tuple[str, str], Channel] = {}
         self.report = DeploymentReport()
         self._deployed = False
+        # Routers whose config push has completed (empty configs count:
+        # the push event itself is the completion signal).
+        self._configured: set[str] = set()
+        # A repro.chaos.ChaosInjector arms itself here before deploy();
+        # None means a perfectly reliable substrate (the default).
+        self.chaos = None
 
         for spec in topology.nodes:
             quirks = quirks_for(spec.vendor, spec.os_version)
@@ -122,12 +164,15 @@ class KneDeployment:
 
     # -- bring-up -------------------------------------------------------------
 
-    def deploy(self) -> DeploymentReport:
+    def deploy(self, *, max_time: float = _DEPLOY_MAX_TIME) -> DeploymentReport:
         """Schedule, boot, wire, and configure the whole topology.
 
         Advances simulated time to the point where every router is
         running with its configuration applied (protocol convergence
-        continues afterwards; see :meth:`wait_converged`).
+        continues afterwards; see :meth:`wait_converged`). A bring-up
+        that has not finished by ``max_time`` simulated seconds raises
+        :class:`DeployTimeout` naming the stuck pods, instead of
+        spinning the kernel until ``max_events``.
         """
         if self._deployed:
             raise RuntimeError("deployment already started")
@@ -156,6 +201,10 @@ class KneDeployment:
             boot = self.kernel.rng.uniform(
                 quirks.boot_time_min, quirks.boot_time_max
             )
+            if self.chaos is not None:
+                # Slow-boot faults stretch the boot deterministically
+                # (factor 1.0 when the node is unaffected; no rng draw).
+                boot *= self.chaos.boot_factor(name)
             start_at = create_time[name]
             pod.phase = PodPhase.BOOTING
             self.kernel.schedule_at(
@@ -175,20 +224,52 @@ class KneDeployment:
                         "kube.pod.running", self.kernel.now, node=r.name
                     )
                 self.kernel.schedule(
-                    delay, lambda: r.apply_config(c), label=f"config:{r.name}"
+                    delay,
+                    lambda: self._apply_config(r, c),
+                    label=f"config:{r.name}",
                 )
 
             router.on_boot(_push)
 
-        # Run until every config push has happened.
+        # Run until every config push has happened, bounded by a
+        # simulated-time deadline so a wedged bring-up fails loudly.
         def _all_configured() -> bool:
-            return all(r.config_text for r in self.routers.values())
+            return len(self._configured) == len(self.routers)
 
-        self.kernel.run_until_quiet(0.0, poll=_all_configured, max_events=10_000_000)
+        try:
+            self.kernel.run_until_quiet(
+                0.0,
+                poll=_all_configured,
+                max_time=self.kernel.now + max_time,
+                max_events=10_000_000,
+            )
+        except QuiescenceTimeout as exc:
+            pending = self._pending_bringup()
+            raise DeployTimeout(
+                f"deployment incomplete after {self.kernel.now:.0f}s "
+                f"simulated ({'queue drained' if exc.drained else 'deadline'}); "
+                f"stuck: {', '.join(sorted(pending)) or 'unknown'}",
+                pending=pending,
+            ) from exc
         # run_until_quiet with 0 window returns at the first poll success;
         # record the startup cost now.
         self.report.startup_seconds = self.kernel.now
         return self.report
+
+    def _apply_config(self, router: RouterOS, config: str) -> None:
+        router.apply_config(config)
+        self._configured.add(router.name)
+
+    def _pending_bringup(self) -> dict[str, str]:
+        """Pods that never finished bring-up, mapped to where they stuck."""
+        pending: dict[str, str] = {}
+        for name in self.routers:
+            pod = self.pods[name]
+            if pod.phase is not PodPhase.RUNNING:
+                pending[name] = pod.phase.value
+            elif name not in self._configured:
+                pending[name] = "unconfigured"
+        return pending
 
     def _power_on(self, router: RouterOS, boot_time: float) -> None:
         """Power a router on, with a per-pod boot span when tracing."""
@@ -215,6 +296,8 @@ class KneDeployment:
             )
             self.routers[spec.name] = router
             self.fabric.add_router(router)
+            if self.chaos is not None:
+                self.chaos.on_router_created(router)
 
     def _wire_links(self) -> None:
         for link in self.topology.links:
@@ -258,21 +341,43 @@ class KneDeployment:
         from when this call started (i.e. excluding the quiet window and
         excluding infrastructure startup, matching the paper's
         convergence metric).
+
+        When ``max_time`` elapses without quiescence this raises
+        :class:`ConvergenceTimeout` naming the routers whose FIBs were
+        still churning — it never reports a plausible-looking success
+        number for a network that did not converge. The report records
+        ``converged=False`` and a NaN duration in that case.
         """
         started = self.kernel.now
         detector = ConvergenceDetector(
             list(self.routers.values()), fabric=self.fabric
         )
-        end = self.kernel.run_until_quiet(
-            quiet_period,
-            poll=detector.poll,
-            max_time=started + max_time,
-        )
+        try:
+            self.kernel.run_until_quiet(
+                quiet_period,
+                poll=detector.poll,
+                max_time=started + max_time,
+            )
+        except QuiescenceTimeout as exc:
+            self.report.converged = False
+            self.report.convergence_seconds = float("nan")
+            unstable = sorted(
+                name
+                for name, router in self.routers.items()
+                if self.kernel.now - router.rib.fib.last_change_time
+                <= quiet_period
+            )
+            raise ConvergenceTimeout(
+                f"no convergence within {max_time:.0f}s simulated; "
+                f"still churning: {', '.join(unstable) or 'none (external churn)'}",
+                unstable=unstable,
+                elapsed=self.kernel.now - started,
+            ) from exc
+        self.report.converged = True
         converged_at = max(
             [r.rib.fib.last_change_time for r in self.routers.values()] + [started]
         )
         self.report.convergence_seconds = max(0.0, converged_at - started)
-        del end
         return self.report.convergence_seconds
 
     # -- operator surface --------------------------------------------------------------
@@ -373,3 +478,40 @@ class KneDeployment:
             for name, pod in self.pods.items()
             if pod.phase is PodPhase.FAILED
         }
+
+    # -- health probes & recovery (chaos hardening) ------------------------------------
+
+    def pod_health(self) -> dict[str, str]:
+        """A kubelet-style health probe over every pod.
+
+        Maps each node to ``healthy``, its pod phase (``failed``,
+        ``booting``, ...), or ``unconfigured`` for a running router that
+        never received its configuration.
+        """
+        health: dict[str, str] = {}
+        for name, pod in self.pods.items():
+            if pod.phase is not PodPhase.RUNNING:
+                health[name] = pod.phase.value
+            elif name not in self._configured:
+                health[name] = "unconfigured"
+            else:
+                health[name] = "healthy"
+        return health
+
+    def restart_and_reconverge(
+        self,
+        name: str,
+        *,
+        quiet_period: float = 30.0,
+        max_time: float = 86_400.0,
+    ) -> float:
+        """Restore a failed pod, then wait for the network to re-settle.
+
+        The recovery half of the health-probe loop: returns the
+        re-convergence duration, or raises :class:`ConvergenceTimeout`
+        if the network never quiesces after the restart.
+        """
+        self.node_up(name)
+        return self.wait_converged(
+            quiet_period=quiet_period, max_time=max_time
+        )

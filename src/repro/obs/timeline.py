@@ -27,8 +27,11 @@ POD_SCHEDULED = "kube.pod.scheduled"
 POD_FAILED = "kube.pod.failed"
 POD_RESTORED = "kube.pod.restored"
 PIPELINE_WARNING = "pipeline.warning"
+PIPELINE_DEGRADED = "pipeline.degraded"
 WHATIF_VERDICT = "whatif.verdict"
 SERVICE_JOB = "service.job"
+CHAOS_FAULT = "chaos.fault"
+GNMI_RETRY = "gnmi.retry"
 
 
 @dataclass
@@ -55,6 +58,8 @@ class ConvergenceTimeline:
     warnings: list[ObsEvent] = field(default_factory=list)
     whatif_verdicts: list[ObsEvent] = field(default_factory=list)
     service_jobs: list[ObsEvent] = field(default_factory=list)
+    chaos_faults: list[ObsEvent] = field(default_factory=list)
+    degraded: list[ObsEvent] = field(default_factory=list)
     total_events: int = 0
 
     @classmethod
@@ -84,6 +89,10 @@ class ConvergenceTimeline:
             self.whatif_verdicts.append(event)
         elif event.category == SERVICE_JOB:
             self.service_jobs.append(event)
+        elif event.category == CHAOS_FAULT:
+            self.chaos_faults.append(event)
+        elif event.category == PIPELINE_DEGRADED:
+            self.degraded.append(event)
         if not event.node:
             return
         device = self._device(event.node)
@@ -119,6 +128,7 @@ class ConvergenceTimeline:
         lines += self._render_counters()
         lines += self._render_whatif()
         lines += self._render_service()
+        lines += self._render_chaos()
         if self.warnings:
             lines.append("")
             lines.append("Warnings:")
@@ -222,6 +232,30 @@ class ConvergenceTimeline:
                 f"{d.get('run_seconds', 0.0):>8.3f} "
                 f"{d.get('coalesced', 1):>5}"
             )
+        return lines
+
+    def _render_chaos(self) -> list[str]:
+        if not self.chaos_faults and not self.degraded:
+            return []
+        lines = ["", "Chaos faults (simulated seconds):"]
+        if self.chaos_faults:
+            lines.append(
+                f"  {'t':>10} {'action':<10} {'kind':<16} target"
+            )
+            for event in self.chaos_faults:
+                d = event.detail
+                lines.append(
+                    f"  {event.t:>10.1f} {str(d.get('action', '?')):<10} "
+                    f"{str(d.get('kind', '?')):<16} {d.get('target', '?')}"
+                )
+        if self.degraded:
+            lines.append("")
+            lines.append("Degraded nodes (partial snapshot):")
+            for event in self.degraded:
+                node = event.node or event.detail.get("node", "?")
+                lines.append(
+                    f"  {node:<10} {event.detail.get('reason', '?')}"
+                )
         return lines
 
     def last_route_install(self) -> Optional[float]:

@@ -416,6 +416,38 @@ class FilterLineReachabilityQuestion(_Question):
         )
 
 
+class DegradedNodesQuestion(_Question):
+    """Which nodes of a snapshot are degraded, and why?
+
+    Over a full snapshot the answer is empty. Over a
+    :class:`~repro.core.snapshot.PartialSnapshot` it lists every node
+    whose extraction exhausted the retry budget, the recorded reason,
+    and the addresses whose reachability answers are
+    ``UNKNOWN_DEGRADED`` as a result.
+    """
+
+    def __init__(self, session: "Session") -> None:
+        super().__init__(session, "degradedNodes")
+
+    def answer(self, snapshot: Optional[str] = None) -> TableAnswer:
+        snap = self._snapshot(snapshot)
+        degraded = getattr(snap, "degraded_nodes", {}) or {}
+        addresses = snap.metadata.get("degraded_addresses", {})
+        rows = [
+            {
+                "Node": node,
+                "Reason": reason,
+                "Degraded_Addresses": ", ".join(addresses.get(node, [])),
+            }
+            for node, reason in sorted(degraded.items())
+        ]
+        return TableAnswer(
+            self.name,
+            Frame(["Node", "Reason", "Degraded_Addresses"], rows),
+            summary=f"{len(rows)} degraded node(s)",
+        )
+
+
 class QuestionLibrary:
     """The ``bf.q`` namespace."""
 
@@ -447,3 +479,6 @@ class QuestionLibrary:
 
     def filterLineReachability(self, **kwargs) -> FilterLineReachabilityQuestion:
         return FilterLineReachabilityQuestion(self._session, **kwargs)
+
+    def degradedNodes(self) -> DegradedNodesQuestion:
+        return DegradedNodesQuestion(self._session)

@@ -95,6 +95,7 @@ class VerificationService:
             "coalesced": 0,
             "result_cache_hits": 0,
             "retries": 0,
+            "degraded_answers": 0,
         }
 
     # -- lifecycle ------------------------------------------------------------
@@ -367,6 +368,16 @@ class VerificationService:
                 # session shares the service store, hence its pinned
                 # engines.
                 snap = self._resolve_pinned(snapshot, snapshot_fp)
+                if getattr(snap, "degraded_nodes", None):
+                    # Answering over a partial snapshot: the answer is
+                    # still served (degraded pairs come back
+                    # UNKNOWN_DEGRADED), but the service keeps score so
+                    # operators can see how much of the load ran over
+                    # degraded data.
+                    with self._lock:
+                        self.counters["degraded_answers"] += 1
+                    if collector.enabled:
+                        collector.count("service.degraded_answers")
                 runner = Session(store=self.store)
                 runner.init_snapshot(snap, name="__job__")
                 kwargs: dict[str, Any] = {"snapshot": "__job__"}

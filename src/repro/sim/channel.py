@@ -55,6 +55,11 @@ class Channel:
         self._in_flight: list[Delivery] = []
         self.messages_sent = 0
         self.messages_delivered = 0
+        # Fault injection (repro.chaos): probability a send is lost on
+        # the wire. Zero keeps the fault-free RNG stream untouched —
+        # the kernel rng is only consulted while a fault is active.
+        self.drop_rate = 0.0
+        self.messages_dropped = 0
 
     @property
     def is_up(self) -> bool:
@@ -64,10 +69,16 @@ class Channel:
         """Enqueue ``payload`` for delivery; returns the delivery handle.
 
         Sends on a down channel are silently dropped (a wire does not
-        raise exceptions), but the drop is counted.
+        raise exceptions), but the drop is counted. A lossy channel
+        (``drop_rate`` > 0, set by the chaos injector) drops sends
+        probabilistically from the kernel's seeded rng, so loss patterns
+        replay exactly for a fixed seed.
         """
         self.messages_sent += 1
         if not self._up:
+            return None
+        if self.drop_rate > 0.0 and self._kernel.rng.random() < self.drop_rate:
+            self.messages_dropped += 1
             return None
         delay = self._kernel.jitter(self.latency, self.jitter)
         delivery = Delivery(payload=payload, send_time=self._kernel.now, event=None)  # type: ignore[arg-type]

@@ -19,6 +19,23 @@ class SimulationError(RuntimeError):
     """Raised when the kernel is driven incorrectly."""
 
 
+class QuiescenceTimeout(SimulationError):
+    """``run_until_quiet`` gave up before its poll predicate held.
+
+    Raised both when simulated time passes ``max_time`` with activity
+    still pending and when the event queue drains without the predicate
+    ever holding — the latter used to be reported as success, which let
+    deployments that never finished configuring look converged.
+    """
+
+    def __init__(self, message: str, *, at: float, drained: bool) -> None:
+        super().__init__(message)
+        #: Simulated time when the kernel gave up.
+        self.at = at
+        #: True when the queue drained (vs. running past ``max_time``).
+        self.drained = drained
+
+
 @dataclass(order=True)
 class Event:
     """A scheduled callback.
@@ -191,8 +208,10 @@ class SimKernel:
                 self._now = quiet_since + quiet_period
                 return self._now
             if head.time > max_time:
-                raise SimulationError(
-                    f"no quiescence before max_time={max_time}s"
+                raise QuiescenceTimeout(
+                    f"no quiescence before max_time={max_time}s",
+                    at=self._now,
+                    drained=False,
                 )
             self.step()
             processed += 1
@@ -202,6 +221,15 @@ class SimKernel:
             else:
                 quiet_since = None
         if quiet_since is None:
-            quiet_since = self._now
+            # The queue drained while the predicate still failed. This
+            # was historically reported as success; callers that need a
+            # real convergence signal (deploy, wait_converged) depend on
+            # the distinction, so surface it as a structured timeout.
+            raise QuiescenceTimeout(
+                f"event queue drained at t={self._now:.1f}s without the "
+                "quiescence predicate ever holding",
+                at=self._now,
+                drained=True,
+            )
         self._now = max(self._now, quiet_since + quiet_period)
         return self._now

@@ -209,6 +209,20 @@ class AtomGraphEngine:
         self, index: int, decisions: Optional[dict[str, list]] = None
     ) -> dict[str, AtomVerdict]:
         rep = self._reps[index]
+        if rep in self.dataplane.degraded_owned:
+            # The atom's destination is owned by a degraded node
+            # (partial snapshot): every ingress answers UNKNOWN_DEGRADED
+            # — the graph would otherwise conclude NO_ROUTE from the
+            # node's absence. Degraded addresses are /32 atom
+            # boundaries, so the whole atom is the degraded address.
+            verdict = AtomVerdict(
+                dispositions=frozenset({Disposition.UNKNOWN_DEGRADED}),
+                accepts=frozenset(),
+                tainted=False,
+            )
+            table = {name: verdict for name in self._names}
+            self._tables[index] = table
+            return table
         structs: dict[str, tuple] = {}
         for name in self._names:
             if decisions is not None:

@@ -64,18 +64,37 @@ def verify_pairwise_reachability(
     ]
 
 
+def detect_degraded(dataplane: Dataplane) -> list[ReachabilityRow]:
+    """Rows whose verdict is UNKNOWN_DEGRADED (partial snapshot).
+
+    These are *absence-of-proof* rows, not violations: the destination
+    belongs to a node whose forwarding state could not be extracted.
+    """
+    analysis = ReachabilityAnalysis(dataplane)
+    return [
+        row
+        for row in analysis.analyze()
+        if Disposition.UNKNOWN_DEGRADED in row.dispositions
+    ]
+
+
 def verification_summary(dataplane: Dataplane) -> dict[str, int]:
     """The standard invariant battery as counts (pipeline verify phase).
 
-    All three checks share one cached atom-graph engine, so the battery
-    is a single set of per-atom graph passes regardless of how many
-    invariants run.
+    All checks share one cached atom-graph engine, so the battery is a
+    single set of per-atom graph passes regardless of how many
+    invariants run. The ``degraded`` count appears only for partial
+    snapshots, keeping fault-free summaries byte-identical to earlier
+    releases.
     """
     loops = detect_loops(dataplane)
     blackholes = detect_blackholes(dataplane)
     violations = verify_pairwise_reachability(dataplane)
-    return {
+    summary = {
         "loops": len(loops),
         "blackholes": len(blackholes),
         "unreachable_pairs": len(violations),
     }
+    if dataplane.degraded_nodes or dataplane.degraded_owned:
+        summary["degraded"] = len(detect_degraded(dataplane))
+    return summary

@@ -153,6 +153,26 @@ class TestGnmiServer:
         assert set(snapshots) == {"r1", "r2"}
         assert all(len(s) > 0 for s in snapshots.values())
 
+    def test_dump_afts_empty_node_set(self, net):
+        assert dump_afts(net, nodes=[]) == {}
+
+    def test_dump_afts_unknown_node(self, net):
+        with pytest.raises(KeyError):
+            dump_afts(net, nodes=["r1", "r99"])
+
+    def test_dump_afts_emits_entry_counts(self, net):
+        from repro.obs import tracing
+
+        with tracing() as tracer:
+            snapshots = dump_afts(net)
+        dumped = {
+            e.node: e.detail["entries"]
+            for e in tracer.events_in("gnmi.aft.dump")
+        }
+        assert dumped == {
+            name: len(snapshot) for name, snapshot in snapshots.items()
+        }
+
 
 class TestSubscribe:
     def test_on_change_fires_on_link_cut(self):

@@ -5,7 +5,7 @@ import pytest
 from repro.kube.cluster import KubeCluster, KubeNode, e2_standard_32
 from repro.kube.pod import Pod, PodPhase
 from repro.kube.scheduler import Scheduler, UnschedulableError
-from repro.kube.kne import KneDeployment
+from repro.kube.kne import DeployTimeout, KneDeployment
 from repro.protocols.timers import FAST_TIMERS
 from repro.topo.builder import line_topology
 from repro.corpus.fig3 import fig3_scenario
@@ -228,3 +228,38 @@ class TestLinkFlapAndNodeLifecycle:
     def test_node_down_unknown_node_rejected(self, deployment):
         with pytest.raises(KeyError):
             deployment.node_down("r99")
+
+    def test_pod_health_probe(self, deployment):
+        assert set(deployment.pod_health().values()) == {"healthy"}
+        deployment.node_down("r3")
+        health = deployment.pod_health()
+        assert health["r3"] == "failed"
+        assert health["r1"] == "healthy"
+
+    def test_restart_and_reconverge_restores_fingerprint(self, deployment):
+        baseline = self._fingerprint(deployment)
+        deployment.node_down("r3")
+        deployment.wait_converged(quiet_period=5.0)
+        elapsed = deployment.restart_and_reconverge("r3", quiet_period=5.0)
+        assert elapsed > 0
+        assert deployment.pod_health()["r3"] == "healthy"
+        assert deployment.report.converged
+        assert self._fingerprint(deployment) == baseline
+
+
+class TestDeployTimeout:
+    def test_deadline_names_stuck_pods(self):
+        dep = KneDeployment(line_topology(3), timers=FAST_TIMERS, seed=1)
+        with pytest.raises(DeployTimeout) as excinfo:
+            dep.deploy(max_time=1.0)
+        assert excinfo.value.pending
+        assert set(excinfo.value.pending) <= {"r1", "r2", "r3"}
+
+    def test_deadline_is_simulated_time(self):
+        # A generous deadline deploys normally and reports completion.
+        dep = KneDeployment(line_topology(3), timers=FAST_TIMERS, seed=1)
+        report = dep.deploy(max_time=100_000.0)
+        assert report.startup_seconds > 0
+        assert dep.pod_health() and set(
+            dep.pod_health().values()
+        ) == {"healthy"}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.kernel import SimKernel, SimulationError
+from repro.sim.kernel import QuiescenceTimeout, SimKernel, SimulationError
 
 
 class TestScheduling:
@@ -279,3 +279,24 @@ class TestRunUntilQuiet:
         kernel.schedule(0.0, forever)
         with pytest.raises(SimulationError):
             kernel.run_until_quiet(10.0, poll=lambda: False, max_time=50.0)
+
+    def test_max_time_timeout_is_structured(self):
+        kernel = SimKernel()
+
+        def forever():
+            kernel.schedule(1.0, forever)
+
+        kernel.schedule(0.0, forever)
+        with pytest.raises(QuiescenceTimeout) as excinfo:
+            kernel.run_until_quiet(10.0, poll=lambda: False, max_time=50.0)
+        assert excinfo.value.drained is False
+        assert excinfo.value.at <= 50.0
+
+    def test_drained_queue_without_quiescence_raises(self):
+        """A drained queue used to read as silent success even when the
+        predicate never held; now it is a structured failure."""
+        kernel = SimKernel()
+        kernel.schedule(1.0, lambda: None)
+        with pytest.raises(QuiescenceTimeout) as excinfo:
+            kernel.run_until_quiet(5.0, poll=lambda: False)
+        assert excinfo.value.drained is True
