@@ -110,6 +110,13 @@ class ChaosInjector:
             collector.emit(
                 CHAOS_FAULT, now, action=action, kind=kind, target=target
             )
+        registry = bus.metrics_registry()
+        if registry.enabled:
+            registry.counter(
+                "chaos.fault_records",
+                "Chaos activations and firings by fault kind",
+                ("action", "kind"),
+            ).inc(action=action, kind=kind)
 
     def _activate(self, fault) -> None:
         self._record("activate", fault.kind, fault.target)

@@ -18,6 +18,8 @@ Subcommands::
     mfv obs timeline [--scenario fig2|fig3|whatif] [--topology FILE]
                      [--trace OUT.jsonl]
     mfv obs summary TRACE.jsonl
+    mfv obs waterfall TRACE.jsonl JOB_ID
+    mfv obs metrics TRACE.jsonl [--format prometheus|records]
     mfv serve [SNAPSHOT.json ...] [--workers N] [--queue-depth N]
               [--store N] [--trace OUT.jsonl]
     mfv submit SNAPSHOT.json QUESTION [--param KEY=VALUE ...]
@@ -31,7 +33,12 @@ persist the extracted snapshot for later offline queries.
 ``obs timeline`` runs a built-in scenario (or a topology file) with the
 tracer installed and prints the convergence timeline: per-phase spans,
 per-device adjacency-up / last-route-install times, and event counters.
-``obs summary`` renders a previously saved ``--trace`` JSONL file.
+``obs summary`` renders a previously saved ``--trace`` JSONL file,
+including the slowest spans and per-span-name duration percentiles.
+``obs waterfall`` correlates everything one service job did — submit,
+queue, run, engine builds — into a single per-job lifecycle view.
+``obs metrics`` re-renders the metrics records in a saved trace as
+Prometheus text exposition (or raw JSONL records).
 
 ``serve`` starts the continuous verification service and speaks
 JSON-lines on stdin/stdout (one request per line; see
@@ -453,6 +460,36 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_waterfall(args: argparse.Namespace) -> int:
+    from repro.obs.timeline import waterfall_text
+
+    tracer = read_jsonl(args.trace_file)
+    try:
+        print(waterfall_text(tracer, args.job_id))
+    except KeyError as exc:
+        print(exc.args[0] if exc.args else str(exc))
+        return 2
+    return 0
+
+
+def _cmd_obs_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import read_metrics_jsonl, render_prometheus
+    from repro.obs.metrics import exposition_format
+
+    registry = read_metrics_jsonl(args.trace_file)
+    fmt = args.format or exposition_format()
+    if fmt == "records":
+        import json
+
+        for record in registry.collect():
+            print(json.dumps(record, sort_keys=True))
+    else:
+        text = render_prometheus(registry)
+        if text:
+            print(text, end="")
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.service import VerificationService
     from repro.service.frontend import serve_loop
@@ -715,6 +752,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summary.add_argument("trace_file", help="JSONL file from --trace")
     summary.set_defaults(func=_cmd_obs_summary)
+
+    waterfall = obs_sub.add_parser(
+        "waterfall", help="render one service job's lifecycle from a trace"
+    )
+    waterfall.add_argument("trace_file", help="JSONL file from --trace")
+    waterfall.add_argument("job_id", type=int, help="service job id")
+    waterfall.set_defaults(func=_cmd_obs_waterfall)
+
+    metrics = obs_sub.add_parser(
+        "metrics", help="render the metrics plane from a saved trace"
+    )
+    metrics.add_argument(
+        "trace_file", help="JSONL trace or metrics export file"
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("prometheus", "records"),
+        default=None,
+        help="output shape (default: MFV_METRICS_FORMAT or prometheus)",
+    )
+    metrics.set_defaults(func=_cmd_obs_metrics)
 
     serve = sub.add_parser(
         "serve", help="continuous verification service (JSON-lines on stdin)"

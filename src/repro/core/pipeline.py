@@ -81,12 +81,27 @@ def phase(
         yield
     finally:
         sim_end = kernel.now if kernel is not None else 0.0
+        wall_seconds = time.perf_counter() - wall_start
+        sim_seconds = sim_end - sim_start
         phases[name] = {
-            "sim_seconds": sim_end - sim_start,
-            "wall_seconds": time.perf_counter() - wall_start,
+            "sim_seconds": sim_seconds,
+            "wall_seconds": wall_seconds,
         }
         if span is not None:
             collector.end(span, sim_end)
+        registry = bus.metrics_registry()
+        if registry.enabled:
+            registry.histogram(
+                "pipeline.phase_wall_seconds",
+                "Wall seconds spent per pipeline phase",
+                ("phase",),
+            ).observe(wall_seconds, phase=name)
+            registry.histogram(
+                "pipeline.phase_sim_seconds",
+                "Simulated seconds advanced per pipeline phase",
+                ("phase",),
+                unit="sim",
+            ).observe(sim_seconds, phase=name)
 
 
 class ModelFreeBackend:

@@ -304,6 +304,18 @@ def extract_afts(
                 # the kernel forward lets restart/fault-expiry events
                 # fire, so a retry can actually observe a healed target.
                 delay = min(backoff_cap, backoff_base * (2 ** (attempt - 1)))
+                registry = bus.metrics_registry()
+                if registry.enabled:
+                    registry.counter(
+                        "gnmi.retries",
+                        "Extraction retries by failure reason class",
+                        ("reason",),
+                    ).inc(reason=_reason_class(last_reason))
+                    registry.histogram(
+                        "gnmi.retry_backoff_sim_seconds",
+                        "Simulated seconds slept before an extraction retry",
+                        unit="sim",
+                    ).observe(delay)
                 kernel.run(until=kernel.now + delay)
             failed_nodes = getattr(deployment, "failed_nodes", None)
             if failed_nodes is not None and name in failed_nodes():
@@ -336,6 +348,21 @@ def extract_afts(
             report.degraded[name] = last_reason or "retry budget exhausted"
             report.degraded_addresses[name] = _configured_addresses(router)
     return report
+
+
+def _reason_class(reason: str) -> str:
+    """Collapse a free-text retry reason onto a bounded label set.
+
+    Labels feed metric series — an unbounded reason string (it embeds
+    exception text and FIB versions) would explode cardinality.
+    """
+    if reason.startswith("unavailable"):
+        return "unavailable"
+    if reason.startswith("stale dump"):
+        return "stale"
+    if reason == "pod-failed":
+        return "pod-failed"
+    return "other"
 
 
 def dump_afts(

@@ -24,6 +24,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro.obs import metrics as _metrics
+
 
 @dataclass
 class ObsEvent:
@@ -62,6 +64,8 @@ class Span:
     t_end: Optional[float] = None
     wall_seconds: float = 0.0
     parent: Optional[str] = None
+    #: Correlation attributes (e.g. ``{"job": 7}`` from a job scope).
+    attrs: dict = field(default_factory=dict, compare=False)
     _wall_start: float = field(default=0.0, repr=False, compare=False)
 
     @property
@@ -76,7 +80,7 @@ class Span:
         return self.t_end - self.t_start
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "kind": "span",
             "name": self.name,
             "category": self.category,
@@ -86,6 +90,9 @@ class Span:
             "wall_seconds": self.wall_seconds,
             "parent": self.parent,
         }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
 
 
 class Collector:
@@ -126,31 +133,97 @@ class Collector:
 NULL = Collector()
 
 
+# -- trace-context propagation -------------------------------------------------
+#
+# One verification job flows submit -> admission -> queue -> worker ->
+# engine build -> answer, crossing threads on the way. The worker wraps
+# each execution in a job scope; every event and span the active tracer
+# records on that thread carries the job id, which is how
+# ``mfv obs waterfall <job_id>`` reassembles the per-job story.
+
+_JOB_CONTEXT = threading.local()
+
+
+@dataclass(frozen=True)
+class JobContext:
+    """The correlation context a worker thread runs a job under."""
+
+    job_id: int
+    priority: str = ""
+
+
+def current_job() -> Optional[JobContext]:
+    """The job context of the calling thread (None outside a scope)."""
+    return getattr(_JOB_CONTEXT, "context", None)
+
+
+@contextmanager
+def job_scope(
+    job_id: int,
+    priority: str = "",
+    registry: Optional[_metrics.MetricsRegistry] = None,
+) -> Iterator[JobContext]:
+    """Tag everything recorded on this thread with ``job_id``.
+
+    With ``registry``, it also becomes the thread's ambient metrics
+    registry for the scope (see :func:`metrics_registry`): the worker
+    pool passes its service's private registry here, so engine builds
+    and store lookups inside a job land on that service's plane.
+    """
+    context = JobContext(job_id=job_id, priority=priority)
+    previous = getattr(_JOB_CONTEXT, "context", None)
+    previous_registry = getattr(_JOB_CONTEXT, "registry", None)
+    _JOB_CONTEXT.context = context
+    if registry is not None:
+        _JOB_CONTEXT.registry = registry
+    try:
+        yield context
+    finally:
+        _JOB_CONTEXT.context = previous
+        _JOB_CONTEXT.registry = previous_registry
+
+
 class Tracer(Collector):
-    """A recording collector: events, spans, and aggregate counters."""
+    """A recording collector: events, spans, and aggregate counters.
+
+    Counters live on a per-tracer :class:`~repro.obs.metrics.MetricsRegistry`
+    (so a traced run exports histograms and gauges alongside its events);
+    :attr:`counters` keeps the historical flat ``{name: value}`` view.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(
+        self, registry: Optional[_metrics.MetricsRegistry] = None
+    ) -> None:
         self.events: list[ObsEvent] = []
         self.spans: list[Span] = []
-        self.counters: dict[str, int] = {}
+        # A tracer's registry is always enabled: installing a tracer IS
+        # the opt-in, independent of the process-default knob.
+        self.registry = (
+            registry
+            if registry is not None
+            else _metrics.MetricsRegistry(enabled=True)
+        )
         self._phase_stack: list[Span] = []
-        # Counter updates are read-modify-write; the verification
-        # service counts from worker threads, so serialize them (event
-        # and span appends are single bytecode ops and stay lock-free).
-        self._counter_lock = threading.Lock()
+
+    @property
+    def counters(self) -> dict:
+        """Flat counter view (migrated onto :attr:`registry`)."""
+        return self.registry.counter_values()
 
     # -- recording ---------------------------------------------------------
 
     def emit(self, category: str, t: float, node: str = "", **detail) -> None:
+        context = getattr(_JOB_CONTEXT, "context", None)
+        if context is not None and "job" not in detail:
+            detail["job"] = context.job_id
         self.events.append(
             ObsEvent(t=t, category=category, node=node, detail=detail)
         )
 
     def count(self, name: str, n: int = 1) -> None:
-        with self._counter_lock:
-            self.counters[name] = self.counters.get(name, 0) + n
+        self.registry.counter(name).labels().inc(n)
 
     def begin(
         self,
@@ -160,12 +233,14 @@ class Tracer(Collector):
         category: str = "phase",
         node: str = "",
     ) -> Span:
+        context = getattr(_JOB_CONTEXT, "context", None)
         span = Span(
             name=name,
             category=category,
             node=node,
             t_start=t,
             parent=self._phase_stack[-1].name if self._phase_stack else None,
+            attrs={"job": context.job_id} if context is not None else {},
             _wall_start=time.perf_counter(),
         )
         self.spans.append(span)
@@ -204,6 +279,23 @@ def active() -> Collector:
     """The currently installed collector (the no-op :data:`NULL` when
     tracing is off)."""
     return ACTIVE
+
+
+def metrics_registry() -> _metrics.MetricsRegistry:
+    """The metrics registry instrumentation should record into.
+
+    Resolution order: a recording tracer's own registry (so traced
+    runs export their metrics with the trace), then the calling
+    thread's job-scope registry (a worker running a service job), then
+    the process-wide :data:`repro.obs.metrics.DEFAULT` plane — enabled
+    unless ``MFV_METRICS_ENABLED=0``. Hot paths call this once per
+    operation, not per loop iteration.
+    """
+    registry = getattr(ACTIVE, "registry", None)
+    if registry is not None:
+        return registry
+    registry = getattr(_JOB_CONTEXT, "registry", None)
+    return registry if registry is not None else _metrics.DEFAULT
 
 
 def install(collector: Collector) -> Collector:

@@ -1,36 +1,51 @@
 """JSONL trace export/import for offline analysis.
 
-One JSON object per line. Three record kinds:
+One JSON object per line. Five record kinds:
 
 * ``{"kind": "event", "t": ..., "category": ..., "node": ..., "detail": {...}}``
-* ``{"kind": "span", "name": ..., "t_start": ..., "t_end": ..., ...}``
-* ``{"kind": "counter", "name": ..., "value": ...}``
+* ``{"kind": "span", "name": ..., "t_start": ..., "t_end": ..., "attrs": {...}, ...}``
+* ``{"kind": "counter", "name": ..., "value": ..., ["labels": {...}]}``
+* ``{"kind": "gauge", "name": ..., "value": ..., ["labels": {...}]}``
+* ``{"kind": "histogram", "name": ..., "buckets": [...], "counts": [...],
+  "sum": ..., "count": ..., ["labels": {...}]}``
 
 The format round-trips through :class:`~repro.obs.bus.Tracer`, so
 ``mfv obs summary trace.jsonl`` renders a saved trace exactly like the
-live run did.
+live run did, and ``mfv obs metrics trace.jsonl`` re-renders the
+metrics plane (Prometheus text or records) offline.
+
+:func:`write_metrics_jsonl` exports a bare registry — either a full
+snapshot or, given a prior :meth:`~repro.obs.metrics.MetricsRegistry.collect`
+snapshot, just the delta since it (the cheap periodic-shipping shape).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.obs.bus import ObsEvent, Span, Tracer
+from repro.obs.metrics import MetricsRegistry, diff_records
+
+#: Record kinds owned by the metrics registry (vs the event/span trace).
+METRIC_KINDS = ("counter", "gauge", "histogram")
 
 
 def write_jsonl(tracer: Tracer, path: Union[str, Path]) -> int:
-    """Write the trace to ``path``; returns the number of lines written."""
+    """Write the trace to ``path``; returns the number of lines written.
+
+    Metric records come from the tracer's registry: every counter,
+    gauge, and histogram series becomes one line, so the export carries
+    the full metrics plane, not just the flat counter view.
+    """
     lines = []
     for event in tracer.events:
         lines.append(json.dumps(event.to_dict(), sort_keys=True))
     for span in tracer.spans:
         lines.append(json.dumps(span.to_dict(), sort_keys=True))
-    for name, value in sorted(tracer.counters.items()):
-        lines.append(
-            json.dumps({"kind": "counter", "name": name, "value": value})
-        )
+    for record in tracer.registry.collect():
+        lines.append(json.dumps(record, sort_keys=True))
     Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
     return len(lines)
 
@@ -65,12 +80,64 @@ def read_jsonl(path: Union[str, Path]) -> Tracer:
                     t_end=record.get("t_end"),
                     wall_seconds=record.get("wall_seconds", 0.0),
                     parent=record.get("parent"),
+                    attrs=record.get("attrs", {}),
                 )
             )
-        elif kind == "counter":
-            tracer.counters[record["name"]] = record["value"]
+        elif kind in METRIC_KINDS:
+            try:
+                tracer.registry.load_record(record)
+            except (KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed {kind} record: {exc}"
+                ) from exc
         else:
             raise ValueError(
                 f"{path}:{line_number}: unknown trace record kind {kind!r}"
             )
     return tracer
+
+
+def write_metrics_jsonl(
+    registry: MetricsRegistry,
+    path: Union[str, Path],
+    *,
+    since: Optional[list[dict]] = None,
+) -> int:
+    """Export a registry as metric records; returns lines written.
+
+    With ``since`` (a prior ``registry.collect()`` snapshot) only the
+    delta is written: counter/histogram increments since the snapshot,
+    gauges at their current level, unchanged series omitted.
+    """
+    records = registry.collect()
+    if since is not None:
+        records = diff_records(since, records)
+    lines = [json.dumps(record, sort_keys=True) for record in records]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def read_metrics_jsonl(path: Union[str, Path]) -> MetricsRegistry:
+    """Reconstruct a registry from a metrics (or full-trace) JSONL file.
+
+    Event and span records are skipped, so this reads both the bare
+    :func:`write_metrics_jsonl` shape and a full :func:`write_jsonl`
+    trace.
+    """
+    registry = MetricsRegistry(enabled=True)
+    for line_number, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("kind")
+        if kind in ("event", "span"):
+            continue
+        if kind not in METRIC_KINDS:
+            raise ValueError(
+                f"{path}:{line_number}: unknown trace record kind {kind!r}"
+            )
+        registry.load_record(record)
+    return registry

@@ -272,15 +272,153 @@ def _fmt(value: Optional[float]) -> str:
     return f"{value:.1f}" if value is not None else "-"
 
 
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+def _render_slow_spans(spans: list[Span], top: int = 5) -> list[str]:
+    """The ``top`` slowest closed spans by wall duration."""
+    closed = [s for s in spans if s.closed]
+    if not closed:
+        return []
+    ranked = sorted(closed, key=lambda s: -s.wall_seconds)[:top]
+    lines = ["", f"Slowest spans (top {len(ranked)} by wall time):"]
+    for span in ranked:
+        where = f" [{span.node}]" if span.node else ""
+        job = span.attrs.get("job")
+        tag = f" job={job}" if job is not None else ""
+        lines.append(
+            f"  {span.name:<24} {span.wall_seconds * 1e3:>10.1f} ms"
+            f"{where}{tag}"
+        )
+    return lines
+
+
+def _render_span_percentiles(spans: list[Span]) -> list[str]:
+    """Per-span-name wall-duration percentiles (p50/p90/p99)."""
+    by_name: dict[str, list[float]] = {}
+    for span in spans:
+        if span.closed:
+            by_name.setdefault(span.name, []).append(span.wall_seconds)
+    if not by_name:
+        return []
+    lines = [
+        "",
+        "Span durations (wall ms):",
+        f"  {'name':<24} {'count':>5} {'p50':>9} {'p90':>9} {'p99':>9}",
+    ]
+    for name in sorted(by_name):
+        ordered = sorted(by_name[name])
+        lines.append(
+            f"  {name:<24} {len(ordered):>5}"
+            f" {_percentile(ordered, 0.50) * 1e3:>9.1f}"
+            f" {_percentile(ordered, 0.90) * 1e3:>9.1f}"
+            f" {_percentile(ordered, 0.99) * 1e3:>9.1f}"
+        )
+    return lines
+
+
 def summary_text(tracer: Tracer, title: str = "Trace summary") -> str:
     """The compact formatter used by ``mfv obs summary`` and examples."""
     timeline = ConvergenceTimeline.from_tracer(tracer)
     lines = [title, ""]
     lines += timeline._render_phases()
     lines += timeline._render_counters()
+    lines += _render_slow_spans(tracer.spans)
+    lines += _render_span_percentiles(tracer.spans)
     last = timeline.last_route_install()
     if last is not None:
         lines.append("")
         lines.append(f"Last route installed at t={last:.1f} sim-s")
     lines.append(f"Total events recorded: {timeline.total_events}")
+    return "\n".join(lines)
+
+
+#: Width of a waterfall bar in characters.
+_WATERFALL_WIDTH = 40
+
+
+def waterfall_text(tracer: Tracer, job_id: int) -> str:
+    """Render one job's lifecycle as a waterfall.
+
+    The rows come from the ``service.job`` events the service emits at
+    every state transition (all tagged with the job id), bracketed over
+    the job's wall-time extent; spans recorded by the worker thread
+    while the job ran (engine builds, nested phases) carry the same id
+    in their ``attrs`` via the ambient job context and are listed
+    below the bars with their wall durations.
+
+    Raises :class:`KeyError` when the trace has no record of the job.
+    """
+    events = sorted(
+        (e for e in tracer.events if e.detail.get("job") == job_id),
+        key=lambda e: e.t,
+    )
+    spans = [s for s in tracer.spans if s.attrs.get("job") == job_id]
+    if not events and not spans:
+        raise KeyError(f"job {job_id} does not appear in this trace")
+    lines = [f"Job {job_id} waterfall (wall seconds since service start):"]
+    job_events = [e for e in events if e.category == SERVICE_JOB]
+    if job_events:
+        first = job_events[0]
+        label = first.detail.get("label")
+        priority = first.detail.get("priority")
+        if label or priority:
+            lines[0] += f"  [{label or '?'} @ {priority or '?'}]"
+        lines.append("")
+        t0 = job_events[0].t
+        t1 = max(e.t for e in job_events)
+        extent = max(t1 - t0, 1e-9)
+        for index, event in enumerate(job_events):
+            state = str(event.detail.get("state", "?"))
+            end = (
+                job_events[index + 1].t
+                if index + 1 < len(job_events)
+                else event.t
+            )
+            start_col = int((event.t - t0) / extent * _WATERFALL_WIDTH)
+            end_col = int((end - t0) / extent * _WATERFALL_WIDTH)
+            if end > event.t:
+                end_col = max(end_col, start_col + 1)
+            bar = (
+                "." * start_col
+                + "#" * (end_col - start_col)
+                + "." * (_WATERFALL_WIDTH - end_col)
+            )
+            duration = f" {end - event.t:8.3f}s" if end > event.t else ""
+            lines.append(
+                f"  t={event.t:>8.3f}  {state:<9} |{bar}|{duration}"
+            )
+        terminal = job_events[-1].detail
+        if "queue_seconds" in terminal or "run_seconds" in terminal:
+            lines.append(
+                f"  total {t1 - t0:.3f}s"
+                f"  (queue {terminal.get('queue_seconds', 0.0):.3f}s,"
+                f" run {terminal.get('run_seconds', 0.0):.3f}s,"
+                f" attempts {terminal.get('attempts', 1)})"
+            )
+    other = [e for e in events if e.category != SERVICE_JOB]
+    if other:
+        lines.append("")
+        lines.append("Correlated events:")
+        for event in other:
+            detail = " ".join(
+                f"{k}={v}"
+                for k, v in sorted(event.detail.items())
+                if k != "job"
+            )
+            lines.append(f"  t={event.t:>8.3f}  {event.category}  {detail}")
+    if spans:
+        lines.append("")
+        lines.append("Spans recorded while the job ran (wall ms):")
+        for span in sorted(spans, key=lambda s: -s.wall_seconds):
+            where = f" [{span.node}]" if span.node else ""
+            lines.append(
+                f"  {span.name:<24} {span.wall_seconds * 1e3:>10.1f} ms"
+                f"{where}"
+            )
     return "\n".join(lines)

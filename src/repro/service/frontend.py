@@ -14,6 +14,11 @@ service (admission control included). Ops:
     Await a previously submitted job.
 ``{"op": "stats"}``
     Service statistics (queue, store, caches, counters).
+``{"op": "metrics", "format": "prometheus"|"records"}``
+    The service's metrics plane. ``prometheus`` (the default, or set
+    ``MFV_METRICS_FORMAT=records``) returns text exposition in a
+    ``"text"`` field; ``records`` returns the JSONL-shaped record list
+    in a ``"records"`` field.
 ``{"op": "shutdown"}``
     Stop the loop (the caller owns worker shutdown).
 
@@ -29,6 +34,7 @@ import sys
 from collections import OrderedDict
 from typing import Any, Optional, TextIO
 
+from repro.obs.metrics import exposition_format, render_prometheus
 from repro.service.jobs import (
     Job,
     JobFailedError,
@@ -159,6 +165,24 @@ class ServiceFrontend:
                 return response, True
             if op == "stats":
                 return {"ok": True, "stats": self.service.stats()}, True
+            if op == "metrics":
+                fmt = request.get("format") or exposition_format()
+                if fmt == "records":
+                    return {
+                        "ok": True,
+                        "format": "records",
+                        "records": self.service.metrics.collect(),
+                    }, True
+                if fmt != "prometheus":
+                    return {
+                        "ok": False,
+                        "error": f"unknown metrics format: {fmt!r}",
+                    }, True
+                return {
+                    "ok": True,
+                    "format": "prometheus",
+                    "text": render_prometheus(self.service.metrics),
+                }, True
             if op == "shutdown":
                 return {"ok": True, "stopped": True}, False
             return {"ok": False, "error": f"unknown op: {op!r}"}, True

@@ -29,6 +29,7 @@ from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.core.snapshot import Snapshot
 from repro.obs import bus
+from repro.obs.metrics import MetricsRegistry
 from repro.pybf.session import Session, SessionError
 from repro.service.jobs import (
     Job,
@@ -49,6 +50,19 @@ DEFAULT_RESULT_CACHE = 256
 
 #: Questions whose ``answer()`` accepts a reference snapshot.
 _DIFFERENTIAL_QUESTIONS = frozenset({"differentialReachability", "routes"})
+
+#: Operational counters exposed by ``stats()`` (flat names; the metric
+#: series carry a ``service.`` prefix on the registry).
+_COUNTER_NAMES = (
+    "jobs_submitted",
+    "jobs_completed",
+    "jobs_failed",
+    "jobs_rejected",
+    "coalesced",
+    "result_cache_hits",
+    "retries",
+    "degraded_answers",
+)
 
 
 class VerificationService:
@@ -81,21 +95,88 @@ class VerificationService:
             workers=workers,
             max_retries=max_retries,
             retry_backoff=retry_backoff,
+            on_start=self._job_started,
             on_done=self._job_settled,
             on_retry=self._job_retried,
         )
         self._inflight: dict[tuple, Job] = {}
         self._lock = threading.Lock()
         self._epoch = time.monotonic()
-        self.counters: dict[str, int] = {
-            "jobs_submitted": 0,
-            "jobs_completed": 0,
-            "jobs_failed": 0,
-            "jobs_rejected": 0,
-            "coalesced": 0,
-            "result_cache_hits": 0,
-            "retries": 0,
-            "degraded_answers": 0,
+        # The service's metrics plane. A traced service shares the
+        # tracer's registry (so the trace exports service metrics); an
+        # untraced one gets a *private* always-on registry — counters
+        # are part of the stats() API and must be per-instance, never
+        # shared process-wide state. Worker threads install it as the
+        # ambient registry while a job runs (see WorkerPool), so engine
+        # builds and store lookups inside jobs land here too.
+        tracer_registry = getattr(bus.ACTIVE, "registry", None)
+        self.metrics: MetricsRegistry = (
+            tracer_registry
+            if tracer_registry is not None
+            else MetricsRegistry(enabled=True)
+        )
+        self.pool.registry = self.metrics
+        self._preregister_metrics()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _preregister_metrics(self) -> None:
+        """Create every service series up front so a scrape is complete
+        (queue-wait and engine-build histograms per priority class)
+        before the first job ever runs."""
+        m = self.metrics
+        for name in _COUNTER_NAMES:
+            m.counter(
+                f"service.{name}", f"Service {name.replace('_', ' ')}"
+            ).labels()
+        m.gauge("service.queue_depth", "Jobs waiting in the priority queue")
+        m.gauge("service.inflight", "Executions admitted and not settled")
+        m.gauge(
+            "service.degraded_answer_fraction",
+            "Completed answers served over degraded (partial) snapshots",
+        )
+        m.gauge(
+            "service.result_cache_entries", "Completed answers held in cache"
+        ).set(0)
+        shed = m.counter(
+            "service.shed", "Admission-control losses", ("reason",)
+        )
+        shed.labels(reason="displaced")
+        shed.labels(reason="rejected")
+        queue_hist = m.histogram(
+            "service.job_queue_seconds",
+            "Wall seconds a job waited between submit and first run",
+            ("priority",),
+        )
+        run_hist = m.histogram(
+            "service.job_run_seconds",
+            "Wall seconds a job spent executing (retries included)",
+            ("priority",),
+        )
+        build_hist = m.histogram(
+            "verify.engine_build_seconds",
+            "Wall seconds building one atom-graph engine",
+            ("priority",),
+        )
+        for priority in JobPriority:
+            name = priority.name.lower()
+            queue_hist.labels(priority=name)
+            run_hist.labels(priority=name)
+            build_hist.labels(priority=name)
+        # Engine builds outside any job scope (warm-up, campaigns run
+        # inline) land in the "none" class.
+        build_hist.labels(priority="none")
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.metrics.counter(f"service.{name}").labels().inc(n)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """The operational counters (registry-backed; flat names kept)."""
+        values = self.metrics.counter_values()
+        return {
+            name: int(values.get(f"service.{name}", 0))
+            for name in _COUNTER_NAMES
         }
 
     # -- lifecycle ------------------------------------------------------------
@@ -299,19 +380,30 @@ class VerificationService:
 
     def stats(self) -> dict:
         with self._lock:
-            counters = dict(self.counters)
             inflight = len(self._inflight)
-        return {
+        counters = self.counters
+        completed = counters["jobs_completed"]
+        stats = {
             "uptime_seconds": self._now(),
             "workers": self.pool.workers,
             "queue_depth": self.queue.depth,
             "queue_watermark": self.queue.max_depth,
             "inflight": inflight,
+            "degraded_answer_fraction": (
+                counters["degraded_answers"] / completed if completed else 0.0
+            ),
             "snapshots": self.snapshots(),
             "store": self.store.stats(),
             "result_cache": self.results.stats(),
-            **counters,
+            "counters": counters,
         }
+        # Deprecated: the counters used to be splatted into the top
+        # level, where any new stats field could collide with a counter
+        # name. Kept as read-only aliases for one release; consumers
+        # should move to stats["counters"].
+        for name, value in counters.items():
+            stats.setdefault(name, value)
+        return stats
 
     # -- internals ---------------------------------------------------------------
 
@@ -374,10 +466,7 @@ class VerificationService:
                     # UNKNOWN_DEGRADED), but the service keeps score so
                     # operators can see how much of the load ran over
                     # degraded data.
-                    with self._lock:
-                        self.counters["degraded_answers"] += 1
-                    if collector.enabled:
-                        collector.count("service.degraded_answers")
+                    self._count("degraded_answers")
                 runner = Session(store=self.store)
                 runner.init_snapshot(snap, name="__job__")
                 kwargs: dict[str, Any] = {"snapshot": "__job__"}
@@ -408,9 +497,7 @@ class VerificationService:
         with self._lock:
             cached = self.results.get(signature) if cacheable else None
             if cached is not None:
-                self.counters["result_cache_hits"] += 1
-                if bus.ACTIVE.enabled:
-                    bus.ACTIVE.count("service.result_cache_hits")
+                self._count("result_cache_hits")
                 job = Job(
                     signature, run, priority=priority, timeout=timeout,
                     label=label,
@@ -424,9 +511,7 @@ class VerificationService:
             inflight = self._inflight.get(signature)
             if inflight is not None and not inflight.done:
                 inflight.coalesced += 1
-                self.counters["coalesced"] += 1
-                if bus.ACTIVE.enabled:
-                    bus.ACTIVE.count("service.coalesced")
+                self._count("coalesced")
                 # The shared execution adopts the best class asked of
                 # it: an interactive caller attaching to a queued
                 # campaign job must not wait at campaign rank. (The
@@ -442,20 +527,18 @@ class VerificationService:
             accepted, shed = self.queue.submit(job)
             if shed is not None:
                 self._inflight.pop(shed.signature, None)
-                self.counters["jobs_rejected"] += 1
-                if bus.ACTIVE.enabled:
-                    bus.ACTIVE.count("service.rejected_overloaded")
+                self._count("jobs_rejected")
+                self.metrics.counter("service.shed").inc(reason="displaced")
                 self._emit_job_event(shed)
             if not accepted:
-                self.counters["jobs_rejected"] += 1
-                if bus.ACTIVE.enabled:
-                    bus.ACTIVE.count("service.rejected_overloaded")
+                self._count("jobs_rejected")
+                self.metrics.counter("service.shed").inc(reason="rejected")
                 self._emit_job_event(job)
                 return job
             self._inflight[signature] = job
-            self.counters["jobs_submitted"] += 1
-            if bus.ACTIVE.enabled:
-                bus.ACTIVE.count("service.jobs_submitted")
+            self._count("jobs_submitted")
+            self._emit_job_event(job)  # state=queued: the waterfall's start
+        self.metrics.gauge("service.queue_depth").set(self.queue.depth)
         if not self.pool.running:
             logger.warning(
                 "job %s submitted to a stopped service; call start()", job.id
@@ -464,30 +547,49 @@ class VerificationService:
 
     def _job_retried(self, job: Job, exc: BaseException) -> None:
         del exc
-        with self._lock:
-            self.counters["retries"] += 1
-        if bus.ACTIVE.enabled:
-            bus.ACTIVE.count("service.retries")
+        self._count("retries")
+        self.metrics.counter(
+            "service.job_retries",
+            "Retries after a lost deployment, by priority class",
+            ("priority",),
+        ).inc(priority=job.priority.name.lower())
+
+    def _job_started(self, job: Job) -> None:
+        """Worker-pool start hook: the waterfall's queued->running edge."""
+        self._emit_job_event(job)
 
     def _job_settled(self, job: Job) -> None:
         """Worker-pool completion hook: cache, uncoalesce, instrument."""
         with self._lock:
             if self._inflight.get(job.signature) is job:
                 del self._inflight[job.signature]
+            inflight = len(self._inflight)
             if job.state is JobState.DONE:
-                self.counters["jobs_completed"] += 1
+                self._count("jobs_completed")
                 if getattr(job, "cacheable", True):
                     self.results.put(
                         job.signature,
                         job.result(timeout=0),
                     )
             elif job.state is JobState.FAILED:
-                self.counters["jobs_failed"] += 1
-        if bus.ACTIVE.enabled:
-            if job.state is JobState.DONE:
-                bus.ACTIVE.count("service.jobs_completed")
-            elif job.state is JobState.FAILED:
-                bus.ACTIVE.count("service.jobs_failed")
+                self._count("jobs_failed")
+        m = self.metrics
+        priority = job.priority.name.lower()
+        m.histogram("service.job_queue_seconds", labelnames=("priority",)).observe(
+            job.queue_seconds, priority=priority
+        )
+        if job.state in (JobState.DONE, JobState.FAILED):
+            m.histogram(
+                "service.job_run_seconds", labelnames=("priority",)
+            ).observe(job.run_seconds, priority=priority)
+        m.gauge("service.inflight").set(inflight)
+        m.gauge("service.result_cache_entries").set(len(self.results))
+        counters = self.counters
+        completed = counters["jobs_completed"]
+        if completed:
+            m.gauge("service.degraded_answer_fraction").set(
+                counters["degraded_answers"] / completed
+            )
         self._emit_job_event(job)
 
     def _emit_job_event(self, job: Job) -> None:

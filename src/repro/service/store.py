@@ -111,15 +111,13 @@ class SnapshotStore:
             entry = self._entries.get(fingerprint)
             if entry is None:
                 self.misses += 1
-                if bus.ACTIVE.enabled:
-                    bus.ACTIVE.count("service.store_misses")
+                self._record_lookup("miss")
                 raise DeploymentLostError(
                     f"snapshot {fingerprint:#x} is no longer resident"
                 )
             self._entries.move_to_end(fingerprint)
             self.hits += 1
-            if bus.ACTIVE.enabled:
-                bus.ACTIVE.count("service.store_hits")
+            self._record_lookup("hit")
             return entry
 
     def engine(self, snapshot: Snapshot) -> AtomGraphEngine:
@@ -138,12 +136,10 @@ class SnapshotStore:
             if entry is not None:
                 self._entries.move_to_end(fingerprint)
                 self.hits += 1
-                if bus.ACTIVE.enabled:
-                    bus.ACTIVE.count("service.store_hits")
+                self._record_lookup("hit")
                 return entry
             self.misses += 1
-            if bus.ACTIVE.enabled:
-                bus.ACTIVE.count("service.store_misses")
+            self._record_lookup("miss")
             entry = StoreEntry(snapshot)
             self._entries[fingerprint] = entry
             while len(self._entries) > self.capacity:
@@ -151,7 +147,30 @@ class SnapshotStore:
                 self.evictions += 1
                 if bus.ACTIVE.enabled:
                     bus.ACTIVE.count("service.store_evictions")
-            return entry
+            resident = len(self._entries)
+        registry = bus.metrics_registry()
+        if registry.enabled:
+            registry.gauge(
+                "service.store_resident",
+                "Converged snapshots (and pinned engines) held resident",
+            ).set(resident)
+        return entry
+
+    def _record_lookup(self, result: str) -> None:
+        """One store lookup on both planes: the historical flat obs
+        counters and the labeled registry series."""
+        if bus.ACTIVE.enabled:
+            bus.ACTIVE.count(
+                "service.store_hits" if result == "hit"
+                else "service.store_misses"
+            )
+        registry = bus.metrics_registry()
+        if registry.enabled:
+            registry.counter(
+                "service.store_lookups",
+                "SnapshotStore lookups by outcome",
+                ("result",),
+            ).inc(result=result)
 
     # -- introspection --------------------------------------------------------
 

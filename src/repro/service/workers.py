@@ -29,6 +29,7 @@ import threading
 import time
 from typing import Callable, Optional
 
+from repro.obs import bus
 from repro.service.jobs import Job, JobQueue, JobTimeoutError
 from repro.service.store import DeploymentLostError, env_int
 
@@ -48,6 +49,7 @@ class WorkerPool:
         workers: Optional[int] = None,
         max_retries: int = 2,
         retry_backoff: float = 0.05,
+        on_start: Optional[Callable[[Job], None]] = None,
         on_done: Optional[Callable[[Job], None]] = None,
         on_retry: Optional[Callable[[Job, BaseException], None]] = None,
     ) -> None:
@@ -57,8 +59,12 @@ class WorkerPool:
         self.workers = max(1, workers)
         self.max_retries = max(0, max_retries)
         self.retry_backoff = max(0.0, retry_backoff)
+        self._on_start = on_start
         self._on_done = on_done
         self._on_retry = on_retry
+        #: The metrics registry job scopes install as the thread's
+        #: ambient plane (set by the owning service; None = default).
+        self.registry = None
         self._threads: list[threading.Thread] = []
         self._stopping = threading.Event()
 
@@ -112,7 +118,14 @@ class WorkerPool:
 
     def _run_one(self, job: Job) -> None:
         try:
-            self._execute(job)
+            # Everything this thread records while the job runs —
+            # events, spans, the engine-build histogram — carries the
+            # job id (and priority class) for per-job correlation, and
+            # lands on the owning service's metrics registry.
+            with bus.job_scope(
+                job.id, job.priority.name.lower(), registry=self.registry
+            ):
+                self._execute(job)
         finally:
             if self._on_done is not None:
                 self._on_done(job)
@@ -128,6 +141,8 @@ class WorkerPool:
             )
             return
         job.mark_running()
+        if self._on_start is not None:
+            self._on_start(job)
         attempt = 0
         while True:
             job.attempts = attempt + 1
@@ -152,6 +167,12 @@ class WorkerPool:
                 if self._on_retry is not None:
                     self._on_retry(job, exc)
                 delay = self.retry_backoff * (2**attempt)
+                registry = bus.metrics_registry()
+                if registry.enabled:
+                    registry.histogram(
+                        "service.retry_backoff_seconds",
+                        "Wall seconds slept before re-running a job",
+                    ).observe(delay)
                 logger.info(
                     "job %s lost its deployment (%s); retry %d/%d in %.3fs",
                     job.id, exc, attempt + 1, self.max_retries, delay,

@@ -138,6 +138,19 @@ class SimKernel:
                     collector.emit(
                         "kernel.queue_depth", self._now, depth=len(self._queue)
                     )
+                    # Registry gauges ride the same sampling interval:
+                    # per-event registry work on THE hot path would blow
+                    # the instrumentation-overhead budget.
+                    registry = bus.metrics_registry()
+                    if registry.enabled:
+                        registry.gauge(
+                            "kernel.queue_depth",
+                            "Live events in the kernel queue (sampled)",
+                        ).set(len(self._queue))
+                        registry.gauge(
+                            "kernel.events_processed",
+                            "Kernel events dispatched so far (sampled)",
+                        ).set(self.events_processed)
             event.action()
             return event
         return None

@@ -41,6 +41,7 @@ from __future__ import annotations
 import logging
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -528,7 +529,31 @@ def engine_for(
             return engine
         if bus.ACTIVE.enabled:
             bus.ACTIVE.count("verify.engine_cache_misses")
+        collector = bus.ACTIVE
+        span = (
+            collector.begin("verify.engine_build", 0.0, category="engine")
+            if collector.enabled
+            else None
+        )
+        build_start = time.perf_counter()
         engine = AtomGraphEngine(dataplane, atoms)
+        build_seconds = time.perf_counter() - build_start
+        if span is not None:
+            collector.end(span, 0.0)
+        registry = bus.metrics_registry()
+        if registry.enabled:
+            # Builds inside a service job carry its priority class —
+            # that is how "p99 engine-build cost for interactive jobs"
+            # becomes a scrapeable series.
+            context = bus.current_job()
+            registry.histogram(
+                "verify.engine_build_seconds",
+                "Wall seconds building one atom-graph engine",
+                ("priority",),
+            ).observe(
+                build_seconds,
+                priority=context.priority if context is not None else "none",
+            )
         with _CACHE_LOCK:
             _CACHE[key] = engine
             limit = _cache_limit()

@@ -199,6 +199,25 @@ class TestConvergenceTimeline:
         text = summary_text(tracer)
         assert "Counters:" in text
         assert "Last route installed" in text
+        # The profiling extensions: top-N slowest spans and per-name
+        # wall-duration percentiles.
+        assert "Slowest spans" in text
+        assert "Span durations (wall ms):" in text
+        assert "p99" in text
+
+    def test_phase_histograms_on_tracer_registry(self, fig2_traced):
+        tracer, _snapshot = fig2_traced
+        kinds = {
+            (r["kind"], r["name"]) for r in tracer.registry.collect()
+        }
+        assert ("histogram", "pipeline.phase_wall_seconds") in kinds
+        assert ("histogram", "pipeline.phase_sim_seconds") in kinds
+        wall = tracer.registry.histogram(
+            "pipeline.phase_wall_seconds",
+            "Wall seconds spent per pipeline phase",
+            ("phase",),
+        )
+        assert wall.labels(phase="deploy").count == 1
 
 
 class TestJsonlRoundTrip:
@@ -206,8 +225,12 @@ class TestJsonlRoundTrip:
         tracer, _snapshot = fig2_traced
         path = tmp_path / "trace.jsonl"
         lines = write_jsonl(tracer, path)
+        # One line per event, per span, and per metric *series* (every
+        # counter, gauge, and histogram child in the registry).
         assert lines == (
-            len(tracer.events) + len(tracer.spans) + len(tracer.counters)
+            len(tracer.events)
+            + len(tracer.spans)
+            + len(tracer.registry.collect())
         )
         restored = read_jsonl(path)
         original = ConvergenceTimeline.from_tracer(tracer)
@@ -216,6 +239,8 @@ class TestJsonlRoundTrip:
         assert loaded.counters == original.counters
         assert loaded.total_events == original.total_events
         assert set(loaded.devices) == set(original.devices)
+        # The whole metrics plane survives, histograms included.
+        assert restored.registry.collect() == tracer.registry.collect()
 
     def test_unknown_kind_rejected(self, tmp_path):
         path = tmp_path / "bad.jsonl"
