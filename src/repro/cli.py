@@ -4,8 +4,8 @@ Subcommands::
 
     mfv [-v|-vv] verify TOPOLOGY [--backend emulation|model]
                                  [--workers N] [--save SNAP.json]
-                                 [--trace OUT.jsonl]
-    mfv diff REFERENCE.json SNAPSHOT.json
+                                 [--trace OUT.jsonl] [--delta-stats]
+    mfv diff REFERENCE.json SNAPSHOT.json [--delta-stats]
     mfv trace SNAPSHOT.json NODE DEST
     mfv routes SNAPSHOT.json [NODE]
     mfv demo {fig2,fig3,production} [--trace OUT.jsonl]
@@ -29,6 +29,9 @@ Subcommands::
 :mod:`repro.topo.parser`) whose nodes reference config files, runs the
 chosen backend to convergence, reports reachability health, and can
 persist the extracted snapshot for later offline queries.
+``--delta-stats`` (on ``verify`` and ``diff``) prints how the engine
+came to exist: dirty-atom count and reused-vs-rebuilt device indexes
+for an incremental derivation, or the fallback reason for a cold build.
 
 ``obs timeline`` runs a built-in scenario (or a topology file) with the
 tracer installed and prints the convergence timeline: per-phase spans,
@@ -66,6 +69,31 @@ from repro.verify.invariants import detect_blackholes, detect_loops
 from repro.verify.reachability import verify_pairwise_reachability_text
 
 
+def _print_delta_stats(engine) -> None:
+    """The ``--delta-stats`` block: how this engine came to exist
+    relative to its lineage base (or why it could not derive)."""
+    stats = getattr(engine, "delta_stats", None)
+    print("delta stats:")
+    if stats is None:
+        print("  cold build (no lineage base offered)")
+        return
+    if stats.fallback is not None:
+        print(f"  cold build, delta fallback: {stats.fallback}")
+        print(f"  atoms: {stats.total_atoms}")
+        return
+    print(
+        f"  dirty atoms: {stats.dirty_atoms}/{stats.total_atoms} "
+        f"({stats.dirty_fraction:.1%})"
+    )
+    print(f"  reused verdict tables: {stats.reused_tables}")
+    print(
+        f"  device indexes: {stats.reused_indexes} reused, "
+        f"{stats.rebuilt_indexes} rebuilt "
+        f"({', '.join(stats.touched_devices) or 'none touched'})"
+    )
+    print(f"  apply time: {stats.apply_seconds * 1e3:.1f} ms")
+
+
 def _run_verify(args: argparse.Namespace) -> int:
     topology = load_topology(args.topology)
     print(f"Loaded {topology}")
@@ -90,7 +118,10 @@ def _run_verify(args: argparse.Namespace) -> int:
         dataplane = snapshot.dataplane
         # Build the shared atom-graph engine up front (optionally across
         # worker processes); every check below answers from its tables.
-        engine_for(dataplane).precompute(workers=args.workers)
+        engine = engine_for(dataplane)
+        engine.precompute(workers=args.workers)
+        if args.delta_stats:
+            _print_delta_stats(engine)
         print(verify_pairwise_reachability_text(dataplane))
         loops = detect_loops(dataplane)
         print(f"forwarding loops: {len(loops)}")
@@ -124,6 +155,11 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         snapshot="snapshot", reference_snapshot="reference"
     )
     print(answer)
+    if args.delta_stats:
+        # The differential answer derives the snapshot's engine from
+        # the reference's via the delta path; the (content-cached)
+        # engine carries the derivation record.
+        _print_delta_stats(engine_for(snapshot.dataplane))
     regressed = sum(1 for row in answer.frame() if row["Regressed"])
     return 2 if regressed else 0
 
@@ -585,11 +621,22 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--trace", help="record an observability trace to this JSONL file"
     )
+    verify.add_argument(
+        "--delta-stats",
+        action="store_true",
+        help="print how the engine was derived (delta apply vs cold build)",
+    )
     verify.set_defaults(func=_cmd_verify)
 
     diff = sub.add_parser("diff", help="differential reachability")
     diff.add_argument("reference")
     diff.add_argument("snapshot")
+    diff.add_argument(
+        "--delta-stats",
+        action="store_true",
+        help="print dirty atoms / reused indexes / fallback reason for "
+        "the snapshot engine's incremental derivation",
+    )
     diff.set_defaults(func=_cmd_diff)
 
     trace = sub.add_parser("trace", help="virtual traceroute")

@@ -8,6 +8,7 @@ what was actually extracted.
 """
 
 from repro.dataplane.model import Dataplane, DeviceForwarding, L3Edge
+from repro.dataplane.delta import DataplaneDelta, DeviceDelta
 from repro.dataplane.forwarding import (
     Disposition,
     ForwardingWalk,
@@ -18,6 +19,8 @@ from repro.dataplane.forwarding import (
 
 __all__ = [
     "Dataplane",
+    "DataplaneDelta",
+    "DeviceDelta",
     "DeviceForwarding",
     "Disposition",
     "ForwardingWalk",

@@ -53,6 +53,10 @@ class DeviceForwarding:
         self.name = snapshot.device
         self.trie: PrefixTrie[ForwardingEntry] = PrefixTrie()
         self._compiled: Optional[CompiledLpmIndex] = None
+        self._signature: Optional[int] = None
+        self._sorted_entries: Optional[
+            list[tuple[Prefix, ForwardingEntry]]
+        ] = None
         self.interface_addresses: dict[str, tuple[int, int]] = {}
         self.local_addresses: set[int] = set()
         self.acls: dict[str, Acl] = {
@@ -112,6 +116,72 @@ class DeviceForwarding:
         if self._compiled is None:
             self._compiled = CompiledLpmIndex(self.trie.lpm_intervals())
         return self._compiled
+
+    def sorted_entries(self) -> list[tuple[Prefix, ForwardingEntry]]:
+        """Every FIB entry in (network, length) order, walked once.
+
+        The trie walk is the expensive part of both the content
+        signature and a delta diff; caching the flattened list means a
+        baseline diffed against many churned snapshots walks each trie
+        exactly once (the device is immutable after construction).
+        """
+        if self._sorted_entries is None:
+            self._sorted_entries = sorted(
+                self.trie.items(),
+                key=lambda kv: (kv[0].network, kv[0].length),
+            )
+        return self._sorted_entries
+
+    def content_signature(self) -> int:
+        """Content hash of everything this device's forwarding depends on.
+
+        Equal signatures mean identical FIB entries, interface
+        addressing, and ACL bindings — so a delta diff can skip the
+        device in O(1), and the dataplane fingerprint is just the hash
+        of all device signatures. Computed once (the device is immutable
+        after construction).
+        """
+        if self._signature is None:
+            self._signature = hash(
+                (
+                    self.name,
+                    tuple(
+                        (prefix, entry.entry_type, entry.hops)
+                        for prefix, entry in self.sorted_entries()
+                    ),
+                    tuple(sorted(self.interface_addresses.items())),
+                    self.acl_signature(),
+                )
+            )
+        return self._signature
+
+    def acl_signature(self) -> tuple:
+        """Hashable view of the device's ACL bindings and rule content.
+
+        A delta derivation is only valid while this stays constant: ACL
+        changes move engine taint boundaries, which a dirty-atom patch
+        cannot express (see ``AtomGraphEngine.apply_delta``).
+        """
+        return (
+            tuple(sorted(self.interface_acls.items())),
+            tuple(
+                (acl_name, tuple(acl.rules))
+                for acl_name, acl in sorted(self.acls.items())
+            ),
+        )
+
+    def share_compiled_index(self, other: "DeviceForwarding") -> bool:
+        """Adopt ``other``'s compiled LPM index when content allows it.
+
+        Only legal between devices with equal :meth:`content_signature`
+        (identical tries flatten to identical ranges); the delta engine
+        uses this so untouched devices never re-flatten their FIBs.
+        Returns whether an index was actually adopted.
+        """
+        if self._compiled is None and other._compiled is not None:
+            self._compiled = other._compiled
+            return True
+        return False
 
     @property
     def has_acls(self) -> bool:
@@ -301,24 +371,15 @@ class Dataplane:
         construction).
         """
         if self._fingerprint is None:
-            parts = []
-            for name in sorted(self.devices):
-                device = self.devices[name]
-                parts.append(
-                    (
-                        name,
-                        tuple(
-                            (prefix, entry.entry_type, entry.hops)
-                            for prefix, entry in device.trie.items()
-                        ),
-                        tuple(sorted(device.interface_addresses.items())),
-                        tuple(sorted(device.interface_acls.items())),
-                        tuple(
-                            (acl_name, tuple(acl.rules))
-                            for acl_name, acl in sorted(device.acls.items())
-                        ),
-                    )
-                )
+            # Built from the per-device content signatures (cached on
+            # each device), so the fingerprint costs O(devices) after
+            # the first device hash — and a DataplaneDelta diffing two
+            # fingerprinted dataplanes gets its O(1) unchanged-device
+            # skip for free.
+            parts: list = [
+                (name, self.devices[name].content_signature())
+                for name in sorted(self.devices)
+            ]
             if self.degraded_nodes or self.degraded_owned:
                 # Folded only for partial snapshots so every fault-free
                 # fingerprint stays byte-identical to pre-chaos builds.

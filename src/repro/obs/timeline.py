@@ -322,6 +322,42 @@ def _render_span_percentiles(spans: list[Span]) -> list[str]:
     return lines
 
 
+def _render_histograms(registry) -> list[str]:
+    """Registry histograms with observations: count/p50/p90/p99 per
+    labeled child, in the series' native unit (seconds histograms stay
+    seconds, count histograms like ``verify.dirty_atoms`` stay counts)."""
+    rows = []
+    for family in registry.families():
+        if family.kind != "histogram":
+            continue
+        for child in family.children():
+            if child.count == 0:
+                continue
+            label = family.name
+            if child.labels:
+                inner = ",".join(
+                    f"{k}={v}" for k, v in sorted(child.labels.items())
+                )
+                label = f"{family.name}{{{inner}}}"
+            rows.append((label, child))
+    if not rows:
+        return []
+    lines = [
+        "",
+        "Histograms (native units):",
+        f"  {'series':<40} {'count':>6} {'p50':>10} {'p90':>10} {'p99':>10}",
+    ]
+    for label, child in sorted(rows):
+        quantiles = child.quantiles((0.5, 0.9, 0.99))
+        lines.append(
+            f"  {label:<40} {child.count:>6}"
+            f" {quantiles[0.5]:>10.4g}"
+            f" {quantiles[0.9]:>10.4g}"
+            f" {quantiles[0.99]:>10.4g}"
+        )
+    return lines
+
+
 def summary_text(tracer: Tracer, title: str = "Trace summary") -> str:
     """The compact formatter used by ``mfv obs summary`` and examples."""
     timeline = ConvergenceTimeline.from_tracer(tracer)
@@ -330,6 +366,7 @@ def summary_text(tracer: Tracer, title: str = "Trace summary") -> str:
     lines += timeline._render_counters()
     lines += _render_slow_spans(tracer.spans)
     lines += _render_span_percentiles(tracer.spans)
+    lines += _render_histograms(tracer.registry)
     last = timeline.last_route_install()
     if last is not None:
         lines.append("")

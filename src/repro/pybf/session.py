@@ -47,9 +47,18 @@ class Session:
     # -- snapshot management -------------------------------------------------
 
     def init_snapshot(
-        self, snapshot: Snapshot, name: Optional[str] = None, overwrite: bool = False
+        self,
+        snapshot: Snapshot,
+        name: Optional[str] = None,
+        overwrite: bool = False,
+        parent: Optional[int] = None,
     ) -> str:
-        """Register a snapshot; it becomes the current one."""
+        """Register a snapshot; it becomes the current one.
+
+        ``parent`` (a fingerprint) marks which store-resident content
+        this snapshot churned from, enabling incremental engine
+        derivation; ignored for store-less sessions.
+        """
         name = name or snapshot.name
         if name in self._snapshots and not overwrite:
             raise SessionError(
@@ -58,7 +67,7 @@ class Session:
         self._snapshots[name] = snapshot
         self._engines.pop(name, None)
         if self._store is not None:
-            self._store.register(snapshot)
+            self._store.register(snapshot, parent=parent)
         self._current = name
         return name
 

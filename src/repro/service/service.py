@@ -166,6 +166,41 @@ class VerificationService:
         # Engine builds outside any job scope (warm-up, campaigns run
         # inline) land in the "none" class.
         build_hist.labels(priority="none")
+        # Delta-derivation series (emitted by repro.verify.engine when a
+        # lineage base is available): preregistered so a scrape shows
+        # zeroes rather than gaps before the first churn arrives.
+        from repro.verify.engine import DIRTY_ATOM_BUCKETS
+
+        m.counter(
+            "verify.delta_applies",
+            "Engines derived incrementally from a resident base",
+        ).labels()
+        m.counter(
+            "verify.delta_dirty_atoms",
+            "Total atoms re-evaluated across all delta applies",
+        ).labels()
+        m.counter(
+            "verify.delta_fallbacks",
+            "Delta derivations abandoned for a cold build",
+        ).labels()
+        reasons = m.counter(
+            "verify.delta_fallback_reasons",
+            "Delta derivations abandoned for a cold build, by reason",
+            ("reason",),
+        )
+        for reason in (
+            "device-set", "acl-change", "dirty-fraction", "base-mismatch"
+        ):
+            reasons.labels(reason=reason)
+        m.histogram(
+            "verify.dirty_atoms",
+            "Atoms re-evaluated per delta apply",
+            buckets=DIRTY_ATOM_BUCKETS,
+        )
+        m.histogram(
+            "verify.delta_apply_seconds",
+            "Wall seconds diffing and applying one dataplane delta",
+        )
 
     def _count(self, name: str, n: int = 1) -> None:
         self.metrics.counter(f"service.{name}").labels().inc(n)
@@ -468,14 +503,22 @@ class VerificationService:
                     # degraded data.
                     self._count("degraded_answers")
                 runner = Session(store=self.store)
-                runner.init_snapshot(snap, name="__job__")
                 kwargs: dict[str, Any] = {"snapshot": "__job__"}
                 if reference_snapshot is not None:
+                    # A differential question declares its pair: the
+                    # snapshot is churn of the reference, so record the
+                    # lineage and let the snapshot's engine derive from
+                    # the reference's instead of building cold.
                     ref = self._resolve_pinned(
                         reference_snapshot, reference_fp
                     )
                     runner.init_snapshot(ref, name="__reference__")
                     kwargs["reference_snapshot"] = "__reference__"
+                    runner.init_snapshot(
+                        snap, name="__job__", parent=reference_fp
+                    )
+                else:
+                    runner.init_snapshot(snap, name="__job__")
                 factory = getattr(runner.q, question)
                 return factory(**params).answer(**kwargs)
             finally:

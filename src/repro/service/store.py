@@ -23,7 +23,7 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.snapshot import Snapshot
 from repro.obs import bus
@@ -31,6 +31,10 @@ from repro.verify.engine import AtomGraphEngine, engine_for
 
 #: Default resident-snapshot capacity (override: ``MFV_SERVICE_STORE``).
 DEFAULT_CAPACITY = 8
+
+#: How many lineage hops a delta-base search walks before giving up
+#: (override: ``MFV_DELTA_LINEAGE_DEPTH``; 0 disables delta derivation).
+DEFAULT_LINEAGE_DEPTH = 4
 
 
 def env_int(name: str, default: int, minimum: int = 1) -> int:
@@ -56,20 +60,46 @@ class DeploymentLostError(RuntimeError):
 class StoreEntry:
     """One resident converged state: snapshot + lazily pinned engine."""
 
-    __slots__ = ("snapshot", "fingerprint", "_engine", "_lock")
+    __slots__ = (
+        "snapshot",
+        "fingerprint",
+        "base_supplier",
+        "_engine",
+        "_lock",
+    )
 
     def __init__(self, snapshot: Snapshot) -> None:
         self.snapshot = snapshot
         self.fingerprint = snapshot.dataplane.fib_fingerprint()
+        #: Store-installed callable returning a resident ancestor's
+        #: built engine (or None) — the delta base for this build.
+        self.base_supplier: Optional[
+            Callable[[], Optional[AtomGraphEngine]]
+        ] = None
         self._engine: Optional[AtomGraphEngine] = None
         self._lock = threading.Lock()
 
     def engine(self) -> AtomGraphEngine:
-        """The pinned atom-graph engine (built once, on first demand)."""
+        """The pinned atom-graph engine (built once, on first demand).
+
+        When the store recorded a lineage parent for this content, the
+        build derives incrementally from the parent's resident engine
+        via :func:`engine_for`'s delta path (falling back to a cold
+        build whenever the delta is unapplicable). Lock order is
+        entry._lock -> store._lock (the supplier); the store never takes
+        an entry lock while holding its own.
+        """
         if self._engine is None:
             with self._lock:
                 if self._engine is None:
-                    self._engine = engine_for(self.snapshot.dataplane)
+                    base = (
+                        self.base_supplier()
+                        if self.base_supplier is not None
+                        else None
+                    )
+                    self._engine = engine_for(
+                        self.snapshot.dataplane, base=base
+                    )
         return self._engine
 
     @property
@@ -84,7 +114,13 @@ class SnapshotStore:
         if capacity is None:
             capacity = env_int("MFV_SERVICE_STORE", DEFAULT_CAPACITY)
         self.capacity = max(1, capacity)
+        self.lineage_depth = env_int(
+            "MFV_DELTA_LINEAGE_DEPTH", DEFAULT_LINEAGE_DEPTH, minimum=0
+        )
         self._entries: "OrderedDict[int, StoreEntry]" = OrderedDict()
+        #: child fingerprint -> parent fingerprint; survives eviction of
+        #: either side (it is metadata, not residence).
+        self._lineage: dict[int, int] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
@@ -92,14 +128,33 @@ class SnapshotStore:
 
     # -- registration / lookup ------------------------------------------------
 
-    def register(self, snapshot: Snapshot) -> int:
+    def register(
+        self, snapshot: Snapshot, parent: Optional[int] = None
+    ) -> int:
         """Make ``snapshot`` resident; returns its fingerprint.
 
         Re-registering existing content is a hit (the entry is
-        refreshed in LRU order, its pinned engine survives).
+        refreshed in LRU order, its pinned engine survives). ``parent``
+        optionally records which resident content this snapshot churned
+        from, letting the entry's engine derive incrementally instead
+        of building cold.
         """
-        self._entry_for(snapshot)
-        return snapshot.dataplane.fib_fingerprint()
+        fingerprint = self._entry_for(snapshot).fingerprint
+        if parent is not None:
+            self.record_lineage(fingerprint, parent)
+        return fingerprint
+
+    def record_lineage(self, child: int, parent: int) -> None:
+        """Note that ``child`` content churned from ``parent`` content.
+
+        Called on registration with an explicit parent and by the
+        service whenever a differential question declares its pair —
+        the diff *is* the lineage claim. Self-loops are ignored.
+        """
+        if child == parent:
+            return
+        with self._lock:
+            self._lineage[child] = parent
 
     def get(self, fingerprint: int) -> StoreEntry:
         """The resident entry for ``fingerprint``.
@@ -141,6 +196,9 @@ class SnapshotStore:
             self.misses += 1
             self._record_lookup("miss")
             entry = StoreEntry(snapshot)
+            entry.base_supplier = (
+                lambda fp=fingerprint: self._delta_base(fp)
+            )
             self._entries[fingerprint] = entry
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -155,6 +213,28 @@ class SnapshotStore:
                 "Converged snapshots (and pinned engines) held resident",
             ).set(resident)
         return entry
+
+    def _delta_base(self, fingerprint: int) -> Optional[AtomGraphEngine]:
+        """The nearest lineage ancestor with a resident *built* engine.
+
+        Walks child -> parent links up to ``lineage_depth`` hops —
+        non-resident intermediates are skipped over, so a grandparent
+        can still serve after its child was evicted. Returns None when
+        nothing usable is found (the caller builds cold).
+        """
+        with self._lock:
+            seen = {fingerprint}
+            current = fingerprint
+            for _ in range(self.lineage_depth):
+                parent = self._lineage.get(current)
+                if parent is None or parent in seen:
+                    return None
+                entry = self._entries.get(parent)
+                if entry is not None and entry.engine_built:
+                    return entry._engine
+                seen.add(parent)
+                current = parent
+        return None
 
     def _record_lookup(self, result: str) -> None:
         """One store lookup on both planes: the historical flat obs
@@ -197,6 +277,7 @@ class SnapshotStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "lineage_edges": len(self._lineage),
             }
 
     def __repr__(self) -> str:

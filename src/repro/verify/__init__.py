@@ -12,6 +12,8 @@ the two.
 from repro.verify.engine import (
     AtomGraphEngine,
     AtomVerdict,
+    DeltaStats,
+    DeltaUnapplicable,
     clear_engine_cache,
     engine_for,
 )
@@ -32,6 +34,8 @@ from repro.verify.invariants import (
 __all__ = [
     "AtomGraphEngine",
     "AtomVerdict",
+    "DeltaStats",
+    "DeltaUnapplicable",
     "DifferentialRow",
     "ReachabilityAnalysis",
     "ReachabilityRow",

@@ -23,13 +23,39 @@ from repro.dataplane.forwarding import (
     Disposition,
     ForwardingWalk,
     Trace,
-    dst_atoms,
 )
 from repro.dataplane.model import Dataplane
-from repro.net.addr import format_ipv4
+from repro.net.addr import MAX_IPV4, format_ipv4
 from repro.net.headerspace import HeaderSpace
 from repro.net.intervals import IntervalSet
-from repro.verify.engine import engine_for
+from repro.verify.engine import AtomGraphEngine, engine_for
+
+
+def _merged_pieces(
+    ref_engine: AtomGraphEngine, new_engine: AtomGraphEngine
+) -> list[tuple[IntervalSet, int, int]]:
+    """The merge of two engines' partitions, as (piece, ref atom index,
+    snapshot atom index) triples.
+
+    Each engine's atoms are contiguous ascending spans covering the
+    whole space, so cutting at the union of their lower bounds yields
+    pieces lying inside exactly one atom of each engine — within a
+    piece both verdicts are constant, which is all the comparison loop
+    needs.
+    """
+    bounds = sorted(
+        {atom.min() for atom in ref_engine.atoms}
+        | {atom.min() for atom in new_engine.atoms}
+    )
+    uppers = bounds[1:] + [MAX_IPV4 + 1]
+    return [
+        (
+            IntervalSet.span(lo, hi - 1),
+            ref_engine.atom_index_of(lo),
+            new_engine.atom_index_of(lo),
+        )
+        for lo, hi in zip(bounds, uppers)
+    ]
 
 
 @dataclass(frozen=True)
@@ -112,6 +138,14 @@ class BaselineDiff:
         self.reference = reference
         self.fingerprint = reference.fib_fingerprint()
         self.baseline_invariants = verification_summary(reference)
+        # The baseline's engine, pinned for the campaign's lifetime: it
+        # is the delta base every differing scenario derives from
+        # (verification_summary above already built and cached it).
+        self.reference_engine = engine_for(reference)
+        #: Lineage record of the latest :meth:`compare`'s snapshot
+        #: engine: :class:`~repro.verify.engine.DeltaStats` after a
+        #: non-identical comparison, None after a fingerprint skip.
+        self.last_delta_stats = None
 
     def compare(self, snapshot: Dataplane) -> BaselineComparison:
         from repro.obs import bus
@@ -121,6 +155,7 @@ class BaselineDiff:
             collector = bus.ACTIVE
             if collector.enabled:
                 collector.count("verify.baseline_diff_skips")
+            self.last_delta_stats = None
             return BaselineComparison(
                 rows=(),
                 invariants=dict(self.baseline_invariants),
@@ -129,8 +164,14 @@ class BaselineDiff:
                 new_unreachable_pairs=0,
                 identical=True,
             )
-        invariants = verification_summary(snapshot)
+        # Rows first: differential_reachability derives the snapshot's
+        # engine from the baseline's via the delta path, and the
+        # invariant summary below reuses it from the content cache —
+        # so a single-link scenario verifies in time proportional to
+        # its churn, never to the network.
         rows = differential_reachability(self.reference, snapshot)
+        self.last_delta_stats = engine_for(snapshot).delta_stats
+        invariants = verification_summary(snapshot)
         return BaselineComparison(
             rows=tuple(rows),
             invariants=invariants,
@@ -166,36 +207,50 @@ def differential_reachability(
     coherent behaviour change.
 
     Both sides are evaluated by their (content-cached) atom-graph
-    engines over one shared partition, so the comparison per (ingress,
-    atom) is two table lookups; scalar walks run only to attach witness
-    traces to differing rows and for ACL-tainted atoms, whose header-
-    space splits require the exact walk comparison. ``atoms`` may
-    supply a pre-refined partition (it must refine the union partition
-    of both dataplanes — multirun passes one shared across all seeds,
-    so each snapshot's engine is built once, not once per pair).
+    engines, so the comparison per (ingress, atom) is two table
+    lookups; scalar walks run only to attach witness traces to
+    differing rows and for ACL-tainted atoms, whose header-space splits
+    require the exact walk comparison.
+
+    Without ``atoms``, each snapshot keeps its *own* default partition
+    — the snapshot engine derived incrementally from the reference's
+    via :func:`engine_for`'s delta path when their churn allows — and
+    the comparison iterates the merge of both partitions' boundaries
+    (identical to the union partition, since boundaries are exactly the
+    two prefix sets' endpoints). ``atoms`` may instead supply one
+    shared pre-refined partition both engines are built over (it must
+    refine the union partition of both dataplanes — multirun passes one
+    shared across all seeds, so each snapshot's engine is built once,
+    not once per pair).
     """
     common = set(reference.node_names()) & set(snapshot.node_names())
     nodes = sorted(common if ingress_nodes is None else
                    common & set(ingress_nodes))
-    if atoms is None:
-        atoms = dst_atoms(reference, snapshot)
     restriction = dst_space.dst_values() if dst_space is not None else None
-    ref_engine = engine_for(reference, atoms)
-    new_engine = engine_for(snapshot, atoms)
-    ref_engine.precompute()
-    new_engine.precompute()
+    if atoms is None:
+        ref_engine = engine_for(reference)
+        new_engine = engine_for(snapshot, base=ref_engine)
+        ref_engine.precompute()
+        new_engine.precompute()
+        spans = _merged_pieces(ref_engine, new_engine)
+    else:
+        ref_engine = engine_for(reference, atoms)
+        new_engine = engine_for(snapshot, atoms)
+        ref_engine.precompute()
+        new_engine.precompute()
+        spans = [(atom, index, index) for index, atom in enumerate(atoms)]
     ref_walk = ForwardingWalk(reference)
     new_walk = ForwardingWalk(snapshot)
     rows: list[DifferentialRow] = []
     for ingress in nodes:
         merged: dict[tuple, list] = {}
-        for index, atom in enumerate(atoms):
+        for atom, ref_index, new_index in spans:
             piece = atom if restriction is None else (atom & restriction)
             if piece.is_empty():
                 continue
             probe = piece.sample()
-            ref_verdict = ref_engine.verdict(ingress, index)
-            new_verdict = new_engine.verdict(ingress, index)
+            ref_verdict = ref_engine.verdict(ingress, ref_index)
+            new_verdict = new_engine.verdict(ingress, new_index)
             if ref_verdict.tainted or new_verdict.tainted:
                 # ACLs may split the space on non-destination fields:
                 # compare the exact per-slice behaviour, not samples.

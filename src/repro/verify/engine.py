@@ -42,16 +42,107 @@ import logging
 import os
 import threading
 import time
+from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.dataplane.forwarding import Disposition, ForwardingWalk, dst_atoms
 from repro.dataplane.model import Dataplane
+from repro.net.addr import MAX_IPV4, Prefix
 from repro.net.intervals import IntervalSet
 from repro.obs import bus
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataplane.delta import DataplaneDelta
+
 logger = logging.getLogger(__name__)
+
+#: Default ceiling on the dirty-atom fraction a delta apply will patch;
+#: above it a cold build is cheaper than the bookkeeping. Override with
+#: ``MFV_DELTA_THRESHOLD`` (a float in (0, 1]).
+_DELTA_THRESHOLD = 0.35
+
+#: Buckets for the ``verify.dirty_atoms`` histogram: dirty-atom counts,
+#: not seconds — single-link churn lands in the low buckets, and the
+#: tail records deltas that approached the fallback threshold.
+DIRTY_ATOM_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0,
+)
+
+
+def _delta_threshold() -> float:
+    """The dirty-atom fraction above which delta derivation falls back
+    to a full build (``MFV_DELTA_THRESHOLD``, default 0.35)."""
+    raw = os.environ.get("MFV_DELTA_THRESHOLD")
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            logger.warning("ignoring non-float MFV_DELTA_THRESHOLD=%r", raw)
+        else:
+            if 0.0 < value <= 1.0:
+                return value
+            logger.warning(
+                "ignoring out-of-range MFV_DELTA_THRESHOLD=%r", raw
+            )
+    return _DELTA_THRESHOLD
+
+
+def _prefix_indexes(prefixes, reps: list[int]) -> set[int]:
+    """Indexes of the atoms a set of prefixes can govern.
+
+    The lower bound deliberately includes the atom *containing* the
+    prefix's first address even when the prefix starts mid-atom — a
+    conservative over-approximation that keeps the result correct for
+    prefixes that are not themselves partition boundaries.
+    """
+    out: set[int] = set()
+    for prefix in prefixes:
+        lo = max(0, bisect_right(reps, prefix.first) - 1)
+        hi = bisect_right(reps, prefix.last)
+        out.update(range(lo, hi))
+    return out
+
+
+class DeltaUnapplicable(Exception):
+    """A delta is outside the incremental path's scope; build cold.
+
+    ``reason`` is one of the stable strings surfaced in the
+    ``verify.delta_fallbacks`` metric and ``--delta-stats`` output:
+    ``device-set``, ``acl-change``, ``dirty-fraction``,
+    ``base-mismatch``.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class DeltaStats:
+    """How one engine came to exist relative to its lineage base.
+
+    Attached to every engine that :func:`engine_for` considered for
+    delta derivation: a successful apply records the patch size and
+    reuse counts; a fallback records only the reason (the engine itself
+    was built cold).
+    """
+
+    base_fingerprint: Optional[int] = None
+    dirty_atoms: int = 0
+    total_atoms: int = 0
+    reused_tables: int = 0
+    reused_indexes: int = 0
+    rebuilt_indexes: int = 0
+    touched_devices: tuple[str, ...] = ()
+    fallback: Optional[str] = None
+    apply_seconds: float = 0.0
+
+    @property
+    def dirty_fraction(self) -> float:
+        return self.dirty_atoms / self.total_atoms if self.total_atoms else 0.0
 
 #: Node-structure tags (see ``_resolve_node``).
 _TERMINAL = {
@@ -97,8 +188,13 @@ class AtomGraphEngine:
         self,
         dataplane: Dataplane,
         atoms: Optional[Sequence[IntervalSet]] = None,
+        *,
+        _observe: bool = True,
     ) -> None:
         self.dataplane = dataplane
+        #: Lineage record set by :meth:`apply_delta` / :func:`engine_for`
+        #: (None for engines built cold without a candidate base).
+        self.delta_stats: Optional[DeltaStats] = None
         self.atoms: list[IntervalSet] = list(
             atoms if atoms is not None else dst_atoms(dataplane)
         )
@@ -116,14 +212,18 @@ class AtomGraphEngine:
         self._shared: dict[tuple, dict[str, AtomVerdict]] = {}
         # (device, interface, gateway) -> resolved peer device (or None)
         self._hop_peers: dict[tuple[str, str, int], Optional[str]] = {}
-        # (device, entry) -> struct, for rep-independent resolutions.
+        # device -> {entry -> struct}, for rep-independent resolutions.
         # Keyed by entry *content*, not id(): id() values are recycled
         # after GC, which in a long-lived process could silently alias
         # two different FIB entries; ForwardingEntry is frozen/hashable
         # so content keying is exact (and lets equal entries share).
-        self._node_cache: dict[tuple, tuple] = {}
+        # Nested per device so apply_delta can adopt an untouched
+        # device's whole sub-cache with one dict copy (no re-hashing).
+        self._node_cache: dict[str, dict] = {}
         self._complete = False
-        if bus.ACTIVE.enabled:
+        # Delta-derived engines skip the build counters: they are not
+        # cold builds, and report through verify.delta_applies instead.
+        if _observe and bus.ACTIVE.enabled:
             bus.ACTIVE.count("verify.engine_builds")
             bus.ACTIVE.count("verify.atoms", len(self.atoms))
 
@@ -156,8 +256,6 @@ class AtomGraphEngine:
         Atoms are contiguous ascending spans covering the whole space,
         so this is a binary search over their lower bounds.
         """
-        from bisect import bisect_right
-
         return bisect_right(self._reps, address) - 1
 
     def precompute(self, workers: Optional[int] = None) -> None:
@@ -182,6 +280,245 @@ class AtomGraphEngine:
                     exc,
                 )
         self._ensure_all()
+
+    # -- incremental maintenance --------------------------------------------
+
+    def apply_delta(self, delta: "DataplaneDelta") -> "AtomGraphEngine":
+        """Derive the engine for ``delta.target`` by patching this one.
+
+        The correctness spine: any *refinement* of a valid atom
+        partition stays valid (class docstring), so the derived engine
+        partitions at this engine's boundaries plus every boundary the
+        delta moved. Each derived atom then lies inside exactly one base
+        atom, and its decision vector can only differ from the base's on
+        a *touched* device (untouched devices have identical FIB content
+        and identical adjacency, so their decision at any address is
+        unchanged) or via a degraded-ownership flip. Atoms where no
+        touched device's decision changed reuse the base verdict tables
+        outright; only *dirty* atoms re-run graph assembly and SCC
+        condensation. Untouched devices keep their resident
+        :class:`~repro.dataplane.model.CompiledLpmIndex`, node-struct
+        cache, and hop-peer resolutions, and the ``_shared``
+        decision-vector dedup tables carry over wholesale.
+
+        Requires this engine's atoms to be a sorted full-cover partition
+        (true for everything :func:`engine_for` builds). Raises
+        :class:`DeltaUnapplicable` — device-set or ACL changes, or a
+        dirty fraction above ``MFV_DELTA_THRESHOLD`` — when a cold build
+        is the correct (or cheaper) move; the caller falls back.
+        """
+        start = time.perf_counter()
+        if delta.base is not self.dataplane:
+            raise DeltaUnapplicable("base-mismatch")
+        reason = delta.fallback_reason()
+        if reason is not None:
+            raise DeltaUnapplicable(reason)
+        # Note: a high touched-*device* count is deliberately not a
+        # fallback trigger. A single link cut touches every device (the
+        # link's subnet route vanishes network-wide) yet dirties few
+        # atoms; the per-device sweeps below are linear merges — far
+        # cheaper than the graph evaluations they let us skip — so the
+        # dirty-atom fraction is the only cost gate that matters.
+        touched = list(delta.device_deltas)
+        target = delta.target
+        # Clean derived atoms adopt base tables, so every base table
+        # must exist; the base is usually precomputed already (it served
+        # queries before the churn arrived).
+        self._ensure_all()
+
+        # (a) Refine the partition only where changed prefixes split
+        # existing atoms. One merge walk over the base atoms: unsplit
+        # atoms (the overwhelming majority) are reused as objects, and
+        # every derived atom records which base atom contains it — so
+        # the adoption loop below needs no per-atom binary search.
+        base_reps = set(self._reps)
+        extra: set[int] = set()
+        for prefix in delta.boundary_prefixes():
+            for cut in (prefix.first, prefix.last + 1):
+                if cut <= MAX_IPV4 and cut not in base_reps:
+                    extra.add(cut)
+        if extra:
+            extra_cuts = sorted(extra)
+            reps: list[int] = []
+            atoms: list[IntervalSet] = []
+            base_of: list[int] = []
+            k = 0
+            base_uppers = self._reps[1:] + [MAX_IPV4 + 1]
+            for base_index, (lo, hi) in enumerate(
+                zip(self._reps, base_uppers)
+            ):
+                if k < len(extra_cuts) and extra_cuts[k] < hi:
+                    bounds = [lo]
+                    while k < len(extra_cuts) and extra_cuts[k] < hi:
+                        bounds.append(extra_cuts[k])
+                        k += 1
+                    bounds.append(hi)
+                    for piece_lo, piece_hi in zip(bounds, bounds[1:]):
+                        reps.append(piece_lo)
+                        atoms.append(IntervalSet.span(piece_lo, piece_hi - 1))
+                        base_of.append(base_index)
+                else:
+                    reps.append(lo)
+                    atoms.append(self.atoms[base_index])
+                    base_of.append(base_index)
+        else:
+            reps = list(self._reps)
+            atoms = list(self.atoms)
+            base_of = list(range(len(atoms)))
+        derived = AtomGraphEngine(target, atoms, _observe=False)
+
+        # Resident-state reuse. Untouched devices share their compiled
+        # LPM index outright. Node-struct and hop-peer caches survive
+        # FIB-only churn too — structs are keyed by entry *content* and
+        # depend otherwise only on the device's adjacency/addressing —
+        # so only link-touched devices drop theirs.
+        touched_set = set(touched)
+        links_touched = {
+            name
+            for name in touched
+            if delta.device_deltas[name].links_changed
+        }
+        reused_indexes = 0
+        for name in self._names:
+            if name in touched_set:
+                continue
+            if target.devices[name].share_compiled_index(
+                self.dataplane.devices[name]
+            ):
+                reused_indexes += 1
+        derived._node_cache = {
+            name: dict(sub)
+            for name, sub in self._node_cache.items()
+            if name not in links_touched
+        }
+        derived._hop_peers = {
+            key: peer
+            for key, peer in self._hop_peers.items()
+            if key[0] not in links_touched
+        }
+        # Valid because the node universe and ACL taint set are
+        # unchanged (checked above): equal struct vectors evaluate to
+        # the same verdict table in both engines.
+        derived._shared = dict(self._shared)
+
+        # (b) Dirty atoms: where any touched device's decision changed.
+        # A FIB diff can only move a device's governing entry *inside
+        # the diffed prefixes' own ranges* — everywhere else both tries
+        # agree on the winning entry — and a moved interface can only
+        # change how an entry resolves where the governing entry's hops
+        # leave through it, or inside the interface's own prefixes
+        # (address ownership, direct delivery). So instead of sweeping
+        # every rep, collect the candidate indexes those ranges cover
+        # and confirm each one: FIB-only devices compare governing
+        # entries (equal entry + unchanged adjacency => equal struct),
+        # link-touched devices compare resolved structs, since the same
+        # entry can now point at a different neighbor. Everything
+        # outside the candidate set is provably clean.
+        degraded_flips = set(delta.degraded_changed_addresses)
+        candidates: dict[int, list[str]] = {}
+        links_changed = {
+            name: delta.device_deltas[name].links_changed for name in touched
+        }
+        for name in touched:
+            device_delta = delta.device_deltas[name]
+            indexes = _prefix_indexes(device_delta.fib_prefixes, reps)
+            if device_delta.links_changed:
+                indexes |= self._interface_force_indexes(
+                    device_delta, target, reps
+                )
+                # Unchanged entries still routing into a moved interface
+                # (stale next hops the IGP did not reprogram).
+                moved = set(device_delta.changed_interfaces)
+                stale = [
+                    prefix
+                    for prefix, entry in self.dataplane.devices[
+                        name
+                    ].trie.items()
+                    if any(hop.interface in moved for hop in entry.hops)
+                ]
+                indexes |= _prefix_indexes(stale, reps)
+            for index in indexes:
+                candidates.setdefault(index, []).append(name)
+        dirty_set: set[int] = {
+            bisect_right(reps, address) - 1 for address in degraded_flips
+        }
+        for index, names in candidates.items():
+            if index in dirty_set:
+                continue
+            rep = reps[index]
+            if rep in self.dataplane.degraded_owned:
+                # Degraded on both sides (flips were handled above):
+                # the verdict is UNKNOWN_DEGRADED either way, so the
+                # base table carries over no matter what the FIB says.
+                continue
+            for name in names:
+                before = self.dataplane.devices[name].compiled_index().probe(
+                    rep
+                )
+                match = target.devices[name].trie.longest_match(rep)
+                after = match[1] if match is not None else None
+                if links_changed[name]:
+                    if self._resolve_node(
+                        name, before, rep
+                    ) != derived._resolve_node(name, after, rep):
+                        dirty_set.add(index)
+                        break
+                elif before is not after and before != after:
+                    dirty_set.add(index)
+                    break
+        if atoms and len(dirty_set) / len(atoms) > _delta_threshold():
+            raise DeltaUnapplicable("dirty-fraction")
+
+        # (c) Patch: rebuild dirty atoms (graph assembly + SCC run),
+        # adopt base tables for clean ones. Touched devices' entries at
+        # dirty reps come from direct trie probes — never a compiled-
+        # index rebuild, whose cost is what this whole path avoids;
+        # untouched devices probe their resident shared index.
+        sparse: dict[str, dict[int, object]] = {name: {} for name in touched}
+        for index in dirty_set:
+            rep = reps[index]
+            for name in touched:
+                match = target.devices[name].trie.longest_match(rep)
+                sparse[name][index] = match[1] if match is not None else None
+        for index, base_index in enumerate(base_of):
+            if index in dirty_set:
+                derived._build_atom(index, sparse)
+            else:
+                derived._tables[index] = self._tables[base_index]
+        derived._complete = True
+        derived.delta_stats = DeltaStats(
+            base_fingerprint=self.dataplane.fib_fingerprint(),
+            dirty_atoms=len(dirty_set),
+            total_atoms=len(atoms),
+            reused_tables=len(atoms) - len(dirty_set),
+            reused_indexes=reused_indexes,
+            rebuilt_indexes=len(touched),
+            touched_devices=tuple(touched),
+            apply_seconds=time.perf_counter() - start,
+        )
+        return derived
+
+    def _interface_force_indexes(
+        self, device_delta, target: Dataplane, reps: list[int]
+    ) -> set[int]:
+        """Rep indexes where a link-touched device's struct must be
+        re-resolved regardless of entry equality: anything inside one of
+        its *moved* interfaces' /32 or subnet prefixes (either side of
+        the delta), where address ownership and direct delivery can
+        change under an unchanged governing entry."""
+        changed = set(device_delta.changed_interfaces)
+        prefixes: list[Prefix] = []
+        for dataplane in (self.dataplane, target):
+            device = dataplane.devices[device_delta.device]
+            for iface, (
+                address,
+                length,
+            ) in device.interface_addresses.items():
+                if iface not in changed:
+                    continue
+                prefixes.append(Prefix.containing(address, 32))
+                prefixes.append(Prefix.containing(address, length))
+        return _prefix_indexes(prefixes, reps)
 
     # -- construction -------------------------------------------------------
 
@@ -226,8 +563,9 @@ class AtomGraphEngine:
             return table
         structs: dict[str, tuple] = {}
         for name in self._names:
-            if decisions is not None:
-                entry = decisions[name][index]
+            per_device = decisions.get(name) if decisions is not None else None
+            if per_device is not None:
+                entry = per_device[index]
             else:
                 entry = self.dataplane.devices[name].compiled_index().probe(
                     rep
@@ -260,14 +598,16 @@ class AtomGraphEngine:
         are memoized per FIB entry, so across a sweep each entry is
         resolved once — not once per atom it governs.
         """
-        cache_key = (name, entry)
-        cached = self._node_cache.get(cache_key)
+        device_cache = self._node_cache.get(name)
+        if device_cache is None:
+            device_cache = self._node_cache[name] = {}
+        cached = device_cache.get(entry)
         if cached is not None:
             return cached
         if entry is None or entry.entry_type in ("receive", "discard"):
             kind = None if entry is None else entry.entry_type
             struct = ((), (_TERMINAL[kind],), kind == "receive")
-            self._node_cache[cache_key] = struct
+            device_cache[entry] = struct
             return struct
         successors: set[str] = set()
         terminals: set[Disposition] = set()
@@ -310,7 +650,7 @@ class AtomGraphEngine:
             False,
         )
         if not rep_dependent:
-            self._node_cache[cache_key] = struct
+            device_cache[entry] = struct
         return struct
 
     def _direct_disposition(self, name: str, hop) -> Disposition:
@@ -500,9 +840,97 @@ def _cached_engine(key: tuple) -> Optional[AtomGraphEngine]:
         return engine
 
 
+def _register_engine(key: tuple, engine: AtomGraphEngine) -> AtomGraphEngine:
+    """Insert ``engine`` under ``key`` — unless someone got there first.
+
+    First registration wins: if a delta derivation landed while a cold
+    build for the same fingerprint was still running (or vice versa),
+    the later finisher's object is discarded and every caller converges
+    on the already-cached engine. Without this, the slower build would
+    silently replace the registered engine, and two engine objects for
+    one fingerprint would serve queries side by side — the staleness
+    hazard the ``verify.engine_build_discarded`` counter tracks.
+    """
+    with _CACHE_LOCK:
+        existing = _CACHE.get(key)
+        if existing is not None:
+            _CACHE.move_to_end(key)
+            _BUILDS.pop(key, None)
+            if bus.ACTIVE.enabled:
+                bus.ACTIVE.count("verify.engine_build_discarded")
+            return existing
+        _CACHE[key] = engine
+        limit = _cache_limit()
+        while len(_CACHE) > limit:
+            _CACHE.popitem(last=False)
+            if bus.ACTIVE.enabled:
+                bus.ACTIVE.count("verify.engine_cache_evictions")
+        _BUILDS.pop(key, None)
+    return engine
+
+
+def _derive_engine(
+    dataplane: Dataplane, base: AtomGraphEngine, key: tuple
+) -> tuple[Optional[AtomGraphEngine], Optional[str]]:
+    """Attempt the delta path; returns (engine, fallback_reason).
+
+    Runs *outside* the per-key build lock on purpose: a delta apply is
+    cheap, and serializing it behind an in-flight cold build for the
+    same key would forfeit exactly the latency it exists to save. The
+    no-clobber registration in :func:`_register_engine` keeps the two
+    paths convergent.
+    """
+    from repro.dataplane.delta import DataplaneDelta
+
+    registry = bus.metrics_registry()
+    start = time.perf_counter()
+    try:
+        delta = DataplaneDelta(base.dataplane, dataplane)
+        engine = base.apply_delta(delta)
+    except DeltaUnapplicable as exc:
+        # The aggregate counter and the by-reason series get distinct
+        # names: an unlabeled family cannot also carry labels, and the
+        # flat trace plane records the aggregate under its bare name.
+        if registry.enabled:
+            registry.counter(
+                "verify.delta_fallbacks",
+                "Delta derivations abandoned for a cold build",
+            ).inc()
+            registry.counter(
+                "verify.delta_fallback_reasons",
+                "Delta derivations abandoned for a cold build, by reason",
+                ("reason",),
+            ).inc(reason=exc.reason)
+        return None, exc.reason
+    seconds = time.perf_counter() - start
+    stats = engine.delta_stats
+    assert stats is not None
+    stats.apply_seconds = seconds  # include the diff itself
+    if registry.enabled:
+        registry.counter(
+            "verify.delta_applies",
+            "Engines derived incrementally from a resident base",
+        ).inc()
+        registry.counter(
+            "verify.delta_dirty_atoms",
+            "Total atoms re-evaluated across all delta applies",
+        ).inc(stats.dirty_atoms)
+        registry.histogram(
+            "verify.dirty_atoms",
+            "Atoms re-evaluated per delta apply",
+            buckets=DIRTY_ATOM_BUCKETS,
+        ).observe(stats.dirty_atoms)
+        registry.histogram(
+            "verify.delta_apply_seconds",
+            "Wall seconds diffing and applying one dataplane delta",
+        ).observe(seconds)
+    return _register_engine(key, engine), None
+
+
 def engine_for(
     dataplane: Dataplane,
     atoms: Optional[Sequence[IntervalSet]] = None,
+    base: Optional[AtomGraphEngine] = None,
 ) -> AtomGraphEngine:
     """The memoized engine for ``dataplane`` (and atom partition).
 
@@ -511,13 +939,32 @@ def engine_for(
     sweep, a reloaded snapshot file — share one engine, so repeated
     differential and pybf queries stop rebuilding identical analyses.
 
-    Thread-safe: concurrent calls for one forwarding state coalesce
-    onto a single build and all receive the shared engine object.
+    ``base`` supplies a lineage parent: on a cache miss the new engine
+    is *derived* from it via :meth:`AtomGraphEngine.apply_delta` —
+    patching only the atoms the FIB churn dirtied — and only falls back
+    to a cold build when the delta is structurally unapplicable or
+    exceeds ``MFV_DELTA_THRESHOLD`` (the fallback engine carries the
+    reason in its ``delta_stats``). Lineage only composes with the
+    default partition (``atoms is None``).
+
+    Thread-safe: concurrent cold builds for one forwarding state
+    coalesce onto a single build; a delta derivation racing a cold
+    build for the same key resolves first-registration-wins, so every
+    caller still receives one shared engine object per key.
     """
     key = (dataplane.fib_fingerprint(), _atoms_signature(atoms))
     engine = _cached_engine(key)
     if engine is not None:
         return engine
+    fallback_reason: Optional[str] = None
+    if (
+        base is not None
+        and atoms is None
+        and base.dataplane.fib_fingerprint() != key[0]
+    ):
+        engine, fallback_reason = _derive_engine(dataplane, base, key)
+        if engine is not None:
+            return engine
     with _CACHE_LOCK:
         build = _BUILDS.get(key)
         if build is None:
@@ -538,6 +985,14 @@ def engine_for(
         build_start = time.perf_counter()
         engine = AtomGraphEngine(dataplane, atoms)
         build_seconds = time.perf_counter() - build_start
+        if fallback_reason is not None:
+            engine.delta_stats = DeltaStats(
+                base_fingerprint=base.dataplane.fib_fingerprint()
+                if base is not None
+                else None,
+                total_atoms=len(engine.atoms),
+                fallback=fallback_reason,
+            )
         if span is not None:
             collector.end(span, 0.0)
         registry = bus.metrics_registry()
@@ -554,14 +1009,7 @@ def engine_for(
                 build_seconds,
                 priority=context.priority if context is not None else "none",
             )
-        with _CACHE_LOCK:
-            _CACHE[key] = engine
-            limit = _cache_limit()
-            while len(_CACHE) > limit:
-                _CACHE.popitem(last=False)
-                if bus.ACTIVE.enabled:
-                    bus.ACTIVE.count("verify.engine_cache_evictions")
-            _BUILDS.pop(key, None)
+        engine = _register_engine(key, engine)
     return engine
 
 

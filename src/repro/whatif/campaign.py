@@ -123,6 +123,17 @@ class WhatIfCampaign:
             collector = bus.ACTIVE
             if collector.enabled:
                 collector.count("whatif.scenarios")
+                delta_fields = {}
+                stats = diff.last_delta_stats
+                if stats is not None:
+                    # How the scenario's engine came to be: a sparse
+                    # patch of the baseline's (dirty atom count) or a
+                    # cold rebuild (fallback reason).
+                    delta_fields = {
+                        "delta_dirty_atoms": stats.dirty_atoms,
+                        "delta_fallback": stats.fallback,
+                        "delta_apply_seconds": stats.apply_seconds,
+                    }
                 collector.emit(
                     "whatif.verdict",
                     deployment.kernel.now,
@@ -136,6 +147,7 @@ class WhatIfCampaign:
                     changed=verdict.changed,
                     reconverge_seconds=verdict.reconverge_seconds,
                     reverted_clean=verdict.reverted_clean,
+                    **delta_fields,
                 )
             if not verdict.reverted_clean:
                 # The warm deployment no longer matches the baseline —

@@ -84,6 +84,17 @@ class TestOfflineQueries:
         assert code == 0
         assert "(no rows)" in out
 
+    def test_diff_delta_stats_identical_content(self, snapshot_path, capsys):
+        # Identical content shares one engine — there is no delta to
+        # apply, and the block must say so rather than invent stats.
+        code = main(
+            ["diff", str(snapshot_path), str(snapshot_path), "--delta-stats"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delta stats:" in out
+        assert "cold build" in out
+
 
 class TestDemo:
     def test_demo_fig3(self, capsys):

@@ -302,12 +302,16 @@ class TestEngineCache:
         assert entry_a_clone is not entry_a
         rep = parse_ipv4("2.2.2.1")
         engine._node_cache.clear()
+
+        def slots_used():
+            return sum(len(sub) for sub in engine._node_cache.values())
+
         engine._resolve_node(name, entry_a, rep)
-        slots = len(engine._node_cache)
+        slots = slots_used()
         engine._resolve_node(name, entry_a_clone, rep)
-        assert len(engine._node_cache) == slots  # shared, not duplicated
+        assert slots_used() == slots  # shared, not duplicated
         engine._resolve_node(name, entry_b, rep)
-        assert len(engine._node_cache) == slots + 1  # different content
+        assert slots_used() == slots + 1  # different content
 
     def test_multirun_builds_n_engines_not_n_squared(self, fig3):
         backend = ModelFreeBackend(
