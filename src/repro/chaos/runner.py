@@ -74,13 +74,17 @@ class ChaosRunReport:
     chaos_verification: dict = field(default_factory=dict)
     baseline_snapshot: Optional[Snapshot] = None
     chaos_snapshot: Optional[Snapshot] = None
+    #: ``TemporalReport.to_dict()`` of the faulted run (``temporal=``
+    #: opt-in): how the network misbehaved *while* the faults landed,
+    #: not just where it ended up.
+    temporal: dict = field(default_factory=dict)
 
     @property
     def total_retries(self) -> int:
         return sum(self.retries.values())
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "plan": self.plan,
             "seed": self.seed,
             "survived": self.survived,
@@ -93,6 +97,9 @@ class ChaosRunReport:
             "baseline_verification": self.baseline_verification,
             "chaos_verification": self.chaos_verification,
         }
+        if self.temporal:
+            out["temporal"] = self.temporal
+        return out
 
 
 def run_chaos(
@@ -104,12 +111,18 @@ def run_chaos(
     timers: TimerProfile = PRODUCTION_TIMERS,
     quiet_period: float = 30.0,
     convergence_max_time: float = 86_400.0,
+    temporal=None,
 ) -> ChaosRunReport:
     """Fault-free baseline + faulted run, scored for verdict stability.
 
     Both runs share the topology, context, and seed, so with an empty
     plan the two snapshots' verdicts are byte-identical — the bench's
     fault-free regression gate.
+
+    ``temporal`` (True or a sequence of temporal invariants) records a
+    checkpoint stream through the *faulted* run, so the scenario is
+    also scored on its transient behavior — the report's ``temporal``
+    dict carries the violation intervals.
     """
     backend = ModelFreeBackend(
         topology,
@@ -126,6 +139,7 @@ def run_chaos(
         snapshot_name=f"chaos:{plan.name}",
         verify=True,
         chaos=plan,
+        temporal=temporal,
     )
     base_verdicts = pairwise_verdicts(baseline.dataplane)
     fault_verdicts = pairwise_verdicts(faulted.dataplane)
@@ -143,4 +157,5 @@ def run_chaos(
         chaos_verification=dict(faulted.metadata.get("verification", {})),
         baseline_snapshot=baseline,
         chaos_snapshot=faulted,
+        temporal=dict(faulted.metadata.get("temporal", {})),
     )

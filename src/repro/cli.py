@@ -14,7 +14,12 @@ Subcommands::
                [--workers N] [--json OUT.json] [--trace OUT.jsonl]
     mfv chaos [TOPOLOGY] [--corpus fig2|fig3|production]
               [--plan acceptance|sampled] [--plan-seed N] [--intensity N]
-              [--json OUT.json] [--trace OUT.jsonl]
+              [--temporal] [--json OUT.json] [--trace OUT.jsonl]
+    mfv temporal [TOPOLOGY] [--corpus fig2|fig3|production]
+                 [--flap A-Z] [--flap-hold S] [--replay STREAM.json]
+                 [--save-stream OUT.json] [--brute-force]
+                 [--max-churn N] [--waypoint DEST_IP:VIA_NODE]
+                 [--json OUT.json] [--trace OUT.jsonl]
     mfv obs timeline [--scenario fig2|fig3|whatif] [--topology FILE]
                      [--trace OUT.jsonl]
     mfv obs summary TRACE.jsonl
@@ -32,6 +37,15 @@ persist the extracted snapshot for later offline queries.
 ``--delta-stats`` (on ``verify`` and ``diff``) prints how the engine
 came to exist: dirty-atom count and reused-vs-rebuilt device indexes
 for an incremental derivation, or the fallback reason for a cold build.
+
+``temporal`` verifies the network *during* convergence: it converges a
+baseline, flaps one link while recording a checkpoint stream of FIB
+deltas, and reports every invariant-violation interval — transient
+loops and blackhole windows that a post-convergence check on the final
+state cannot see. ``--replay`` re-evaluates a stream saved with
+``--save-stream`` offline; ``--brute-force`` rebuilds a cold engine per
+checkpoint instead of applying deltas (the correctness oracle). Exit
+code 2 means at least one violation interval was found.
 
 ``obs timeline`` runs a built-in scenario (or a topology file) with the
 tracer installed and prints the convergence timeline: per-phase spans,
@@ -388,6 +402,7 @@ def _run_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         timers=timers,
         quiet_period=quiet,
+        temporal=True if args.temporal else None,
     )
     print()
     print(f"survived:                  {'yes' if report.survived else 'NO'}")
@@ -398,6 +413,10 @@ def _run_chaos(args: argparse.Namespace) -> int:
     print(f"verdict stability:         {report.stability:.4f}")
     print(f"degraded verdict fraction: "
           f"{report.degraded_verdict_fraction:.4f}")
+    if report.temporal:
+        print(f"transient intervals:       "
+              f"{report.temporal.get('transient', 0)} "
+              f"(over {report.temporal.get('checkpoints', 0)} checkpoints)")
     if args.json:
         import json
 
@@ -412,6 +431,122 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _run_chaos(args)
     with tracing() as tracer:
         code = _run_chaos(args)
+    lines = write_jsonl(tracer, args.trace)
+    print(f"trace written to {args.trace} ({lines} records)")
+    return code
+
+
+def _temporal_invariants(args: argparse.Namespace):
+    from repro.temporal import (
+        BlackholeWindow,
+        MaxChurn,
+        NoTransientLoop,
+        WaypointAlways,
+    )
+
+    invariants = [
+        NoTransientLoop(max_sim_s=args.max_loop_s),
+        BlackholeWindow(max_sim_s=args.max_blackhole_s),
+    ]
+    if args.max_churn is not None:
+        invariants.append(MaxChurn(args.max_churn))
+    if args.waypoint:
+        dst, sep, via = args.waypoint.partition(":")
+        if not sep or not dst or not via:
+            raise SystemExit("--waypoint wants DEST_IP:VIA_NODE")
+        invariants.append(WaypointAlways(dst, via))
+    return invariants
+
+
+def _temporal_scenario(args: argparse.Namespace, topology):
+    from repro.whatif import link_flap_scenarios
+
+    scenarios = list(
+        link_flap_scenarios(topology, hold_seconds=args.flap_hold)
+    )
+    if not scenarios:
+        raise SystemExit(f"topology {topology.name} has no links to flap")
+    if args.flap:
+        for scenario in scenarios:
+            if args.flap in scenario.name:
+                return scenario
+        raise SystemExit(
+            f"no link matching {args.flap!r}; "
+            f"have {', '.join(s.name for s in scenarios)}"
+        )
+    return scenarios[0]
+
+
+def _run_temporal(args: argparse.Namespace) -> int:
+    from repro.temporal import (
+        CheckpointRecorder,
+        CheckpointStream,
+        evaluate_stream,
+    )
+
+    invariants = _temporal_invariants(args)
+    if args.replay:
+        stream = CheckpointStream.load(args.replay)
+        print(
+            f"replaying {args.replay}: {len(stream)} checkpoint(s) over "
+            f"{len(stream.initial.dataplane.devices)} device(s)"
+        )
+    else:
+        topology, context, timers, quiet = _whatif_setup(args)
+        backend = ModelFreeBackend(
+            topology, timers=timers, quiet_period=quiet
+        )
+        print(f"deploying {topology.name} and converging a baseline...")
+        backend.run(context, seed=args.seed)
+        assert backend.last_run is not None
+        deployment = backend.last_run.deployment
+        scenario = _temporal_scenario(args, topology)
+        print(f"recording checkpoints through {scenario.name!r}...")
+        recorder = CheckpointRecorder(deployment)
+        recorder.arm()
+        scenario.apply(deployment)
+        deployment.wait_converged(
+            quiet_period=max(quiet, scenario.min_quiet_period)
+        )
+        stream = recorder.finalize()
+        if args.save_stream:
+            stream.save(args.save_stream)
+            print(f"stream written to {args.save_stream}")
+    report = evaluate_stream(
+        stream, invariants, use_delta=not args.brute_force
+    )
+    print()
+    print(report.render())
+    # What a snapshot-based check sees of the same episode: only the
+    # final, converged state.
+    final = stream.final.dataplane
+    loops = len(detect_loops(final))
+    blackholes = len(detect_blackholes(final))
+    print()
+    print(
+        f"post-convergence verify on the final state: "
+        f"{loops} loop(s), {blackholes} blackhole(s)"
+    )
+    transient = len(report.transient)
+    if transient:
+        print(
+            f"temporal verification found {transient} transient "
+            f"interval(s) a post-convergence check cannot see"
+        )
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 2 if report.intervals else 0
+
+
+def _cmd_temporal(args: argparse.Namespace) -> int:
+    if not args.trace:
+        return _run_temporal(args)
+    with tracing() as tracer:
+        code = _run_temporal(args)
     lines = write_jsonl(tracer, args.trace)
     print(f"trace written to {args.trace} ({lines} records)")
     return code
@@ -769,11 +904,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true",
         help="compressed protocol timers for a topology file",
     )
+    chaos.add_argument(
+        "--temporal", action="store_true",
+        help="record a checkpoint stream through the faulted run and "
+        "score transient-state invariants",
+    )
     chaos.add_argument("--json", help="write the chaos report JSON here")
     chaos.add_argument(
         "--trace", help="record an observability trace to this JSONL file"
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    temporal = sub.add_parser(
+        "temporal",
+        help="transient-state verification: check invariants during "
+        "convergence, not just after",
+    )
+    temporal.add_argument(
+        "topology",
+        nargs="?",
+        default=None,
+        help="KNE-style topology file (default: a built-in corpus)",
+    )
+    temporal.add_argument(
+        "--corpus",
+        choices=("fig2", "fig3", "production"),
+        default="fig3",
+        help="built-in corpus when no topology file is given",
+    )
+    temporal.add_argument(
+        "--nodes", type=int, default=8, help="production corpus size"
+    )
+    temporal.add_argument(
+        "--routes", type=int, default=1000,
+        help="production corpus routes per peer",
+    )
+    temporal.add_argument(
+        "--flap", default=None,
+        help="link to flap, as an A-Z substring of the scenario name "
+        "(default: the first link)",
+    )
+    temporal.add_argument(
+        "--flap-hold", type=float, default=15.0,
+        help="seconds the flapped link stays down",
+    )
+    temporal.add_argument(
+        "--replay", default=None,
+        help="evaluate a saved checkpoint stream instead of running live",
+    )
+    temporal.add_argument(
+        "--save-stream", default=None,
+        help="write the recorded checkpoint stream JSON here",
+    )
+    temporal.add_argument(
+        "--brute-force", action="store_true",
+        help="rebuild a cold engine per checkpoint instead of applying "
+        "deltas (the oracle mode)",
+    )
+    temporal.add_argument(
+        "--max-loop-s", type=float, default=0.0,
+        help="tolerate transient loops shorter than this many sim-seconds",
+    )
+    temporal.add_argument(
+        "--max-blackhole-s", type=float, default=0.0,
+        help="tolerate transient blackholes shorter than this",
+    )
+    temporal.add_argument(
+        "--max-churn", type=float, default=None,
+        help="flag checkpoints installing more than N routes/sim-second",
+    )
+    temporal.add_argument(
+        "--waypoint", default=None,
+        help="DEST_IP:VIA_NODE — require traffic to DEST_IP to traverse "
+        "VIA_NODE at every checkpoint",
+    )
+    temporal.add_argument("--seed", type=int, default=0)
+    temporal.add_argument("--quiet-period", type=float, default=None)
+    temporal.add_argument(
+        "--fast", action="store_true",
+        help="compressed protocol timers for a topology file",
+    )
+    temporal.add_argument("--json", help="write the temporal report JSON here")
+    temporal.add_argument(
+        "--trace", help="record an observability trace to this JSONL file"
+    )
+    temporal.set_defaults(func=_cmd_temporal)
 
     obs = sub.add_parser("obs", help="observability: timelines and traces")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

@@ -132,6 +132,9 @@ class ModelFreeBackend:
         # answer questions about it without a rebuild.
         self.store = store
         self.last_run: Optional[EmulationRun] = None
+        #: (CheckpointStream, TemporalReport) of the most recent
+        #: ``temporal=`` run; None otherwise.
+        self.last_temporal = None
 
     def run(
         self,
@@ -141,6 +144,7 @@ class ModelFreeBackend:
         snapshot_name: Optional[str] = None,
         verify: bool = False,
         chaos=None,
+        temporal=None,
     ) -> Snapshot:
         """Execute the full upper stage once and extract AFTs.
 
@@ -156,6 +160,15 @@ class ModelFreeBackend:
         the returned :class:`PartialSnapshot`'s ``degraded_nodes``
         manifest instead of failing the run), and every fault/retry/
         degradation is visible on the obs timeline.
+
+        ``temporal`` opts into transient-state verification: ``True``
+        checks the default invariants (transient loops, blackhole
+        windows), or pass a sequence of
+        :class:`~repro.temporal.invariants.TemporalInvariant`. A
+        checkpoint recorder arms right after deploy — route injection,
+        link cuts, and chaos faults all churn on the record — and the
+        resulting violation intervals land in ``metadata["temporal"]``
+        (full stream + report on :attr:`last_temporal`).
         """
         if context is None:
             context = ScenarioContext()
@@ -174,6 +187,12 @@ class ModelFreeBackend:
         kernel = deployment.kernel
         with phase("deploy", kernel, phases):
             deployment.deploy()
+        recorder = None
+        if temporal is not None and temporal is not False:
+            from repro.temporal import CheckpointRecorder
+
+            recorder = CheckpointRecorder(deployment)
+            recorder.arm()
         with phase("inject", kernel, phases):
             injectors = [
                 RouteInjector(spec, deployment.kernel, deployment.fabric,
@@ -202,6 +221,15 @@ class ModelFreeBackend:
                     quiet_period=self.quiet_period,
                     max_time=self.convergence_max_time,
                 )
+        temporal_report = None
+        if recorder is not None:
+            from repro.temporal import evaluate_stream
+
+            with phase("temporal", kernel, phases):
+                stream = recorder.finalize()
+                invariants = None if temporal is True else list(temporal)
+                temporal_report = evaluate_stream(stream, invariants)
+                self.last_temporal = (stream, temporal_report)
         with phase("extract", kernel, phases):
             extraction = extract_afts(deployment)
         self.last_run = EmulationRun(deployment=deployment, injectors=injectors)
@@ -214,6 +242,8 @@ class ModelFreeBackend:
         }
         if extraction.retries:
             metadata["extraction_retries"] = dict(extraction.retries)
+        if temporal_report is not None:
+            metadata["temporal"] = temporal_report.to_dict()
         if chaos_injector is not None:
             metadata["chaos"] = {
                 "plan": chaos.name,

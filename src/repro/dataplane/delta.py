@@ -209,6 +209,79 @@ class DataplaneDelta:
                 base_device, target_device, changed_interfaces
             )
 
+    @classmethod
+    def compose(
+        cls, first: "DataplaneDelta", second: "DataplaneDelta"
+    ) -> "DataplaneDelta":
+        """Fuse A→B and B→C into a single A→C delta.
+
+        The composed delta only examines devices touched by either hop —
+        a device untouched in both is identical in A and C, so the full
+        O(devices) signature scan of ``__init__`` is skipped. Touched
+        devices are re-diffed directly A-vs-C (never by merging prefix
+        lists), so a change the second hop reverts nets out to nothing:
+        composition is exact, not an over-approximation. The checkpoint
+        recorder uses this to merge adjacent checkpoints when a
+        convergence storm exceeds ``MFV_TEMPORAL_MAX_CHECKPOINTS``.
+
+        The two deltas must chain: ``second.base`` is (or forwards
+        identically to) ``first.target``. Device-set churn in either hop
+        breaks the per-device pairing, so that case falls back to a
+        plain re-diff of the endpoints, which is always correct.
+        """
+        if second.base is not first.target and (
+            second.base.fib_fingerprint() != first.target.fib_fingerprint()
+        ):
+            raise ValueError(
+                "compose: deltas do not chain (first.target != second.base)"
+            )
+        base, target = first.base, second.target
+        if (
+            first.added_devices
+            or first.removed_devices
+            or second.added_devices
+            or second.removed_devices
+        ):
+            return cls(base, target)
+        composed = cls.__new__(cls)
+        composed.base = base
+        composed.target = target
+        composed.added_devices = ()
+        composed.removed_devices = ()
+        composed.degraded_changed_addresses = tuple(
+            sorted(set(base.degraded_owned) ^ set(target.degraded_owned))
+        )
+        composed.acl_changed = False
+        composed.device_deltas = {}
+        candidates = set(first.device_deltas) | set(second.device_deltas)
+        base_adjacency = _per_device_adjacency(base)
+        target_adjacency = _per_device_adjacency(target)
+        for name in sorted(candidates):
+            base_device = base.devices[name]
+            target_device = target.devices[name]
+            base_view = base_adjacency.get(name, {})
+            target_view = target_adjacency.get(name, {})
+            changed_interfaces: tuple[str, ...] = ()
+            if base_view != target_view or (
+                base_device.interface_addresses
+                != target_device.interface_addresses
+            ):
+                changed_interfaces = _changed_interfaces(
+                    base_device, target_device, base_view, target_view
+                )
+            if (
+                not changed_interfaces
+                and base_device.content_signature()
+                == target_device.content_signature()
+            ):
+                continue
+            if base_device.acl_signature() != target_device.acl_signature():
+                composed.acl_changed = True
+            composed.device_deltas[name] = _diff_device(
+                base_device, target_device, changed_interfaces
+            )
+        return composed
+
     # -- queries -------------------------------------------------------------
 
     @property

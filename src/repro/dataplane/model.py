@@ -306,6 +306,39 @@ class Dataplane:
             {name: AftSnapshot.from_dict(data) for name, data in raw.items()}
         )
 
+    @classmethod
+    def evolve(
+        cls, base: "Dataplane", snapshots: dict[str, AftSnapshot]
+    ) -> "Dataplane":
+        """A new dataplane that replaces only ``snapshots``' devices.
+
+        Every other :class:`DeviceForwarding` object is shared with
+        ``base``, so its cached signatures, tries, and compiled indexes
+        carry over, and :class:`~repro.dataplane.delta.DataplaneDelta`
+        against ``base`` skips the unchanged devices in O(1). This is
+        the constructor the temporal checkpoint recorder uses: a
+        convergence burst touches a handful of devices, and re-deriving
+        the rest from scratch would dominate the cost of every
+        checkpoint. Degraded-node bookkeeping is inherited unchanged —
+        the recorder snapshots live routers, so a node degrades only at
+        extraction time, never mid-stream.
+        """
+        plane = cls.__new__(cls)
+        plane.devices = dict(base.devices)
+        for name, snap in snapshots.items():
+            plane.devices[name] = DeviceForwarding(snap)
+        plane.address_owner = {}
+        for name, device in plane.devices.items():
+            for address in device.local_addresses:
+                plane.address_owner[address] = name
+        plane.degraded_nodes = base.degraded_nodes
+        plane.degraded_owned = dict(base.degraded_owned)
+        plane.edges = []
+        plane.adjacency = {}
+        plane._derive_edges()
+        plane._fingerprint = None
+        return plane
+
     def _derive_edges(self) -> None:
         """Infer L3 edges: enabled interfaces sharing a subnet."""
         members: dict[Prefix, list[tuple[str, str, int]]] = {}

@@ -32,6 +32,9 @@ WHATIF_VERDICT = "whatif.verdict"
 SERVICE_JOB = "service.job"
 CHAOS_FAULT = "chaos.fault"
 GNMI_RETRY = "gnmi.retry"
+KERNEL_QUIESCED = "kernel.quiesced"
+TEMPORAL_VIOLATION = "temporal.violation"
+TEMPORAL_CHECKPOINT = "temporal.checkpoint"
 
 
 @dataclass
@@ -60,6 +63,11 @@ class ConvergenceTimeline:
     service_jobs: list[ObsEvent] = field(default_factory=list)
     chaos_faults: list[ObsEvent] = field(default_factory=list)
     degraded: list[ObsEvent] = field(default_factory=list)
+    temporal_violations: list[ObsEvent] = field(default_factory=list)
+    #: When the kernel last satisfied ``run_until_quiet`` — distinct
+    #: from :meth:`last_route_install`: a later re-quiesce (chaos
+    #: horizon, what-if revert) moves this without any route churn.
+    quiesced_at: Optional[float] = None
     total_events: int = 0
 
     @classmethod
@@ -93,6 +101,13 @@ class ConvergenceTimeline:
             self.chaos_faults.append(event)
         elif event.category == PIPELINE_DEGRADED:
             self.degraded.append(event)
+        elif event.category == TEMPORAL_VIOLATION:
+            # The node is the witness ingress, not a convergence
+            # milestone — don't let it seed a device row.
+            self.temporal_violations.append(event)
+            return
+        elif event.category == KERNEL_QUIESCED:
+            self.quiesced_at = event.t  # last quiescence wins
         if not event.node:
             return
         device = self._device(event.node)
@@ -129,6 +144,8 @@ class ConvergenceTimeline:
         lines += self._render_whatif()
         lines += self._render_service()
         lines += self._render_chaos()
+        lines += self._render_temporal()
+        lines += self._render_convergence()
         if self.warnings:
             lines.append("")
             lines.append("Warnings:")
@@ -258,6 +275,38 @@ class ConvergenceTimeline:
                 )
         return lines
 
+    def _render_temporal(self) -> list[str]:
+        if not self.temporal_violations:
+            return []
+        lines = [
+            "",
+            "Temporal violations (intervals, simulated seconds):",
+            f"  {'start':>10} {'end':>10} {'invariant':<18} "
+            f"{'witness':<24} kind",
+        ]
+        for event in self.temporal_violations:
+            d = event.detail
+            witness = ""
+            if event.node or d.get("destination"):
+                witness = f"{event.node}->{d.get('destination', '')}"
+            lines.append(
+                f"  {event.t:>10.1f} {d.get('t_end', event.t):>10.1f} "
+                f"{str(d.get('invariant', '?')):<18} {witness:<24} "
+                f"{'transient' if d.get('transient', True) else 'persistent'}"
+            )
+        return lines
+
+    def _render_convergence(self) -> list[str]:
+        last = self.last_route_install()
+        if last is None and self.quiesced_at is None:
+            return []
+        lines = ["", "Convergence:"]
+        if last is not None:
+            lines.append(f"  last route install   {last:>10.1f} sim-s")
+        if self.quiesced_at is not None:
+            lines.append(f"  kernel quiesced at   {self.quiesced_at:>10.1f} sim-s")
+        return lines
+
     def last_route_install(self) -> Optional[float]:
         """The run-wide last route install time (the convergence point)."""
         times = [
@@ -368,9 +417,12 @@ def summary_text(tracer: Tracer, title: str = "Trace summary") -> str:
     lines += _render_span_percentiles(tracer.spans)
     lines += _render_histograms(tracer.registry)
     last = timeline.last_route_install()
-    if last is not None:
+    if last is not None or timeline.quiesced_at is not None:
         lines.append("")
+    if last is not None:
         lines.append(f"Last route installed at t={last:.1f} sim-s")
+    if timeline.quiesced_at is not None:
+        lines.append(f"Kernel quiesced at t={timeline.quiesced_at:.1f} sim-s")
     lines.append(f"Total events recorded: {timeline.total_events}")
     return "\n".join(lines)
 

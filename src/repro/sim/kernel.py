@@ -73,6 +73,11 @@ class SimKernel:
         self.rng = random.Random(seed)
         self.seed = seed
         self.events_processed = 0
+        #: Simulated time at which the most recent ``run_until_quiet``
+        #: call succeeded; None until the first quiescence. Later
+        #: re-quiesces (chaos horizons, what-if reverts) overwrite it,
+        #: which is exactly what "when did we *last* settle" should say.
+        self.quiesced_at: Optional[float] = None
 
     @property
     def now(self) -> float:
@@ -219,6 +224,7 @@ class SimKernel:
                 continue
             if quiet_since is not None and head.time - quiet_since >= quiet_period:
                 self._now = quiet_since + quiet_period
+                self._record_quiescence()
                 return self._now
             if head.time > max_time:
                 raise QuiescenceTimeout(
@@ -245,4 +251,11 @@ class SimKernel:
                 drained=True,
             )
         self._now = max(self._now, quiet_since + quiet_period)
+        self._record_quiescence()
         return self._now
+
+    def _record_quiescence(self) -> None:
+        self.quiesced_at = self._now
+        collector = bus.ACTIVE
+        if collector.enabled:
+            collector.emit("kernel.quiesced", self._now)

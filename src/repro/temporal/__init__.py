@@ -1,0 +1,44 @@
+"""repro.temporal — transient-state verification.
+
+Check invariants *during* convergence, not just after: record a
+checkpoint stream of per-device FIB deltas off the live kernel, replay
+it through one warm (delta-capable) engine, and report violations as
+``[t_start, t_end)`` intervals with witness atoms. See
+``docs/architecture.md`` § Transient-state verification.
+"""
+
+from repro.temporal.checkpoints import (
+    Checkpoint,
+    CheckpointRecorder,
+    CheckpointStream,
+)
+from repro.temporal.evaluator import (
+    CheckpointProbe,
+    TemporalReport,
+    evaluate_stream,
+)
+from repro.temporal.invariants import (
+    BlackholeWindow,
+    MaxChurn,
+    NoTransientLoop,
+    TemporalInvariant,
+    ViolationInterval,
+    WaypointAlways,
+    default_invariants,
+)
+
+__all__ = [
+    "BlackholeWindow",
+    "Checkpoint",
+    "CheckpointProbe",
+    "CheckpointRecorder",
+    "CheckpointStream",
+    "MaxChurn",
+    "NoTransientLoop",
+    "TemporalInvariant",
+    "TemporalReport",
+    "ViolationInterval",
+    "WaypointAlways",
+    "default_invariants",
+    "evaluate_stream",
+]

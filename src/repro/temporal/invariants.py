@@ -1,0 +1,204 @@
+"""Temporal invariants and their violation intervals.
+
+A temporal invariant is a predicate evaluated at every checkpoint of a
+:class:`~repro.temporal.checkpoints.CheckpointStream`; the evaluator
+turns per-checkpoint findings into half-open intervals ``[t_start,
+t_end)`` — the violation held from the checkpoint at ``t_start`` and
+was first observed clear at ``t_end``. An interval that clears before
+the final checkpoint is *transient*: it is precisely the class of
+defect a post-convergence snapshot verification can never see. An
+interval still open at the final checkpoint is persistent and would
+also be caught by ``mfv verify``; it is reported here too, flagged
+``transient=False``, so the temporal report subsumes the snapshot one.
+
+``max_sim_s`` on the loop/blackhole invariants is a tolerance: transient
+intervals lasting no longer than that many simulated seconds are
+expected convergence noise and suppressed. Persistent intervals are
+never suppressed — they last forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dataplane.forwarding import Disposition
+from repro.net.addr import format_ipv4
+
+NO_TRANSIENT_LOOP = "no-transient-loop"
+BLACKHOLE_WINDOW = "blackhole-window"
+MAX_CHURN = "max-churn"
+WAYPOINT_ALWAYS = "waypoint-always"
+
+_BLACKHOLE = frozenset({Disposition.NO_ROUTE, Disposition.NULL_ROUTED})
+
+
+@dataclass(frozen=True)
+class ViolationInterval:
+    """One violation's lifetime, with its witness atom.
+
+    ``ingress``/``destination`` witness the violating flow (empty for
+    network-wide invariants like churn). ``transient`` is True when the
+    violation cleared before the stream's final checkpoint.
+    """
+
+    invariant: str
+    t_start: float
+    t_end: float
+    ingress: str = ""
+    destination: str = ""
+    detail: str = ""
+    transient: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "duration": self.duration,
+            "ingress": self.ingress,
+            "destination": self.destination,
+            "detail": self.detail,
+            "transient": self.transient,
+        }
+
+    def __str__(self) -> str:
+        witness = ""
+        if self.ingress or self.destination:
+            witness = f" {self.ingress}->{self.destination}"
+        tail = f" ({self.detail})" if self.detail else ""
+        kind = "transient" if self.transient else "persistent"
+        return (
+            f"[{self.t_start:10.1f}, {self.t_end:10.1f})s "
+            f"{self.invariant:<17}{witness} {kind}{tail}"
+        )
+
+
+class TemporalInvariant:
+    """Base: findings active at one checkpoint, keyed for continuity.
+
+    ``findings(probe)`` returns ``{key: detail}``; the evaluator opens
+    an interval when a key first appears and closes it when the key
+    vanishes. Keys must therefore be stable across checkpoints for the
+    same logical violation — (ingress, destination) pairs for flow
+    invariants, a constant for network-wide ones.
+    """
+
+    name = "invariant"
+    #: Transient intervals lasting <= this many sim-seconds are noise.
+    max_sim_s = 0.0
+
+    def findings(self, probe) -> dict:
+        raise NotImplementedError
+
+
+class NoTransientLoop(TemporalInvariant):
+    """No forwarding loop, even mid-convergence, lasting > ``max_sim_s``."""
+
+    name = NO_TRANSIENT_LOOP
+
+    def __init__(self, max_sim_s: float = 0.0) -> None:
+        self.max_sim_s = max_sim_s
+
+    def findings(self, probe) -> dict:
+        active = {}
+        for ingress, address, owner in probe.flows():
+            if Disposition.LOOP in probe.dispositions(ingress, address):
+                active[(ingress, address)] = (
+                    f"loop toward {owner}"
+                )
+        return active
+
+
+class BlackholeWindow(TemporalInvariant):
+    """Traffic to ``dst`` (default: every owned address) must not fall
+    into NO_ROUTE/NULL_ROUTED for longer than ``max_sim_s``."""
+
+    name = BLACKHOLE_WINDOW
+
+    def __init__(
+        self, dst: Optional[str] = None, max_sim_s: float = 0.0
+    ) -> None:
+        self.dst = dst
+        self.max_sim_s = max_sim_s
+
+    def findings(self, probe) -> dict:
+        active = {}
+        for ingress, address, owner in probe.flows(dst=self.dst):
+            if probe.dispositions(ingress, address) & _BLACKHOLE:
+                active[(ingress, address)] = f"blackhole toward {owner}"
+        return active
+
+
+class MaxChurn(TemporalInvariant):
+    """Route-install rate across the network stays <= ``installs_per_s``.
+
+    Rate is measured per checkpoint window: installs coalesced into the
+    checkpoint divided by sim-time elapsed since the previous one.
+    """
+
+    name = MAX_CHURN
+
+    def __init__(self, installs_per_s: float) -> None:
+        self.installs_per_s = installs_per_s
+
+    def findings(self, probe) -> dict:
+        rate = probe.install_rate()
+        if rate is not None and rate > self.installs_per_s:
+            return {
+                "rate": (
+                    f"{rate:.1f} installs/s > "
+                    f"limit {self.installs_per_s:.1f}"
+                )
+            }
+        return {}
+
+
+class WaypointAlways(TemporalInvariant):
+    """Every successful path to ``dst`` traverses device ``via`` at
+    every checkpoint — service-chain insertion that must hold even
+    while routes are moving."""
+
+    name = WAYPOINT_ALWAYS
+
+    def __init__(self, dst: str, via: str, max_sim_s: float = 0.0) -> None:
+        from repro.net.addr import parse_ipv4
+
+        self.dst = dst
+        self.address = parse_ipv4(dst)
+        self.via = via
+        self.max_sim_s = max_sim_s
+
+    def findings(self, probe) -> dict:
+        active = {}
+        for ingress in probe.ingresses:
+            if ingress == self.via:
+                continue
+            result = probe.walk(ingress, self.address)
+            for trace in result.traces:
+                if not trace.disposition.is_success:
+                    continue
+                if all(hop.device != self.via for hop in trace.hops):
+                    active[(ingress, self.address)] = (
+                        f"path skips waypoint {self.via}"
+                    )
+                    break
+        return active
+
+
+def default_invariants() -> list[TemporalInvariant]:
+    """The `mfv temporal` defaults: loops and blackholes, zero
+    tolerance — every positive-width transient window is reported."""
+    return [NoTransientLoop(), BlackholeWindow()]
+
+
+def describe_key(key) -> tuple[str, str]:
+    """(ingress, destination-text) for an invariant finding key."""
+    if isinstance(key, tuple) and len(key) == 2:
+        ingress, address = key
+        return str(ingress), format_ipv4(address)
+    return "", ""

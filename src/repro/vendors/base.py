@@ -232,6 +232,17 @@ class RouterOS:
         """Register for FIB-version change notifications (telemetry)."""
         self._fib_listeners.append(listener)
 
+    def remove_fib_change(self, listener: Callable[[int], None]) -> None:
+        """Unregister a listener added with :meth:`on_fib_change`.
+
+        Unknown listeners are ignored so tear-down paths (temporal
+        recorder finalize, test cleanup) can call this unconditionally.
+        """
+        try:
+            self._fib_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def after_protocol_event(self) -> None:
         """Commit RIB changes; kick BGP next-hop tracking on IGP change."""
         self.rib.commit()

@@ -57,6 +57,7 @@ class WhatIfCampaign:
         convergence_max_time: float = 86_400.0,
         seed: int = 0,
         store=None,
+        temporal=None,
     ) -> None:
         self.topology = topology
         self.scenarios = list(scenarios)
@@ -66,6 +67,11 @@ class WhatIfCampaign:
         self.quiet_period = quiet_period
         self.convergence_max_time = convergence_max_time
         self.seed = seed
+        # Opt-in transient-state scoring: True (default invariants) or a
+        # sequence of TemporalInvariant. Each scenario's apply→converge
+        # window is recorded and evaluated, and the interval counts land
+        # on its verdict (temporal_* fields).
+        self.temporal = temporal
         # Optional verification-service SnapshotStore: the baseline
         # snapshot registers there, so service questions asked after a
         # campaign reuse its engine. Sequential path only — process-pool
@@ -134,6 +140,12 @@ class WhatIfCampaign:
                         "delta_fallback": stats.fallback,
                         "delta_apply_seconds": stats.apply_seconds,
                     }
+                temporal_fields = {}
+                if self.temporal is not None and self.temporal is not False:
+                    temporal_fields = {
+                        "temporal_violations": verdict.temporal_violations,
+                        "temporal_transient": verdict.temporal_transient,
+                    }
                 collector.emit(
                     "whatif.verdict",
                     deployment.kernel.now,
@@ -148,6 +160,7 @@ class WhatIfCampaign:
                     reconverge_seconds=verdict.reconverge_seconds,
                     reverted_clean=verdict.reverted_clean,
                     **delta_fields,
+                    **temporal_fields,
                 )
             if not verdict.reverted_clean:
                 # The warm deployment no longer matches the baseline —
@@ -198,7 +211,15 @@ class WhatIfCampaign:
         phases = self.phases
         prefix = f"whatif:{scenario.name}"
         quiet = max(self.quiet_period, scenario.min_quiet_period)
+        recorder = None
+        if self.temporal is not None and self.temporal is not False:
+            from repro.temporal import CheckpointRecorder
+
+            recorder = CheckpointRecorder(deployment)
+        temporal_report = None
         with phase(prefix, kernel, phases):
+            if recorder is not None:
+                recorder.arm()
             with phase(f"{prefix}:apply", kernel, phases):
                 scenario.apply(deployment)
             with phase(f"{prefix}:converge", kernel, phases):
@@ -206,6 +227,17 @@ class WhatIfCampaign:
                     quiet_period=quiet,
                     max_time=self.convergence_max_time,
                 )
+            if recorder is not None:
+                from repro.temporal import evaluate_stream
+
+                with phase(f"{prefix}:temporal", kernel, phases):
+                    stream = recorder.finalize()
+                    invariants = (
+                        None
+                        if self.temporal is True
+                        else list(self.temporal)
+                    )
+                    temporal_report = evaluate_stream(stream, invariants)
             with phase(f"{prefix}:extract", kernel, phases):
                 live = sorted(
                     set(deployment.routers) - deployment.failed_nodes()
@@ -234,6 +266,18 @@ class WhatIfCampaign:
         samples = tuple(
             str(row) for row in comparison.rows if row.regressed
         )[:_SAMPLE_REGRESSIONS]
+        temporal_fields = {}
+        if temporal_report is not None:
+            temporal_fields = {
+                "temporal_checkpoints": temporal_report.checkpoints,
+                "temporal_violations": len(temporal_report.intervals),
+                "temporal_transient": len(temporal_report.transient),
+                "temporal_worst": (
+                    str(temporal_report.intervals[0])
+                    if temporal_report.intervals
+                    else ""
+                ),
+            }
         return ScenarioVerdict(
             scenario=scenario.name,
             kind=scenario.kind,
@@ -248,6 +292,7 @@ class WhatIfCampaign:
             new_unreachable_pairs=comparison.new_unreachable_pairs,
             sample_regressions=samples,
             fib_fingerprint=dataplane.fib_fingerprint(),
+            **temporal_fields,
         )
 
     # -- process-pool sharding ---------------------------------------------------------
@@ -266,6 +311,7 @@ class WhatIfCampaign:
                 self.quiet_period,
                 self.convergence_max_time,
                 self.seed,
+                self.temporal,
             )
             for shard in shards
         ]
@@ -298,7 +344,16 @@ def _campaign_shard(payload) -> CampaignReport:
     payload is plain data. The worker process has the default no-op obs
     collector — shard runs are untraced by design.
     """
-    topology, scenarios, context, timers, quiet_period, max_time, seed = payload
+    (
+        topology,
+        scenarios,
+        context,
+        timers,
+        quiet_period,
+        max_time,
+        seed,
+        temporal,
+    ) = payload
     campaign = WhatIfCampaign(
         topology,
         scenarios,
@@ -307,6 +362,7 @@ def _campaign_shard(payload) -> CampaignReport:
         quiet_period=quiet_period,
         convergence_max_time=max_time,
         seed=seed,
+        temporal=temporal,
     )
     return campaign._run_sequential(scenarios)
 

@@ -26,6 +26,12 @@ class ScenarioVerdict:
     new_unreachable_pairs: int
     sample_regressions: tuple[str, ...] = ()
     fib_fingerprint: int = 0
+    # Transient-state scoring (campaign ``temporal=`` opt-in; all
+    # defaulted so verdicts from temporal-less runs are unchanged).
+    temporal_checkpoints: int = 0
+    temporal_violations: int = 0
+    temporal_transient: int = 0
+    temporal_worst: str = ""
 
     @property
     def severity(self) -> int:
@@ -39,7 +45,7 @@ class ScenarioVerdict:
         )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "scenario": self.scenario,
             "kind": self.kind,
             "severity": self.severity,
@@ -55,6 +61,14 @@ class ScenarioVerdict:
             "sample_regressions": list(self.sample_regressions),
             "fib_fingerprint": self.fib_fingerprint,
         }
+        if self.temporal_checkpoints:
+            out["temporal"] = {
+                "checkpoints": self.temporal_checkpoints,
+                "violations": self.temporal_violations,
+                "transient": self.temporal_transient,
+                "worst": self.temporal_worst,
+            }
+        return out
 
 
 @dataclass
