@@ -1,0 +1,146 @@
+"""Ensemble verification bench: fingerprint dedup vs per-seed brute force.
+
+The claim under test is the economics of outcome dedup: on a seeded
+ensemble whose members overwhelmingly converge to the same forwarding
+state, folding verdicts over *distinct outcomes* (one pinned engine per
+fingerprint, weighted by multiplicity) must beat the naive per-seed
+loop (one cold engine per member) by >= 3x wall time on the production
+corpus — while producing the *identical* verdict list row-for-row.
+The 16-seed sweep deliberately has no chaos plans crossed in, so the
+matrix is the best case for dedup and the worst case for brute force:
+every member pays a full engine build under the oracle, while the
+dedup path pays at most one per distinct converged state (<= 3 here).
+
+Writes ``BENCH_ensemble.json`` for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.core.context import ScenarioContext
+from repro.corpus.production import production_scenario, scaled_timers
+from repro.ensemble import (
+    EnsembleRunner,
+    brute_force_verdicts,
+    default_ensemble_invariants,
+    fold_records,
+)
+from repro.obs import tracing
+from repro.service.store import SnapshotStore
+from repro.verify.engine import clear_engine_cache
+
+SMOKE = bool(os.environ.get("MFV_BENCH_SMOKE"))
+
+NODES = 4 if SMOKE else 8
+ROUTES_PER_PEER = 40 if SMOKE else 500
+SEEDS = 4 if SMOKE else 16
+ROUNDS = 1 if SMOKE else 3
+
+
+def _record_ensemble():
+    """Run the seed sweep once and return its per-member records.
+
+    Recording (emulated convergence) is deliberately outside the timed
+    region — the bench measures the verification fold, not the
+    deployment, and both fold paths consume the same records.
+    """
+    scenario = production_scenario(
+        NODES, peers=2, routes_per_peer=ROUTES_PER_PEER, seed=7
+    )
+    runner = EnsembleRunner(
+        scenario.topology,
+        context=ScenarioContext(
+            name="bench-ensemble", injectors=tuple(scenario.injectors)
+        ),
+        seeds=range(SEEDS),
+        invariants=(),  # fold is timed separately below
+        timers=scaled_timers(ROUTES_PER_PEER),
+        quiet_period=30.0,
+    )
+    runner.run(workers=1)
+    return runner.last_records
+
+
+def _best_seconds(fn, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_dedup_fold_vs_per_seed_brute_force(benchmark, report):
+    records = run_once(benchmark, _record_ensemble)
+    battery = default_ensemble_invariants()
+
+    def dedup_fold():
+        # Fresh store and cold module cache every round: the dedup win
+        # must come from fingerprint coalescing, not from a previous
+        # round's warm engines.
+        clear_engine_cache()
+        store = SnapshotStore(capacity=max(8, len(records)))
+        with tracing() as tracer:
+            folded = fold_records(
+                records,
+                invariants=battery,
+                engine_of=store.engine,
+                topology_name="bench-ensemble",
+                seeds=tuple(r.seed for r in records),
+            )
+        return folded, tracer.counters.get("verify.engine_builds", 0)
+
+    dedup_s, (ensemble, builds) = _best_seconds(dedup_fold)
+    brute_s, oracle = _best_seconds(
+        lambda: brute_force_verdicts(records, invariants=battery)
+    )
+    clear_engine_cache()
+
+    # Identical verdicts row-for-row: dedup is an optimization, not an
+    # approximation.
+    assert ensemble.verdicts == oracle
+
+    assert ensemble.runs == SEEDS
+    assert ensemble.distinct <= 3
+    assert builds <= ensemble.distinct
+
+    speedup = brute_s / dedup_s if dedup_s > 0 else float("inf")
+    payload = {
+        "corpus": f"production-{NODES}x{ROUTES_PER_PEER}",
+        "smoke": SMOKE,
+        "seeds": SEEDS,
+        "distinct_outcomes": ensemble.distinct,
+        "engine_builds": builds,
+        "verdicts": len(ensemble.verdicts),
+        "verdict_counts": ensemble.verdict_counts(),
+        "dedup_seconds": dedup_s,
+        "brute_force_seconds": brute_s,
+        "speedup": speedup,
+    }
+    Path("BENCH_ensemble.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    report.add(
+        "ensemble",
+        "dedup fold vs per-seed brute force",
+        ">=3x",
+        f"{speedup:.1f}x over {SEEDS} seeds",
+    )
+    report.add(
+        "ensemble",
+        "distinct converged states",
+        "<=3",
+        f"{ensemble.distinct} ({builds} engine builds)",
+    )
+
+    if SMOKE:
+        assert speedup > 1.0
+    else:
+        assert speedup >= 3.0

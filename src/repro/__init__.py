@@ -27,6 +27,14 @@ from repro.core import (
     compare_snapshots,
     explore_nondeterminism,
 )
+from repro.ensemble import (
+    HOLDS_ALWAYS,
+    HOLDS_SOMETIMES,
+    NEVER,
+    EnsembleReport,
+    EnsembleRunner,
+    InvariantVerdict,
+)
 from repro.pybf import Session
 from repro.whatif import (
     CampaignReport,
@@ -39,8 +47,14 @@ from repro.whatif import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "HOLDS_ALWAYS",
+    "HOLDS_SOMETIMES",
+    "NEVER",
     "CampaignReport",
+    "EnsembleReport",
+    "EnsembleRunner",
     "FaultScenario",
+    "InvariantVerdict",
     "ModelFreeBackend",
     "NativeBatfishBackend",
     "ScenarioContext",

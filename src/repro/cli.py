@@ -14,7 +14,12 @@ Subcommands::
                [--workers N] [--json OUT.json] [--trace OUT.jsonl]
     mfv chaos [TOPOLOGY] [--corpus fig2|fig3|production]
               [--plan acceptance|sampled] [--plan-seed N] [--intensity N]
-              [--temporal] [--json OUT.json] [--trace OUT.jsonl]
+              [--seeds N|a,b,c] [--temporal] [--json OUT.json]
+              [--trace OUT.jsonl]
+    mfv ensemble [TOPOLOGY] [--corpus fig2|fig3|production]
+                 [--seeds N|a,b,c] [--plans none|acceptance|sampled]
+                 [--temporal] [--waypoint DEST_IP:VIA_NODE] [--workers N]
+                 [--json OUT.json] [--trace OUT.jsonl]
     mfv temporal [TOPOLOGY] [--corpus fig2|fig3|production]
                  [--flap A-Z] [--flap-hold S] [--replay STREAM.json]
                  [--save-stream OUT.json] [--brute-force]
@@ -46,6 +51,15 @@ state cannot see. ``--replay`` re-evaluates a stream saved with
 ``--save-stream`` offline; ``--brute-force`` rebuilds a cold engine per
 checkpoint instead of applying deltas (the correctness oracle). Exit
 code 2 means at least one violation interval was found.
+
+``ensemble`` runs the same scenario once per seed (optionally crossed
+with fault plans), dedups the converged states by forwarding
+fingerprint, and folds every invariant across the set into
+holds-always / holds-sometimes / never — each "sometimes" carrying a
+witness seed, plan, and (with ``--temporal``) the violating interval.
+Exit code 2 means at least one invariant is not holds-always. ``chaos
+--seeds`` scores verdict stability over such an ensemble of faulted
+runs instead of a single seed.
 
 ``obs timeline`` runs a built-in scenario (or a topology file) with the
 tracer installed and prints the convergence timeline: per-phase spans,
@@ -376,6 +390,18 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     return code
 
 
+def _parse_seeds(spec):
+    """``--seeds`` spec: "8" means seeds 0..7, "1,5,9" means exactly those."""
+    if spec is None:
+        return None
+    try:
+        if "," in spec:
+            return tuple(int(part) for part in spec.split(",") if part.strip())
+        return tuple(range(int(spec)))
+    except ValueError:
+        raise SystemExit(f"--seeds wants a count or a comma list, not {spec!r}")
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import acceptance_plan, run_chaos, sampled_plan
 
@@ -400,6 +426,7 @@ def _run_chaos(args: argparse.Namespace) -> int:
         plan,
         context=context,
         seed=args.seed,
+        seeds=_parse_seeds(args.seeds),
         timers=timers,
         quiet_period=quiet,
         temporal=True if args.temporal else None,
@@ -413,6 +440,13 @@ def _run_chaos(args: argparse.Namespace) -> int:
     print(f"verdict stability:         {report.stability:.4f}")
     print(f"degraded verdict fraction: "
           f"{report.degraded_verdict_fraction:.4f}")
+    if report.ensemble:
+        per_seed = report.ensemble["per_seed_stability"]
+        print(f"stability ensemble:        {len(per_seed)} seed(s), "
+              f"{report.ensemble['distinct_faulted_outcomes']} distinct "
+              f"faulted outcome(s)")
+        for run_seed, value in per_seed.items():
+            print(f"  seed {run_seed:<4} stability {value:.4f}")
     if report.temporal:
         print(f"transient intervals:       "
               f"{report.temporal.get('transient', 0)} "
@@ -431,6 +465,83 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _run_chaos(args)
     with tracing() as tracer:
         code = _run_chaos(args)
+    lines = write_jsonl(tracer, args.trace)
+    print(f"trace written to {args.trace} ({lines} records)")
+    return code
+
+
+def _ensemble_plans(args: argparse.Namespace, topology) -> list:
+    """The fault-plan axis: always includes the fault-free member."""
+    plans = [None]
+    if args.plans == "none":
+        return plans
+    names = sorted(spec.name for spec in topology.nodes)
+    if args.plans == "acceptance":
+        from repro.chaos import acceptance_plan
+
+        plans.append(acceptance_plan(names, crash_at=args.crash_at))
+    else:
+        from repro.chaos import sampled_plan
+
+        for i in range(args.plan_count):
+            plans.append(
+                sampled_plan(
+                    names,
+                    seed=args.plan_seed + i,
+                    intensity=args.intensity,
+                    crash_at=args.crash_at,
+                )
+            )
+    return plans
+
+
+def _run_ensemble(args: argparse.Namespace) -> int:
+    from repro.ensemble import (
+        EnsembleRunner,
+        Waypoint,
+        default_ensemble_invariants,
+    )
+
+    topology, context, timers, quiet = _whatif_setup(args)
+    seeds = _parse_seeds(args.seeds)
+    plans = _ensemble_plans(args, topology)
+    invariants = default_ensemble_invariants()
+    if args.waypoint:
+        dst, sep, via = args.waypoint.partition(":")
+        if not sep or not dst or not via:
+            raise SystemExit("--waypoint wants DEST_IP:VIA_NODE")
+        invariants.append(Waypoint(dst, via))
+    runner = EnsembleRunner(
+        topology,
+        context=context,
+        seeds=seeds,
+        plans=plans,
+        invariants=invariants,
+        temporal=True if args.temporal else None,
+        timers=timers,
+        quiet_period=quiet,
+    )
+    print(
+        f"ensemble over {topology.name}: {len(runner.seeds)} seed(s) x "
+        f"{len(runner.plans)} plan(s) = {len(runner.matrix)} run(s)"
+    )
+    report = runner.run(workers=args.workers)
+    print()
+    print(report.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 2 if report.unstable else 0
+
+
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    if not args.trace:
+        return _run_ensemble(args)
+    with tracing() as tracer:
+        code = _run_ensemble(args)
     lines = write_jsonl(tracer, args.trace)
     print(f"trace written to {args.trace} ({lines} records)")
     return code
@@ -899,6 +1010,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated seconds before the pod crash fires",
     )
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--seeds", default=None,
+        help="score stability over an ensemble of faulted runs: a count "
+        "(\"8\" = seeds 0..7) or a comma list (\"1,5,9\")",
+    )
     chaos.add_argument("--quiet-period", type=float, default=None)
     chaos.add_argument(
         "--fast", action="store_true",
@@ -914,6 +1030,85 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", help="record an observability trace to this JSONL file"
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    ensemble = sub.add_parser(
+        "ensemble",
+        help="seeded ensemble verification: holds-always / "
+        "holds-sometimes / never over the set of converged states",
+    )
+    ensemble.add_argument(
+        "topology",
+        nargs="?",
+        default=None,
+        help="KNE-style topology file (default: a built-in corpus)",
+    )
+    ensemble.add_argument(
+        "--corpus",
+        choices=("fig2", "fig3", "production"),
+        default="fig3",
+        help="built-in corpus when no topology file is given",
+    )
+    ensemble.add_argument(
+        "--nodes", type=int, default=8, help="production corpus size"
+    )
+    ensemble.add_argument(
+        "--routes", type=int, default=1000,
+        help="production corpus routes per peer",
+    )
+    ensemble.add_argument(
+        "--seeds", default=None,
+        help="a count (\"8\" = seeds 0..7) or a comma list (\"1,5,9\"); "
+        "default: MFV_ENSEMBLE_SEEDS",
+    )
+    ensemble.add_argument(
+        "--plans",
+        choices=("none", "acceptance", "sampled"),
+        default="none",
+        help="cross the seed sweep with fault plans (the fault-free "
+        "member is always included)",
+    )
+    ensemble.add_argument(
+        "--plan-count", type=int, default=2,
+        help="sampled plans to draw (seeds plan-seed, plan-seed+1, ...)",
+    )
+    ensemble.add_argument(
+        "--plan-seed", type=int, default=0,
+        help="seed for the first sampled plan's fault draw",
+    )
+    ensemble.add_argument(
+        "--intensity", type=int, default=3,
+        help="fault count per sampled plan",
+    )
+    ensemble.add_argument(
+        "--crash-at", type=float, default=900.0,
+        help="simulated seconds before a plan's pod crash fires",
+    )
+    ensemble.add_argument(
+        "--temporal", action="store_true",
+        help="record a checkpoint stream per member run and fold "
+        "transient-state invariants into the verdicts",
+    )
+    ensemble.add_argument(
+        "--waypoint", default=None,
+        help="DEST_IP:VIA_NODE — add a waypoint invariant to the battery",
+    )
+    ensemble.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard the (seed x plan) matrix across N worker processes; "
+        "default: MFV_ENSEMBLE_WORKERS",
+    )
+    ensemble.add_argument("--quiet-period", type=float, default=None)
+    ensemble.add_argument(
+        "--fast", action="store_true",
+        help="compressed protocol timers for a topology file",
+    )
+    ensemble.add_argument("--json", help="write the ensemble report JSON here")
+    ensemble.add_argument(
+        "--trace", help="record an observability trace to this JSONL file"
+    )
+    ensemble.set_defaults(func=_cmd_ensemble)
 
     temporal = sub.add_parser(
         "temporal",

@@ -3,12 +3,17 @@
 The paper's §6 notes that one emulation run yields one converged state,
 while ordering/timing can admit several. The mitigation it proposes —
 run the emulation multiple times (in parallel) and compare the resulting
-dataplanes — is implemented here: N seeded runs, pairwise differential
-reachability, and a report of which behaviour is seed-dependent.
+dataplanes — now lives in :mod:`repro.ensemble`; this module is kept as
+a thin deprecated wrapper that preserves the pairwise-diff report shape.
+Snapshot pairs with identical ``fib_fingerprint`` short-circuit the
+differential entirely (trivially equivalent, counted as
+``multirun.fingerprint_skips``); only pairs of *distinct* converged
+states pay a diff.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -16,6 +21,7 @@ from repro.core.context import ScenarioContext
 from repro.core.pipeline import ModelFreeBackend
 from repro.core.snapshot import Snapshot
 from repro.dataplane.forwarding import dst_atoms
+from repro.obs import bus
 from repro.verify.differential import DifferentialRow, differential_reachability
 
 
@@ -57,27 +63,60 @@ def explore_nondeterminism(
 ) -> MultiRunResult:
     """Run the emulation once per seed and diff all pairs.
 
-    Each run replays the full deployment with different message timing
-    (jitter), exposing ordering-dependent tiebreaks; agreement across
-    seeds raises confidence that the converged state is unique.
+    .. deprecated::
+        Use :class:`repro.ensemble.EnsembleRunner`, which dedups
+        outcomes by fingerprint and folds invariants into
+        holds-always / holds-sometimes / never verdicts. This wrapper
+        runs the same seed sweep through the ensemble runner and
+        re-derives the pairwise divergence report from its records.
     """
+    warnings.warn(
+        "explore_nondeterminism is deprecated; use "
+        "repro.ensemble.EnsembleRunner",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.ensemble import EnsembleRunner
+
     if context is None:
         context = ScenarioContext()
-    snapshots = [
-        backend.run(context, seed=seed, snapshot_name=f"seed-{seed}")
-        for seed in seeds
-    ]
+    runner = EnsembleRunner(
+        backend.topology,
+        context=context,
+        seeds=seeds,
+        invariants=(),
+        cluster=backend.cluster,
+        timers=backend.timers,
+        quiet_period=backend.quiet_period,
+        convergence_max_time=backend.convergence_max_time,
+        store=backend.store,
+    )
+    runner.run(workers=1)
+    records = runner.last_records
+    snapshots = [record.snapshot for record in records]
     result = MultiRunResult(snapshots=snapshots)
-    # One atom partition refined across every seed: it refines each
-    # pair's union partition, so the content-cached atom-graph engine
-    # for each snapshot is built once and reused by all N(N-1)/2 diffs
-    # (N engine builds instead of N² — asserted by the
-    # verify.engine_builds obs counter in tests).
-    shared_atoms = dst_atoms(*(s.dataplane for s in snapshots))
-    for i, first in enumerate(snapshots):
-        for second in snapshots[i + 1 :]:
-            rows = differential_reachability(
-                first.dataplane, second.dataplane, atoms=shared_atoms
-            )
+    collector = bus.ACTIVE
+    # One atom partition refined across the *distinct* dataplanes only:
+    # identical-fingerprint pairs are trivially equivalent and skip the
+    # differential entirely, so a fully deterministic sweep pays zero
+    # engine builds here (asserted via verify.engine_builds in tests).
+    distinct = {record.fingerprint: record.snapshot for record in records}
+    shared_atoms = (
+        dst_atoms(*(s.dataplane for s in distinct.values()))
+        if len(distinct) > 1
+        else None
+    )
+    for i, first in enumerate(records):
+        for second in records[i + 1 :]:
+            if first.fingerprint == second.fingerprint:
+                rows: list[DifferentialRow] = []
+                if collector.enabled:
+                    collector.count("multirun.fingerprint_skips")
+            else:
+                rows = differential_reachability(
+                    first.snapshot.dataplane,
+                    second.snapshot.dataplane,
+                    atoms=shared_atoms,
+                )
             result.divergences[(first.seed, second.seed)] = rows
     return result

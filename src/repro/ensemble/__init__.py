@@ -1,0 +1,65 @@
+"""Nondeterminism-aware verification over seeded ensembles.
+
+Runs the (seed x fault-plan) matrix, dedups converged states by
+``fib_fingerprint``, and folds every invariant across the distinct
+outcomes into holds-always / holds-sometimes / never verdicts with
+concrete witnesses.
+"""
+
+from repro.ensemble.invariants import (
+    REACH_PREFIX,
+    EnsembleInvariant,
+    NoBlackhole,
+    NoForwardingLoop,
+    OutcomeProbe,
+    PairwiseReachable,
+    Waypoint,
+    default_ensemble_invariants,
+)
+from repro.ensemble.runner import (
+    EnsembleOutcome,
+    EnsembleReport,
+    EnsembleRunner,
+    RunRecord,
+    brute_force_verdicts,
+    fold_records,
+    temporal_invariant_names,
+)
+from repro.ensemble.verdicts import (
+    HOLDS_ALWAYS,
+    HOLDS_SOMETIMES,
+    MAX_WITNESSES,
+    NEVER,
+    EnsembleWitness,
+    InvariantVerdict,
+    RowObservation,
+    fold,
+    fold_observations,
+)
+
+__all__ = [
+    "HOLDS_ALWAYS",
+    "HOLDS_SOMETIMES",
+    "MAX_WITNESSES",
+    "NEVER",
+    "REACH_PREFIX",
+    "EnsembleInvariant",
+    "EnsembleOutcome",
+    "EnsembleReport",
+    "EnsembleRunner",
+    "EnsembleWitness",
+    "InvariantVerdict",
+    "NoBlackhole",
+    "NoForwardingLoop",
+    "OutcomeProbe",
+    "PairwiseReachable",
+    "RowObservation",
+    "RunRecord",
+    "Waypoint",
+    "brute_force_verdicts",
+    "default_ensemble_invariants",
+    "fold",
+    "fold_observations",
+    "fold_records",
+    "temporal_invariant_names",
+]

@@ -1,0 +1,184 @@
+"""Invariants evaluated per distinct converged state of an ensemble.
+
+Each invariant contributes named *rows* — ``{row_name: (holds,
+detail)}`` — against an :class:`OutcomeProbe`, one probe per distinct
+``fib_fingerprint``. The probe runs the atom-graph reachability
+analysis once and shares it across every invariant, so an outcome's
+whole battery costs a single engine (built by the caller, typically
+pinned in the :class:`~repro.service.store.SnapshotStore`).
+
+Row universes may differ between outcomes: a partial snapshot answers
+no rows for pairs whose proof would route through a degraded node.
+The fold treats a missing row as "not evaluated here", never as a
+violation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.forwarding import Disposition
+from repro.dataplane.model import Dataplane
+from repro.net.addr import parse_ipv4
+from repro.verify.engine import AtomGraphEngine
+from repro.verify.reachability import ReachabilityAnalysis, pairwise_matrix
+
+_BLACKHOLE = frozenset({Disposition.NO_ROUTE, Disposition.NULL_ROUTED})
+
+#: Row-name prefix for the per-pair reachability rows.
+REACH_PREFIX = "reach:"
+
+
+class OutcomeProbe:
+    """One distinct converged state, with lazily shared analyses.
+
+    Everything an invariant can ask for funnels through one
+    :class:`ReachabilityAnalysis` (hence one engine): the classified
+    reachability rows, the all-pairs matrix, and sample walks.
+    """
+
+    def __init__(
+        self,
+        dataplane: Dataplane,
+        *,
+        engine: Optional[AtomGraphEngine] = None,
+    ) -> None:
+        self.dataplane = dataplane
+        self.analysis = ReachabilityAnalysis(dataplane, engine=engine)
+        self._rows = None
+        self._matrix = None
+
+    def reach_rows(self):
+        if self._rows is None:
+            self._rows = self.analysis.analyze()
+        return self._rows
+
+    def matrix(self):
+        if self._matrix is None:
+            self._matrix = pairwise_matrix(
+                self.dataplane, engine=self.analysis.engine
+            )
+        return self._matrix
+
+    def walk(self, ingress: str, destination: int):
+        return self.analysis.walk(ingress, destination)
+
+    def degraded_pairs(self) -> set:
+        """(src, dst) pairs whose verdict is UNKNOWN_DEGRADED.
+
+        Pairs whose destination node vanished from the dataplane are
+        already absent from the matrix; this catches the subtler case —
+        both endpoints extracted, but the path's proof runs through a
+        degraded node.
+        """
+        dataplane = self.dataplane
+        if not (dataplane.degraded_nodes or dataplane.degraded_owned):
+            return set()
+        pairs = set()
+        for row in self.reach_rows():
+            if Disposition.UNKNOWN_DEGRADED not in row.dispositions:
+                continue
+            for name, device in dataplane.devices.items():
+                if name == row.ingress:
+                    continue
+                if any(
+                    address in row.dst_set
+                    for address in device.local_addresses
+                ):
+                    pairs.add((row.ingress, name))
+        return pairs
+
+
+class EnsembleInvariant:
+    """Base: named boolean rows evaluated against one outcome probe."""
+
+    name = "invariant"
+
+    def rows(self, probe: OutcomeProbe) -> dict[str, tuple[bool, str]]:
+        raise NotImplementedError
+
+
+class NoForwardingLoop(EnsembleInvariant):
+    """No (ingress, destination set) forwards in a cycle."""
+
+    name = "no-forwarding-loop"
+
+    def rows(self, probe: OutcomeProbe) -> dict[str, tuple[bool, str]]:
+        looping = [
+            row
+            for row in probe.reach_rows()
+            if Disposition.LOOP in row.dispositions
+        ]
+        detail = str(looping[0]) if looping else ""
+        return {self.name: (not looping, detail)}
+
+
+class NoBlackhole(EnsembleInvariant):
+    """No owned destination is dropped (NO_ROUTE / NULL_ROUTED)."""
+
+    name = "no-blackhole"
+
+    def rows(self, probe: OutcomeProbe) -> dict[str, tuple[bool, str]]:
+        owned = set(probe.dataplane.address_owner)
+        holes = []
+        for row in probe.reach_rows():
+            if not (_BLACKHOLE & row.dispositions):
+                continue
+            if any(address in row.dst_set for address in owned):
+                holes.append(row)
+        detail = str(holes[0]) if holes else ""
+        return {self.name: (not holes, detail)}
+
+
+class PairwiseReachable(EnsembleInvariant):
+    """One row per device pair: ``reach:src->dst``.
+
+    Pairs answering UNKNOWN_DEGRADED are omitted from the outcome's
+    rows entirely — absence of proof stays out of the fold denominator,
+    matching the chaos runner's stability scoring.
+    """
+
+    name = "pairwise-reachable"
+
+    def rows(self, probe: OutcomeProbe) -> dict[str, tuple[bool, str]]:
+        degraded = probe.degraded_pairs()
+        return {
+            f"{REACH_PREFIX}{src}->{dst}": (
+                ok,
+                "" if ok else f"{src} cannot reach {dst}",
+            )
+            for (src, dst), ok in sorted(probe.matrix().items())
+            if (src, dst) not in degraded
+        }
+
+
+class Waypoint(EnsembleInvariant):
+    """Every successful path to ``dst`` traverses device ``via``."""
+
+    def __init__(self, dst: str, via: str) -> None:
+        self.dst = dst
+        self.address = parse_ipv4(dst)
+        self.via = via
+        self.name = f"waypoint:{dst}-via-{via}"
+
+    def rows(self, probe: OutcomeProbe) -> dict[str, tuple[bool, str]]:
+        for ingress in probe.dataplane.node_names():
+            if ingress == self.via:
+                continue
+            result = probe.walk(ingress, self.address)
+            for trace in result.traces:
+                if not trace.disposition.is_success:
+                    continue
+                if all(hop.device != self.via for hop in trace.hops):
+                    return {
+                        self.name: (
+                            False,
+                            f"{ingress} path skips waypoint {self.via}",
+                        )
+                    }
+        return {self.name: (True, "")}
+
+
+def default_ensemble_invariants() -> list[EnsembleInvariant]:
+    """The standard battery: loops, blackholes, all-pairs rows."""
+    return [NoForwardingLoop(), NoBlackhole(), PairwiseReachable()]

@@ -1,0 +1,166 @@
+"""The ensemble verdict algebra: fold per-outcome findings into
+holds-always / holds-sometimes / never.
+
+One invariant *row* (a named predicate such as ``reach:r1->r2`` or
+``no-forwarding-loop``) is observed once per distinct converged state,
+weighted by how many ensemble members converged there. Folding the
+observations yields exactly one of three verdicts:
+
+* ``holds-always`` — the row held in every run that could evaluate it;
+* ``never`` — it held in none;
+* ``holds-sometimes`` — the interesting case: seed- or fault-dependent
+  behaviour, reported with concrete witnesses (the member seed, its
+  fault plan, and for temporal rows the violating interval).
+
+Rows absent from some outcomes (pairs touching a degraded node, say)
+fold over only the outcomes that answered them — ``UNKNOWN_DEGRADED``
+is an absence of proof, so it never lands in a verdict's denominator.
+
+Determinism is load-bearing: observations carry stable sort keys and
+witnesses dedup by outcome fingerprint, so the dedup-by-fingerprint
+fold and the brute-force per-seed oracle produce byte-identical
+verdict lists (asserted row-for-row in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+HOLDS_ALWAYS = "holds-always"
+HOLDS_SOMETIMES = "holds-sometimes"
+NEVER = "never"
+
+#: Witness cap per verdict — one witness proves a SOMETIMES; a few more
+#: help debugging; an unbounded list just bloats the report.
+MAX_WITNESSES = 4
+
+
+@dataclass(frozen=True)
+class EnsembleWitness:
+    """One concrete run exhibiting a violation.
+
+    ``plan`` is the fault-plan name ("" for a fault-free member; the
+    service path reuses it for the snapshot name). ``t_start``/``t_end``
+    carry the violating interval for temporal rows.
+    """
+
+    seed: int
+    plan: str = ""
+    fingerprint: int = 0
+    detail: str = ""
+    t_start: Optional[float] = None
+    t_end: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        text = f"seed {self.seed}"
+        if self.plan:
+            text += f" + {self.plan}"
+        return text
+
+    def to_dict(self) -> dict:
+        out = {
+            "seed": self.seed,
+            "plan": self.plan,
+            "fingerprint": f"{self.fingerprint:#x}",
+            "detail": self.detail,
+        }
+        if self.t_start is not None:
+            out["t_start"] = self.t_start
+            out["t_end"] = self.t_end
+        return out
+
+
+@dataclass(frozen=True)
+class RowObservation:
+    """One row evaluated against one outcome (or one run).
+
+    ``weight`` is the outcome's multiplicity — the dedup fold passes
+    the member count, the brute-force oracle passes 1 per run; the two
+    sum to the same totals by construction.
+    """
+
+    holds: bool
+    weight: int
+    witness: EnsembleWitness
+
+
+@dataclass(frozen=True)
+class InvariantVerdict:
+    """One folded row: the verdict plus its evidence."""
+
+    invariant: str
+    verdict: str
+    holds: int
+    total: int
+    witnesses: tuple[EnsembleWitness, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "verdict": self.verdict,
+            "holds": self.holds,
+            "total": self.total,
+            "witnesses": [w.to_dict() for w in self.witnesses],
+        }
+
+    def __str__(self) -> str:
+        text = (
+            f"{self.invariant}: {self.verdict} "
+            f"({self.holds}/{self.total})"
+        )
+        if self.witnesses:
+            witness = self.witnesses[0]
+            text += f" — witness {witness.label}"
+            if witness.t_start is not None:
+                text += f" [{witness.t_start:.1f}, {witness.t_end:.1f})s"
+            if witness.detail:
+                text += f": {witness.detail}"
+        return text
+
+
+def fold(
+    invariant: str, observations: Iterable[RowObservation]
+) -> InvariantVerdict:
+    """Fold one row's observations into a verdict.
+
+    Witnesses are violating runs, deduped by outcome fingerprint (every
+    member of a violating outcome violates identically — one witness
+    per distinct failure mode, the lowest (seed, plan) member), so the
+    weighted fold and the per-run oracle fold agree exactly.
+    """
+    observations = list(observations)
+    total = sum(o.weight for o in observations)
+    held = sum(o.weight for o in observations if o.holds)
+    if held == total:
+        verdict = HOLDS_ALWAYS
+    elif held == 0:
+        verdict = NEVER
+    else:
+        verdict = HOLDS_SOMETIMES
+    failing: dict[int, EnsembleWitness] = {}
+    for obs in observations:
+        if obs.holds:
+            continue
+        witness = obs.witness
+        kept = failing.get(witness.fingerprint)
+        if kept is None or (witness.seed, witness.plan) < (kept.seed, kept.plan):
+            failing[witness.fingerprint] = witness
+    witnesses = tuple(
+        sorted(failing.values(), key=lambda w: (w.seed, w.plan))
+    )[:MAX_WITNESSES]
+    return InvariantVerdict(
+        invariant=invariant,
+        verdict=verdict,
+        holds=held,
+        total=total,
+        witnesses=witnesses,
+    )
+
+
+def fold_observations(
+    rows: Mapping[str, Iterable[RowObservation]]
+) -> list[InvariantVerdict]:
+    """Fold every row, sorted by invariant name for stable reports."""
+    return [fold(name, rows[name]) for name in sorted(rows)]

@@ -35,6 +35,8 @@ GNMI_RETRY = "gnmi.retry"
 KERNEL_QUIESCED = "kernel.quiesced"
 TEMPORAL_VIOLATION = "temporal.violation"
 TEMPORAL_CHECKPOINT = "temporal.checkpoint"
+ENSEMBLE_OUTCOME = "ensemble.outcome"
+ENSEMBLE_VERDICT = "ensemble.verdict"
 
 
 @dataclass
@@ -64,6 +66,8 @@ class ConvergenceTimeline:
     chaos_faults: list[ObsEvent] = field(default_factory=list)
     degraded: list[ObsEvent] = field(default_factory=list)
     temporal_violations: list[ObsEvent] = field(default_factory=list)
+    ensemble_outcomes: list[ObsEvent] = field(default_factory=list)
+    ensemble_verdicts: list[ObsEvent] = field(default_factory=list)
     #: When the kernel last satisfied ``run_until_quiet`` — distinct
     #: from :meth:`last_route_install`: a later re-quiesce (chaos
     #: horizon, what-if revert) moves this without any route churn.
@@ -106,6 +110,12 @@ class ConvergenceTimeline:
             # milestone — don't let it seed a device row.
             self.temporal_violations.append(event)
             return
+        elif event.category == ENSEMBLE_OUTCOME:
+            self.ensemble_outcomes.append(event)
+            return
+        elif event.category == ENSEMBLE_VERDICT:
+            self.ensemble_verdicts.append(event)
+            return
         elif event.category == KERNEL_QUIESCED:
             self.quiesced_at = event.t  # last quiescence wins
         if not event.node:
@@ -145,6 +155,7 @@ class ConvergenceTimeline:
         lines += self._render_service()
         lines += self._render_chaos()
         lines += self._render_temporal()
+        lines += self._render_ensemble()
         lines += self._render_convergence()
         if self.warnings:
             lines.append("")
@@ -294,6 +305,46 @@ class ConvergenceTimeline:
                 f"{str(d.get('invariant', '?')):<18} {witness:<24} "
                 f"{'transient' if d.get('transient', True) else 'persistent'}"
             )
+        return lines
+
+    def _render_ensemble(self) -> list[str]:
+        if not self.ensemble_outcomes and not self.ensemble_verdicts:
+            return []
+        lines = ["", "Ensemble (distinct converged states):"]
+        if self.ensemble_outcomes:
+            lines.append(
+                f"  {'converged(s)':>12} {'fingerprint':<20} {'mult':>4} "
+                "first member"
+            )
+            for event in self.ensemble_outcomes:
+                d = event.detail
+                member = f"seed {d.get('seed', '?')}"
+                if d.get("plan"):
+                    member += f" + {d['plan']}"
+                lines.append(
+                    f"  {event.t:>12.1f} {str(d.get('fingerprint', '?')):<20} "
+                    f"{d.get('multiplicity', 1):>4} {member}"
+                )
+        if self.ensemble_verdicts:
+            lines.append("")
+            lines.append("Unstable ensemble verdicts:")
+            lines.append(
+                f"  {'invariant':<28} {'verdict':<16} {'held':>9} witness"
+            )
+            for event in self.ensemble_verdicts:
+                d = event.detail
+                witness = f"seed {d.get('witness_seed', '?')}"
+                if d.get("witness_plan"):
+                    witness += f" + {d['witness_plan']}"
+                if d.get("t_start") is not None:
+                    witness += (
+                        f" [{d['t_start']:.1f}, {d.get('t_end', 0.0):.1f})s"
+                    )
+                held = f"{d.get('holds', 0)}/{d.get('total', 0)}"
+                lines.append(
+                    f"  {str(d.get('invariant', '?')):<28} "
+                    f"{str(d.get('verdict', '?')):<16} {held:>9} {witness}"
+                )
         return lines
 
     def _render_convergence(self) -> list[str]:

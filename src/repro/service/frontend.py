@@ -10,6 +10,12 @@ service (admission control included). Ops:
     Submit a question. ``wait`` (default true) blocks for the result;
     ``wait: false`` returns the job id immediately for a later
     ``result`` call.
+``{"op": "ensemble", "snapshots": [...], "waypoint": ...}``
+    Fold ensemble verdicts (holds-always / holds-sometimes / never)
+    over the named resident snapshots — default: everything resident —
+    deduped by forwarding fingerprint through the store. ``waypoint``
+    ("DST_IP:VIA_NODE") appends a waypoint invariant. Honors ``wait``
+    like ``submit``.
 ``{"op": "result", "job": <id>, "timeout": ...}``
     Await a previously submitted job.
 ``{"op": "stats"}``
@@ -140,6 +146,25 @@ class ServiceFrontend:
                 if job.state is JobState.REJECTED:
                     # Surface admission control immediately — a client
                     # that said wait=false must still see the rejection.
+                    return {
+                        "ok": False,
+                        **(job.rejection or {}),
+                        **job.describe(),
+                    }, True
+                if request.get("wait", True):
+                    return _await_job(job, request.get("timeout")), True
+                self._retain(job)
+                return {"ok": True, **job.describe()}, True
+            if op == "ensemble":
+                job = self.service.submit_ensemble(
+                    request.get("snapshots"),
+                    waypoint=request.get("waypoint"),
+                    priority=request.get("priority")
+                    if request.get("priority") is not None
+                    else "campaign",
+                    timeout=request.get("timeout"),
+                )
+                if job.state is JobState.REJECTED:
                     return {
                         "ok": False,
                         **(job.rejection or {}),

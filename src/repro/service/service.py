@@ -407,6 +407,74 @@ class VerificationService:
             label=f"whatif:{topology.name}",
         )
 
+    def submit_ensemble(
+        self,
+        snapshots: Optional[Sequence[str]] = None,
+        *,
+        waypoint: Optional[str] = None,
+        priority: Union[JobPriority, int, str] = JobPriority.CAMPAIGN,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Fold ensemble verdicts over resident snapshots.
+
+        Treats the named snapshots (default: everything resident) as
+        members of one ensemble — dedups them by forwarding
+        fingerprint, pays one pinned engine per distinct outcome, and
+        answers holds-always / holds-sometimes / never per invariant.
+        ``waypoint`` ("DST_IP:VIA_NODE") appends a waypoint invariant
+        to the standard battery. The job is keyed on the members'
+        content fingerprints, so it coalesces and caches like any
+        question and fails with ``DeploymentLostError`` if a member is
+        replaced mid-flight.
+        """
+        from repro.ensemble import (
+            RunRecord,
+            Waypoint,
+            default_ensemble_invariants,
+            fold_records,
+        )
+
+        names = (
+            tuple(snapshots) if snapshots is not None
+            else tuple(self.snapshots())
+        )
+        if not names:
+            raise ValueError("no snapshots to fold an ensemble over")
+        fingerprints = tuple(self._fingerprint_of(name) for name in names)
+        signature = ("ensemble", names, fingerprints, waypoint or "")
+
+        def run():
+            invariants = default_ensemble_invariants()
+            if waypoint:
+                dst, _, via = waypoint.partition(":")
+                invariants.append(Waypoint(dst, via))
+            records = []
+            for name, expected in zip(names, fingerprints):
+                snap = self._resolve_pinned(name, expected)
+                records.append(
+                    RunRecord(
+                        seed=snap.seed if snap.seed is not None else 0,
+                        plan_name=name,
+                        snapshot=snap,
+                    )
+                )
+            return fold_records(
+                records,
+                invariants=invariants,
+                engine_of=self.store.engine,
+                topology_name=names[0],
+                seeds=tuple(r.seed for r in records),
+                plans=names,
+            )
+
+        return self._submit_job(
+            signature,
+            run,
+            priority=JobPriority.parse(priority),
+            timeout=timeout,
+            label=f"ensemble:{len(names)}",
+        )
+
     # -- waiting ----------------------------------------------------------------
 
     def result(self, job: Job, timeout: Optional[float] = None):

@@ -6,7 +6,11 @@ a full cold deployment per failure scenario. See
 ``docs/architecture.md`` ("What-if campaigns").
 """
 
-from repro.whatif.campaign import WhatIfCampaign, cold_run
+from repro.whatif.campaign import (
+    CampaignEnsembleResult,
+    WhatIfCampaign,
+    cold_run,
+)
 from repro.whatif.report import CampaignReport, ScenarioVerdict
 from repro.whatif.scenarios import (
     FaultScenario,
@@ -17,6 +21,7 @@ from repro.whatif.scenarios import (
 )
 
 __all__ = [
+    "CampaignEnsembleResult",
     "CampaignReport",
     "FaultScenario",
     "ScenarioVerdict",

@@ -20,7 +20,7 @@ minutes. Correctness is anchored two ways:
 from __future__ import annotations
 
 import logging
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.core.context import ScenarioContext
@@ -40,6 +40,38 @@ from repro.whatif.scenarios import FaultScenario
 logger = logging.getLogger(__name__)
 
 _SAMPLE_REGRESSIONS = 3
+
+
+@dataclass
+class CampaignEnsembleResult:
+    """A campaign swept across seeds, with set-level verdicts.
+
+    One ``harmless:<scenario>`` row per scenario, folded across the
+    seed sweep into holds-always / holds-sometimes / never: a scenario
+    whose severity depends on message timing surfaces as
+    holds-sometimes with the offending seed as witness, instead of
+    silently inheriting whichever verdict seed 0 happened to produce.
+    """
+
+    seeds: tuple
+    #: Per-seed :class:`~repro.whatif.report.CampaignReport`\ s, in
+    #: seed order.
+    reports: list = field(default_factory=list)
+    #: Folded :class:`~repro.ensemble.InvariantVerdict` rows.
+    verdicts: list = field(default_factory=list)
+
+    @property
+    def unstable(self) -> list:
+        from repro.ensemble.verdicts import HOLDS_ALWAYS
+
+        return [v for v in self.verdicts if v.verdict != HOLDS_ALWAYS]
+
+    def to_dict(self) -> dict:
+        return {
+            "seeds": list(self.seeds),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "reports": [r.to_dict() for r in self.reports],
+        }
 
 
 class WhatIfCampaign:
@@ -101,6 +133,57 @@ class WhatIfCampaign:
                     exc,
                 )
         return self._run_sequential(self.scenarios)
+
+    def run_ensemble(
+        self,
+        seeds: Sequence[int],
+        workers: Optional[int] = None,
+    ) -> CampaignEnsembleResult:
+        """Run the whole campaign once per seed and fold the verdicts.
+
+        Scenario stability is scored over the ensemble rather than one
+        run: each scenario contributes a ``harmless`` observation per
+        seed (holds iff its severity is 0), folded by the ensemble
+        verdict algebra with the seed, scenario, and post-perturbation
+        fingerprint as witness.
+        """
+        from repro.ensemble.verdicts import (
+            EnsembleWitness,
+            RowObservation,
+            fold_observations,
+        )
+
+        seed_list = tuple(seeds)
+        reports = []
+        rows: dict[str, list[RowObservation]] = {}
+        original_seed = self.seed
+        try:
+            for run_seed in seed_list:
+                self.seed = run_seed
+                report = self.run(workers=workers)
+                reports.append(report)
+                for verdict in report.verdicts:
+                    rows.setdefault(
+                        f"harmless:{verdict.scenario}", []
+                    ).append(
+                        RowObservation(
+                            holds=verdict.severity == 0,
+                            weight=1,
+                            witness=EnsembleWitness(
+                                seed=run_seed,
+                                plan=verdict.scenario,
+                                fingerprint=verdict.fib_fingerprint,
+                                detail=f"severity {verdict.severity}",
+                            ),
+                        )
+                    )
+        finally:
+            self.seed = original_seed
+        return CampaignEnsembleResult(
+            seeds=seed_list,
+            reports=reports,
+            verdicts=fold_observations(rows),
+        )
 
     # -- sequential (the real machinery) ------------------------------------------
 

@@ -323,9 +323,10 @@ class TestEngineCache:
             result = explore_nondeterminism(backend, seeds=seeds)
         # 3 pairwise diffs over 3 snapshots: at most one engine build per
         # distinct converged state (seeds agreeing share even that), never
-        # one per comparison side.
+        # one per comparison side. Identical-fingerprint pairs skip the
+        # differential entirely, so a deterministic sweep can build zero.
         assert len(result.snapshots) == len(seeds)
-        builds = tracer.counters["verify.engine_builds"]
+        builds = tracer.counters.get("verify.engine_builds", 0)
         pairs = len(seeds) * (len(seeds) - 1) // 2
         assert builds <= len(seeds) < 2 * pairs
         clear_engine_cache()
