@@ -13,6 +13,13 @@ The point is not the faults — it is proving the *pipeline* degrades
 gracefully: retries with capped backoff, health probes with
 restart-and-reconverge, and partial snapshots whose degraded nodes
 answer ``UNKNOWN_DEGRADED`` instead of a fabricated ``NO_ROUTE``.
+
+The same discipline extends one layer up:
+:class:`~repro.chaos.service_plan.ServiceFaultPlan` breaks the
+verification *service* (SIGKILLed worker processes, journal-write
+stalls, store eviction storms), keyed to deterministic service counters
+so crash schedules replay exactly; :class:`ServiceChaos` arms one
+against a running service.
 """
 
 from repro.chaos.injector import CHAOS_FAULT, ChaosInjector
@@ -29,20 +36,36 @@ from repro.chaos.plan import (
     sampled_plan,
 )
 from repro.chaos.runner import ChaosRunReport, run_chaos
+from repro.chaos.service_plan import (
+    EvictionStorm,
+    JournalStall,
+    ServiceChaos,
+    ServiceFault,
+    ServiceFaultPlan,
+    WorkerCrash,
+    sampled_service_plan,
+)
 
 __all__ = [
     "CHAOS_FAULT",
     "ChaosInjector",
     "ChaosRunReport",
     "ConvergenceStall",
+    "EvictionStorm",
     "Fault",
     "FaultPlan",
     "GnmiFlake",
+    "JournalStall",
     "LinkLoss",
     "PodCrash",
+    "ServiceChaos",
+    "ServiceFault",
+    "ServiceFaultPlan",
     "SlowBoot",
     "StaleAft",
+    "WorkerCrash",
     "acceptance_plan",
     "run_chaos",
     "sampled_plan",
+    "sampled_service_plan",
 ]

@@ -31,7 +31,8 @@ Subcommands::
     mfv obs waterfall TRACE.jsonl JOB_ID
     mfv obs metrics TRACE.jsonl [--format prometheus|records]
     mfv serve [SNAPSHOT.json ...] [--workers N] [--queue-depth N]
-              [--store N] [--trace OUT.jsonl]
+              [--store N] [--trace OUT.jsonl] [--journal DIR] [--recover]
+              [--worker-mode thread|process]
     mfv submit SNAPSHOT.json QUESTION [--param KEY=VALUE ...]
                [--reference REF.json] [--priority CLASS] [--timeout S]
 
@@ -73,9 +74,14 @@ Prometheus text exposition (or raw JSONL records).
 
 ``serve`` starts the continuous verification service and speaks
 JSON-lines on stdin/stdout (one request per line; see
-:mod:`repro.service.frontend` for the ops). ``submit`` is the one-shot
-client shape: spin up a service, load snapshots, run one question
-through the queue, print the answer.
+:mod:`repro.service.frontend` for the ops). ``--journal DIR`` makes
+accepted jobs durable (write-ahead log + snapshot manifest);
+``--recover`` replays that journal after a crash before serving;
+``--worker-mode process`` runs supervised, crash-isolated worker
+processes. SIGTERM drains gracefully: admissions stop, in-flight jobs
+settle (or stay journaled), and the process exits 0. ``submit`` is the
+one-shot client shape: spin up a service, load snapshots, run one
+question through the queue, print the answer.
 
 ``-v`` raises log verbosity to INFO, ``-vv`` to DEBUG (module-level
 ``logging``; warnings such as ignored link cuts always print).
@@ -773,13 +779,31 @@ def _cmd_obs_metrics(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    import signal as signal_mod
+
     from repro.service import VerificationService
     from repro.service.frontend import serve_loop
 
-    service = VerificationService(
-        workers=args.workers,
-        max_queue_depth=args.queue_depth,
-    )
+    kwargs = {
+        "workers": args.workers,
+        "max_queue_depth": args.queue_depth,
+        "worker_mode": args.worker_mode,
+    }
+    if args.recover:
+        if not args.journal:
+            print("--recover requires --journal", file=sys.stderr)
+            return 2
+        service, report = VerificationService.recover(args.journal, **kwargs)
+        print(
+            f"recovered from {args.journal}: "
+            f"{report.snapshots_recovered} snapshot(s), "
+            f"{report.jobs_requeued} job(s) requeued, "
+            f"{report.jobs_dead_lettered} dead-lettered "
+            f"in {report.wall_seconds:.3f}s",
+            file=sys.stderr, flush=True,
+        )
+    else:
+        service = VerificationService(journal_dir=args.journal, **kwargs)
     if args.store is not None:
         service.store.capacity = max(1, args.store)
     for path in args.snapshots:
@@ -787,8 +811,27 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(
             f"loaded {name} ({fingerprint:#x})", file=sys.stderr, flush=True
         )
-    with service:
+
+    def _on_sigterm(signum, frame):
+        raise SystemExit(0)
+
+    previous = signal_mod.signal(signal_mod.SIGTERM, _on_sigterm)
+    handled = 0
+    try:
+        service.start()
         handled = serve_loop(service)
+    except SystemExit:
+        # Graceful drain: stop admitting, settle (or journal) what's
+        # in flight, flush the journal, exit 0.
+        print("SIGTERM: draining service", file=sys.stderr, flush=True)
+    finally:
+        counts = service.stop()
+        signal_mod.signal(signal_mod.SIGTERM, previous)
+        print(
+            f"drained: {counts.get('settled', 0)} settled, "
+            f"{counts.get('rejected', 0)} rejected",
+            file=sys.stderr, flush=True,
+        )
     print(f"served {handled} request(s)", file=sys.stderr)
     return 0
 
@@ -1252,6 +1295,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--trace", help="record an observability trace to this JSONL file"
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="durable job journal directory "
+        "(default: MFV_JOURNAL_DIR; required by --recover)",
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="replay the journal before serving: re-register snapshots, "
+        "requeue unsettled jobs, dead-letter past the redelivery limit",
+    )
+    serve.add_argument(
+        "--worker-mode", choices=("thread", "process"), default=None,
+        help="worker isolation (default: MFV_SERVICE_WORKER_MODE or "
+        "thread); process workers are supervised and crash-isolated",
     )
     serve.set_defaults(func=_cmd_serve)
 

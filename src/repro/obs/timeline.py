@@ -30,6 +30,10 @@ PIPELINE_WARNING = "pipeline.warning"
 PIPELINE_DEGRADED = "pipeline.degraded"
 WHATIF_VERDICT = "whatif.verdict"
 SERVICE_JOB = "service.job"
+SERVICE_RECOVERY = "service.recovery"
+SERVICE_BREAKER = "service.breaker"
+SERVICE_DRAIN = "service.drain"
+SERVICE_DEAD_LETTER = "service.dead_letter"
 CHAOS_FAULT = "chaos.fault"
 GNMI_RETRY = "gnmi.retry"
 KERNEL_QUIESCED = "kernel.quiesced"
@@ -63,6 +67,7 @@ class ConvergenceTimeline:
     warnings: list[ObsEvent] = field(default_factory=list)
     whatif_verdicts: list[ObsEvent] = field(default_factory=list)
     service_jobs: list[ObsEvent] = field(default_factory=list)
+    service_resilience: list[ObsEvent] = field(default_factory=list)
     chaos_faults: list[ObsEvent] = field(default_factory=list)
     degraded: list[ObsEvent] = field(default_factory=list)
     temporal_violations: list[ObsEvent] = field(default_factory=list)
@@ -101,6 +106,14 @@ class ConvergenceTimeline:
             self.whatif_verdicts.append(event)
         elif event.category == SERVICE_JOB:
             self.service_jobs.append(event)
+        elif event.category in (
+            SERVICE_RECOVERY,
+            SERVICE_BREAKER,
+            SERVICE_DRAIN,
+            SERVICE_DEAD_LETTER,
+        ):
+            self.service_resilience.append(event)
+            return
         elif event.category == CHAOS_FAULT:
             self.chaos_faults.append(event)
         elif event.category == PIPELINE_DEGRADED:
@@ -153,6 +166,7 @@ class ConvergenceTimeline:
         lines += self._render_counters()
         lines += self._render_whatif()
         lines += self._render_service()
+        lines += self._render_resilience()
         lines += self._render_chaos()
         lines += self._render_temporal()
         lines += self._render_ensemble()
@@ -260,6 +274,47 @@ class ConvergenceTimeline:
                 f"{d.get('run_seconds', 0.0):>8.3f} "
                 f"{d.get('coalesced', 1):>5}"
             )
+        return lines
+
+    def _render_resilience(self) -> list[str]:
+        if not self.service_resilience:
+            return []
+        # Resilience-plane events: recovery replays, breaker
+        # transitions, drains, dead letters — the crash-and-recover
+        # story in arrival order.
+        lines = [
+            "",
+            "Service resilience (wall seconds since service start):",
+        ]
+        for event in self.service_resilience:
+            d = event.detail
+            if event.category == SERVICE_RECOVERY:
+                summary = (
+                    f"recovered: {d.get('snapshots_recovered', 0)} "
+                    f"snapshot(s), {d.get('jobs_requeued', 0)} requeued, "
+                    f"{d.get('jobs_dead_lettered', 0)} dead-lettered "
+                    f"({d.get('records_replayed', 0)} records, "
+                    f"{d.get('wall_seconds', 0.0):.3f}s)"
+                )
+            elif event.category == SERVICE_BREAKER:
+                summary = (
+                    f"breaker {d.get('key', '?')}: "
+                    f"{d.get('before', '?')} -> {d.get('state', '?')} "
+                    f"({d.get('failures', 0)} failures)"
+                )
+            elif event.category == SERVICE_DRAIN:
+                summary = (
+                    f"drain: {d.get('settled', 0)} settled, "
+                    f"{d.get('rejected', 0)} rejected"
+                )
+            else:  # SERVICE_DEAD_LETTER
+                summary = (
+                    f"dead-letter {d.get('key', '?')} "
+                    f"({d.get('question', '?')}) after "
+                    f"{d.get('deliveries', 0)} deliveries: "
+                    f"{d.get('reason', '?')}"
+                )
+            lines.append(f"  t={event.t:>8.3f}  {summary}")
         return lines
 
     def _render_chaos(self) -> list[str]:

@@ -20,6 +20,13 @@ service (admission control included). Ops:
     Await a previously submitted job.
 ``{"op": "stats"}``
     Service statistics (queue, store, caches, counters).
+``{"op": "health"}``
+    Liveness/readiness: ``live`` (the process answers), ``ready`` (the
+    pool runs, the queue admits, not draining), breaker states, worker
+    liveness in process mode, journal stats.
+``{"op": "dead-letters"}``
+    The structured dead-letter list — jobs abandoned after redelivery
+    exhaustion.
 ``{"op": "metrics", "format": "prometheus"|"records"}``
     The service's metrics plane. ``prometheus`` (the default, or set
     ``MFV_METRICS_FORMAT=records``) returns text exposition in a
@@ -190,6 +197,17 @@ class ServiceFrontend:
                 return response, True
             if op == "stats":
                 return {"ok": True, "stats": self.service.stats()}, True
+            if op == "health":
+                health = self.service.health()
+                return {"ok": True, **health}, True
+            if op == "dead-letters":
+                return {
+                    "ok": True,
+                    "dead_letters": [
+                        letter.to_dict()
+                        for letter in self.service.dead_letters
+                    ],
+                }, True
             if op == "metrics":
                 fmt = request.get("format") or exposition_format()
                 if fmt == "records":

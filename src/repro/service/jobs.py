@@ -70,6 +70,21 @@ class JobTimeoutError(JobFailedError):
     """The job exceeded its per-job timeout before completing."""
 
 
+class JobLostError(JobFailedError):
+    """The worker executing the job died and redelivery is exhausted.
+
+    Raised out of ``Job.result()`` instead of blocking forever: the
+    supervisor declared the executing worker dead (crash or missed
+    heartbeats), requeued the job up to the redelivery limit, and the
+    job still never settled. ``detail`` carries the structured story
+    (deliveries, the declaring supervisor's reason).
+    """
+
+    def __init__(self, message: str, detail: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.detail = dict(detail or {})
+
+
 @dataclass
 class JobResult:
     """What ``Job.result()`` hands back alongside the answer value."""
@@ -116,6 +131,20 @@ class Job:
         self.value: Any = None
         # True when this job was settled from the result cache.
         self.cached = False
+        # -- resilience-plane fields (set by the owning service) --------
+        #: Picklable execution spec for process workers (question jobs
+        #: only; None means the job can only run in-process via `run`).
+        self.spec: Any = None
+        #: Idempotency key in the durable journal (None: not journaled).
+        self.journal_key: Optional[str] = None
+        #: How many times this work has been delivered to a worker
+        #: (1 = first delivery; each supervisor requeue increments).
+        self.deliveries = 1
+        #: Circuit-breaker key (snapshot fingerprint for question jobs).
+        self.breaker_key: Any = None
+        #: True when the answer was computed over a degraded (partial)
+        #: snapshot — the breaker counts it as a strike.
+        self.degraded_answer = False
         self._done = threading.Event()
 
     # -- lifecycle (worker side) ----------------------------------------------
@@ -223,7 +252,7 @@ class JobQueue:
 
     # -- producer side --------------------------------------------------------
 
-    def submit(self, job: Job) -> tuple[bool, Optional[Job]]:
+    def submit(self, job: Job, force: bool = False) -> tuple[bool, Optional[Job]]:
         """Enqueue ``job``; returns ``(accepted, shed_job)``.
 
         At the watermark, an arriving job that outranks the newest
@@ -231,10 +260,14 @@ class JobQueue:
         rejected and returned); otherwise the arrival itself is marked
         rejected and ``(False, None)`` is returned. Either way the
         loser's waiters see a structured :class:`OverloadedError`.
+
+        ``force`` bypasses the watermark entirely — journal recovery
+        requeues accepted work, and shedding a job the service already
+        promised durability for would turn a crash into data loss.
         """
         with self._lock:
             shed: Optional[Job] = None
-            if len(self._heap) >= self.max_depth:
+            if not force and len(self._heap) >= self.max_depth:
                 victim = max(self._heap, key=lambda e: (e[0], e[1]))
                 detail = {
                     "error": "overloaded",
@@ -304,6 +337,26 @@ class JobQueue:
         with self._available:
             self._closed = True
             self._available.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def drain_remaining(self) -> list[Job]:
+        """Remove and return every still-queued job (drain leftovers).
+
+        Used when a draining shutdown runs out of time: the caller
+        settles each leftover with a structured rejection (or leaves it
+        journaled for recovery) instead of letting waiters block on work
+        no worker will ever pop.
+        """
+        with self._lock:
+            leftovers = [
+                j for _, _, j in self._heap if j.state is JobState.QUEUED
+            ]
+            self._heap.clear()
+            return leftovers
 
     @property
     def depth(self) -> int:

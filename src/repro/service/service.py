@@ -22,6 +22,9 @@ seconds since the service's epoch. The ``service.*`` counters and
 from __future__ import annotations
 
 import logging
+import os
+import pickle
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -31,6 +34,7 @@ from repro.core.snapshot import Snapshot
 from repro.obs import bus
 from repro.obs.metrics import MetricsRegistry
 from repro.pybf.session import Session, SessionError
+from repro.service.breakers import BreakerBoard, BreakerOpenError, BreakerState
 from repro.service.jobs import (
     Job,
     JobPriority,
@@ -38,7 +42,17 @@ from repro.service.jobs import (
     JobState,
     ResultCache,
 )
+from repro.service.resilience import (
+    DEFAULT_REDELIVERY_LIMIT,
+    DeadLetter,
+    JobJournal,
+    QuestionSpec,
+    RecoveryReport,
+    load_manifest_snapshot,
+    replay_journal,
+)
 from repro.service.store import DeploymentLostError, SnapshotStore, env_int
+from repro.service.supervisor import SupervisedProcessPool
 from repro.service.workers import WorkerPool
 
 logger = logging.getLogger(__name__)
@@ -77,6 +91,12 @@ class VerificationService:
         result_cache_size: Optional[int] = None,
         max_retries: int = 2,
         retry_backoff: float = 0.05,
+        journal_dir: Optional[Union[str, Path]] = None,
+        worker_mode: Optional[str] = None,
+        heartbeat_s: Optional[float] = None,
+        redelivery_limit: Optional[int] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown_s: Optional[float] = None,
     ) -> None:
         if max_queue_depth is None:
             max_queue_depth = env_int(
@@ -86,19 +106,69 @@ class VerificationService:
             result_cache_size = env_int(
                 "MFV_SERVICE_RESULT_CACHE", DEFAULT_RESULT_CACHE
             )
+        if worker_mode is None:
+            worker_mode = os.environ.get("MFV_SERVICE_WORKER_MODE", "thread")
+        if worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', "
+                f"got {worker_mode!r}"
+            )
+        if journal_dir is None:
+            journal_dir = os.environ.get("MFV_JOURNAL_DIR") or None
+        if journal_dir is None and worker_mode == "process":
+            # Process workers adopt snapshots from the journal's
+            # content-addressed manifest; without a caller-provided
+            # directory the service runs one in a scratch location.
+            journal_dir = tempfile.mkdtemp(prefix="mfv-journal-")
+        if redelivery_limit is None:
+            redelivery_limit = env_int(
+                "MFV_REDELIVERY_LIMIT", DEFAULT_REDELIVERY_LIMIT
+            )
+        self.worker_mode = worker_mode
+        self.redelivery_limit = max(0, redelivery_limit)
+        self.journal: Optional[JobJournal] = (
+            JobJournal(journal_dir) if journal_dir else None
+        )
+        self.breakers = BreakerBoard(
+            breaker_threshold,
+            breaker_cooldown_s,
+            on_transition=self._breaker_transition,
+        )
+        self.dead_letters: list[DeadLetter] = []
         self.store = store if store is not None else SnapshotStore()
         self.session = Session(store=self.store)
         self.queue = JobQueue(max_depth=max_queue_depth)
         self.results = ResultCache(result_cache_size)
-        self.pool = WorkerPool(
-            self.queue,
-            workers=workers,
-            max_retries=max_retries,
-            retry_backoff=retry_backoff,
-            on_start=self._job_started,
-            on_done=self._job_settled,
-            on_retry=self._job_retried,
-        )
+        if worker_mode == "process":
+            self.pool: Union[WorkerPool, SupervisedProcessPool] = (
+                SupervisedProcessPool(
+                    self.queue,
+                    manifest_dir=self.journal.dir,
+                    workers=workers,
+                    heartbeat_s=heartbeat_s,
+                    on_start=self._job_started,
+                    on_done=self._job_settled,
+                    on_requeue=self._job_redelivered,
+                    on_degraded=self._job_degraded,
+                )
+            )
+        else:
+            self.pool = WorkerPool(
+                self.queue,
+                workers=workers,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
+                on_start=self._job_started,
+                on_done=self._job_settled,
+                on_retry=self._job_retried,
+            )
+        self.pool.on_drain = self._drain_completed
+        #: Chaos hook: called with the 1-based submission index on every
+        #: job submission (the service fault plane triggers eviction
+        #: storms from it).
+        self.on_submit: Optional[Callable[[int], None]] = None
+        self._submit_index = 0
+        self._draining = False
         self._inflight: dict[tuple, Job] = {}
         self._lock = threading.Lock()
         self._epoch = time.monotonic()
@@ -201,6 +271,41 @@ class VerificationService:
             "verify.delta_apply_seconds",
             "Wall seconds diffing and applying one dataplane delta",
         )
+        # Resilience-plane series: journal/redelivery/breaker/recovery.
+        for name, help_text in (
+            ("redeliveries", "Jobs requeued after their worker died"),
+            ("dead_letters", "Jobs abandoned after redelivery exhaustion"),
+            ("breaker_fast_answers",
+             "Submissions answered UNKNOWN_DEGRADED by an open breaker"),
+            ("recovery_requeued", "Jobs requeued by journal recovery"),
+            ("recovery_dead_lettered",
+             "Jobs dead-lettered by journal recovery"),
+            ("recovery_snapshots",
+             "Snapshots re-registered from the journal manifest"),
+        ):
+            m.counter(f"service.{name}", help_text).labels()
+        transitions = m.counter(
+            "service.breaker_transitions",
+            "Circuit-breaker state transitions, by destination state",
+            ("state",),
+        )
+        for state in BreakerState:
+            transitions.labels(state=state.value)
+        drained = m.counter(
+            "service.drained",
+            "Jobs settled or rejected during a draining shutdown",
+            ("outcome",),
+        )
+        drained.labels(outcome="settled")
+        drained.labels(outcome="rejected")
+        m.gauge(
+            "service.worker_respawns",
+            "Worker processes killed and respawned by the supervisor",
+        ).set(0)
+        m.histogram(
+            "service.recovery_seconds",
+            "Wall seconds replaying the journal in recover()",
+        )
 
     def _count(self, name: str, n: int = 1) -> None:
         self.metrics.counter(f"service.{name}").labels().inc(n)
@@ -217,11 +322,61 @@ class VerificationService:
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> "VerificationService":
+        with self._lock:
+            self._draining = False
         self.pool.start()
         return self
 
-    def stop(self, timeout: float = 5.0) -> None:
-        self.pool.stop(timeout)
+    def stop(self, timeout: float = 5.0, drain: bool = True) -> dict:
+        """Shut the service down; returns the drain counts.
+
+        The default is a *graceful drain*: new submissions are rejected
+        with a structured ``draining`` detail, queued jobs settle (or
+        are rejected once ``timeout`` passes — never silently dropped),
+        the drain is journaled, and a ``service.drain`` obs event
+        carries the counts. ``drain=False`` stops promptly after the
+        in-flight jobs.
+        """
+        with self._lock:
+            self._draining = True
+        counts = self.pool.stop(timeout, drain=drain)
+        if self.journal is not None:
+            self.journal.close()
+        return counts
+
+    def drain(self, timeout: float = 5.0) -> dict:
+        """Graceful-drain alias for ``stop`` (the SIGTERM path)."""
+        return self.stop(timeout, drain=True)
+
+    def health(self) -> dict:
+        """Liveness/readiness (the frontend's ``{"op": "health"}``).
+
+        ``live`` — the process can answer at all; ``ready`` — the pool
+        runs, the queue admits, and the service is not draining.
+        """
+        with self._lock:
+            draining = self._draining
+            dead_letters = len(self.dead_letters)
+        ready = self.pool.running and not draining and not self.queue.closed
+        health = {
+            "live": True,
+            "ready": bool(ready),
+            "draining": draining,
+            "worker_mode": self.worker_mode,
+            "workers": self.pool.workers,
+            "queue_depth": self.queue.depth,
+            "breakers": self.breakers.stats(),
+            "dead_letters": dead_letters,
+        }
+        if isinstance(self.pool, SupervisedProcessPool):
+            pool_stats = self.pool.stats()
+            health["workers_alive"] = pool_stats["alive"]
+            health["worker_respawns"] = pool_stats["respawns"]
+            if self.pool.running and not pool_stats["alive"]:
+                health["ready"] = False
+        if self.journal is not None:
+            health["journal"] = self.journal.stats()
+        return health
 
     def __enter__(self) -> "VerificationService":
         return self.start()
@@ -249,7 +404,13 @@ class VerificationService:
         name = self.session.init_snapshot(
             snapshot, name=name, overwrite=overwrite
         )
-        return name, snapshot.dataplane.fib_fingerprint()
+        fingerprint = snapshot.dataplane.fib_fingerprint()
+        if self.journal is not None:
+            # Durable residence: the content-addressed pickle plus a
+            # manifest record, so recovery (and process workers) can
+            # adopt this content by fingerprint.
+            self.journal.record_snapshot(name, snapshot)
+        return name, fingerprint
 
     def load_snapshot(
         self, path: Union[str, Path], name: Optional[str] = None
@@ -258,6 +419,132 @@ class VerificationService:
 
     def snapshots(self) -> list[str]:
         return self.session.list_snapshots()
+
+    # -- crash recovery --------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls, journal_dir: Union[str, Path], **kwargs
+    ) -> tuple["VerificationService", "RecoveryReport"]:
+        """Rebuild a service from a journal directory after a crash.
+
+        Replays the write-ahead log: snapshots re-register from the
+        content-addressed manifest, every job that was accepted but
+        never settled is requeued under its idempotency key with a
+        bumped delivery count (``force=True`` — durably accepted work
+        is never shed by the watermark), and jobs past the redelivery
+        limit are dead-lettered instead of crash-looping. Returns the
+        recovered (not yet started) service and a
+        :class:`~repro.service.resilience.RecoveryReport`.
+        """
+        started = time.monotonic()
+        state = replay_journal(journal_dir)
+        service = cls(journal_dir=journal_dir, **kwargs)
+        assert service.journal is not None
+        service.journal.adopt_deliveries(state.deliveries())
+        service.journal.adopt_snapshots(state.snapshots.keys())
+        report = RecoveryReport(
+            journal_dir=str(journal_dir),
+            records_replayed=state.records,
+            torn_records=state.torn_records,
+        )
+        for fingerprint, name in state.snapshots.items():
+            try:
+                snapshot = load_manifest_snapshot(journal_dir, fingerprint)
+            except (OSError, pickle.UnpicklingError) as exc:
+                logger.warning(
+                    "manifest snapshot %s (%#x) unrecoverable: %s",
+                    name, fingerprint, exc,
+                )
+                continue
+            service.register_snapshot(snapshot, name=name)
+            report.snapshots_recovered += 1
+        for pending in state.pending():
+            # `redelivery_limit` bounds redeliveries; requeueing now
+            # makes delivery `deliveries + 1`, which must stay within
+            # limit + 1 total (first delivery + limit redeliveries).
+            if pending.deliveries > service.redelivery_limit:
+                service._dead_letter(
+                    key=pending.key,
+                    reason="redelivery exhausted during recovery",
+                    deliveries=pending.deliveries,
+                    question=pending.spec.question,
+                    snapshot=pending.spec.snapshot,
+                )
+                report.jobs_dead_lettered += 1
+                continue
+            try:
+                service._recover_submit(pending)
+                report.jobs_requeued += 1
+            except Exception as exc:
+                service._dead_letter(
+                    key=pending.key,
+                    reason=f"replay failed: {exc}",
+                    deliveries=pending.deliveries,
+                    question=pending.spec.question,
+                    snapshot=pending.spec.snapshot,
+                )
+                report.jobs_dead_lettered += 1
+        report.wall_seconds = time.monotonic() - started
+        m = service.metrics
+        m.counter("service.recovery_requeued").labels().inc(
+            report.jobs_requeued
+        )
+        m.counter("service.recovery_dead_lettered").labels().inc(
+            report.jobs_dead_lettered
+        )
+        m.counter("service.recovery_snapshots").labels().inc(
+            report.snapshots_recovered
+        )
+        m.histogram("service.recovery_seconds").observe(report.wall_seconds)
+        collector = bus.ACTIVE
+        if collector.enabled:
+            collector.emit(
+                "service.recovery", service._now(), **report.to_dict()
+            )
+        logger.info(
+            "recovered %d snapshot(s), requeued %d job(s), "
+            "dead-lettered %d in %.3fs from %s",
+            report.snapshots_recovered, report.jobs_requeued,
+            report.jobs_dead_lettered, report.wall_seconds, journal_dir,
+        )
+        return service, report
+
+    def _recover_submit(self, pending) -> Job:
+        """Requeue one replayed journal obligation under its spec."""
+        spec = pending.spec
+        params = dict(spec.params)
+        label = spec.question
+        signature = (
+            spec.question,
+            tuple(sorted(params.items())),
+            spec.fingerprint,
+            spec.reference_fingerprint,
+        )
+        run = self._question_executor(
+            spec.question,
+            params,
+            spec.snapshot,
+            spec.fingerprint,
+            spec.reference_snapshot,
+            spec.reference_fingerprint,
+            label,
+            signature,
+        )
+        try:
+            priority = JobPriority.parse(pending.priority)
+        except (KeyError, ValueError):
+            priority = JobPriority.INTERACTIVE
+        return self._submit_job(
+            signature,
+            run,
+            priority=priority,
+            timeout=pending.timeout,
+            label=label,
+            spec=spec,
+            breaker_key=spec.fingerprint,
+            force=True,
+        )
 
     # -- submission ------------------------------------------------------------
 
@@ -322,6 +609,18 @@ class VerificationService:
             reference_snapshot,
             reference_fp,
             label,
+            signature,
+        )
+        # The replayable identity: journaled on acceptance, executed
+        # directly by process workers (which adopt the fingerprints from
+        # the journal manifest instead of running this closure).
+        spec = QuestionSpec(
+            question=question,
+            params=tuple(sorted(params.items())),
+            snapshot=snapshot,
+            fingerprint=snapshot_fp,
+            reference_snapshot=reference_snapshot,
+            reference_fingerprint=reference_fp,
         )
         return self._submit_job(
             signature,
@@ -329,6 +628,8 @@ class VerificationService:
             priority=JobPriority.parse(priority),
             timeout=timeout,
             label=label,
+            spec=spec,
+            breaker_key=snapshot_fp,
         )
 
     def submit_callable(
@@ -340,11 +641,15 @@ class VerificationService:
         timeout: Optional[float] = None,
         label: str = "",
         cacheable: bool = True,
+        breaker_key: Any = None,
     ) -> Job:
         """Enqueue an arbitrary execution (batch work, tests).
 
         Coalescing and result caching key on the caller's ``signature``;
-        pass ``cacheable=False`` for non-deterministic work.
+        pass ``cacheable=False`` for non-deterministic work. An optional
+        ``breaker_key`` routes the execution's success/failure through
+        the circuit-breaker board like a question job's snapshot
+        fingerprint does.
         """
         return self._submit_job(
             signature,
@@ -353,6 +658,7 @@ class VerificationService:
             timeout=timeout,
             label=label,
             cacheable=cacheable,
+            breaker_key=breaker_key,
         )
 
     def submit_campaign(
@@ -499,7 +805,18 @@ class VerificationService:
             "store": self.store.stats(),
             "result_cache": self.results.stats(),
             "counters": counters,
+            "worker_mode": self.worker_mode,
+            "breakers": self.breakers.stats(),
+            "dead_letter_count": len(self.dead_letters),
         }
+        if self.journal is not None:
+            stats["journal"] = self.journal.stats()
+        if isinstance(self.pool, SupervisedProcessPool):
+            pool_stats = self.pool.stats()
+            stats["pool"] = pool_stats
+            self.metrics.gauge("service.worker_respawns").set(
+                pool_stats["respawns"]
+            )
         # Deprecated: the counters used to be splatted into the top
         # level, where any new stats field could collide with a counter
         # name. Kept as read-only aliases for one release; consumers
@@ -545,6 +862,7 @@ class VerificationService:
         reference_snapshot: Optional[str],
         reference_fp: Optional[int],
         label: str,
+        signature: Optional[tuple] = None,
     ) -> Callable[[], Any]:
         def run():
             collector = bus.ACTIVE
@@ -568,8 +886,16 @@ class VerificationService:
                     # still served (degraded pairs come back
                     # UNKNOWN_DEGRADED), but the service keeps score so
                     # operators can see how much of the load ran over
-                    # degraded data.
+                    # degraded data — and the snapshot's breaker counts
+                    # it as a strike.
                     self._count("degraded_answers")
+                    holder = (
+                        self._inflight.get(signature)
+                        if signature is not None
+                        else None
+                    )
+                    if holder is not None:
+                        holder.degraded_answer = True
                 runner = Session(store=self.store)
                 kwargs: dict[str, Any] = {"snapshot": "__job__"}
                 if reference_snapshot is not None:
@@ -604,8 +930,29 @@ class VerificationService:
         timeout: Optional[float],
         label: str,
         cacheable: bool = True,
+        spec: Optional[QuestionSpec] = None,
+        breaker_key: Any = None,
+        force: bool = False,
     ) -> Job:
+        self._submit_index += 1
+        if self.on_submit is not None:
+            try:
+                self.on_submit(self._submit_index)
+            except Exception:  # pragma: no cover - chaos hook bug
+                logger.exception("on_submit hook failed")
         with self._lock:
+            if self._draining:
+                job = Job(
+                    signature, run, priority=priority, timeout=timeout,
+                    label=label,
+                )
+                job.reject(
+                    {"error": "draining",
+                     "detail": "service is shutting down"}
+                )
+                self._count("jobs_rejected")
+                self._emit_job_event(job)
+                return job
             cached = self.results.get(signature) if cacheable else None
             if cached is not None:
                 self._count("result_cache_hits")
@@ -630,20 +977,58 @@ class VerificationService:
                 # is shared, so there is only one deadline.)
                 self.queue.promote(inflight, priority)
                 return inflight
+            # Breaker gate — checked only for genuinely new executions
+            # (a cache hit or coalesce costs no worker, so it needs no
+            # gate and must not consume the one half-open probe).
+            if breaker_key is not None and not self.breakers.allow(
+                breaker_key
+            ):
+                job = Job(
+                    signature, run, priority=priority, timeout=timeout,
+                    label=label,
+                )
+                job.breaker_key = breaker_key
+                job.fail(BreakerOpenError(self.breakers.detail_for(
+                    breaker_key
+                )))
+                self.metrics.counter(
+                    "service.breaker_fast_answers"
+                ).labels().inc()
+                self._emit_job_event(job)
+                return job
             job = Job(
                 signature, run, priority=priority, timeout=timeout,
                 label=label,
             )
             job.cacheable = cacheable
-            accepted, shed = self.queue.submit(job)
+            job.spec = spec
+            job.breaker_key = breaker_key
+            if spec is not None and self.journal is not None:
+                # Write-ahead: the submit record is durable before the
+                # job can run — a crash after this line owes the caller
+                # a replay, a crash before it never accepted the job.
+                key, deliveries = self.journal.record_submit(
+                    spec,
+                    priority=priority.name.lower(),
+                    timeout=timeout,
+                )
+                job.journal_key = key
+                job.deliveries = deliveries
+            accepted, shed = self.queue.submit(job, force=force)
             if shed is not None:
                 self._inflight.pop(shed.signature, None)
                 self._count("jobs_rejected")
                 self.metrics.counter("service.shed").inc(reason="displaced")
+                if shed.journal_key and self.journal is not None:
+                    self.journal.record_settle(shed.journal_key, "rejected")
+                self.breakers.release(shed.breaker_key)
                 self._emit_job_event(shed)
             if not accepted:
                 self._count("jobs_rejected")
                 self.metrics.counter("service.shed").inc(reason="rejected")
+                if job.journal_key and self.journal is not None:
+                    self.journal.record_settle(job.journal_key, "rejected")
+                self.breakers.release(breaker_key)
                 self._emit_job_event(job)
                 return job
             self._inflight[signature] = job
@@ -664,10 +1049,115 @@ class VerificationService:
             "Retries after a lost deployment, by priority class",
             ("priority",),
         ).inc(priority=job.priority.name.lower())
+        if job.journal_key and self.journal is not None:
+            self.journal.record_retry(job.journal_key, job.attempts)
 
     def _job_started(self, job: Job) -> None:
         """Worker-pool start hook: the waterfall's queued->running edge."""
+        if job.journal_key and self.journal is not None:
+            self.journal.record_start(job.journal_key)
         self._emit_job_event(job)
+
+    def _job_degraded(self, job: Job) -> None:
+        """Process-pool hook: the answer ran over a partial snapshot."""
+        self._count("degraded_answers")
+        job.degraded_answer = True
+
+    def _job_redelivered(self, job: Job, reason: str) -> bool:
+        """Supervisor hook: a dead/hung worker's in-flight job wants
+        back into the queue. Returns False once redelivery is exhausted
+        — the supervisor then settles the job with ``JobLostError`` and
+        the service dead-letters the journaled obligation."""
+        if job.journal_key and self.journal is not None:
+            job.deliveries = self.journal.record_redelivery(job.journal_key)
+        else:
+            job.deliveries += 1
+        self.metrics.counter("service.redeliveries").labels().inc()
+        # `redelivery_limit` bounds *redeliveries*, so total deliveries
+        # may reach limit + 1 (the first delivery is not a redelivery).
+        if job.deliveries > self.redelivery_limit + 1:
+            self._dead_letter(
+                key=job.journal_key or f"job-{job.id}",
+                reason=reason,
+                deliveries=job.deliveries,
+                question=(job.spec.question if job.spec is not None
+                          else job.label),
+                snapshot=(job.spec.snapshot if job.spec is not None
+                          else None),
+            )
+            return False
+        logger.warning(
+            "redelivering job %s (%s): %s [delivery %d/%d]",
+            job.id, job.label, reason, job.deliveries,
+            self.redelivery_limit + 1,
+        )
+        return True
+
+    def _dead_letter(
+        self,
+        *,
+        key: str,
+        reason: str,
+        deliveries: int,
+        question: str = "",
+        snapshot: Optional[str] = None,
+    ) -> DeadLetter:
+        letter = DeadLetter(
+            key=key, reason=reason, deliveries=deliveries,
+            question=question, snapshot=snapshot,
+        )
+        with self._lock:
+            self.dead_letters.append(letter)
+        if self.journal is not None:
+            self.journal.record_dead_letter(key, reason, deliveries)
+        self.metrics.counter("service.dead_letters").labels().inc()
+        logger.error(
+            "dead-lettered job %s (%s) after %d deliveries: %s",
+            key, question, deliveries, reason,
+        )
+        collector = bus.ACTIVE
+        if collector.enabled:
+            payload = letter.to_dict()
+            payload.pop("t", None)
+            collector.emit("service.dead_letter", self._now(), **payload)
+        return letter
+
+    def _breaker_transition(self, key, before, after, failures) -> None:
+        self.metrics.counter(
+            "service.breaker_transitions", labelnames=("state",)
+        ).inc(state=after.value)
+        key_text = f"{key:#x}" if isinstance(key, int) else str(key)
+        logger.warning(
+            "breaker %s: %s -> %s (%d consecutive failures)",
+            key_text, before.value, after.value, failures,
+        )
+        collector = bus.ACTIVE
+        if collector.enabled:
+            collector.emit(
+                "service.breaker",
+                self._now(),
+                key=key_text,
+                before=before.value,
+                state=after.value,
+                failures=failures,
+            )
+
+    def _drain_completed(self, counts: dict) -> None:
+        """Pool drain hook: journal the drain, emit the obs event."""
+        if self.journal is not None:
+            try:
+                self.journal.record_drain(counts)
+            except ValueError:  # journal already closed
+                pass
+        drained = self.metrics.counter(
+            "service.drained", labelnames=("outcome",)
+        )
+        for outcome in ("settled", "rejected"):
+            if counts.get(outcome):
+                drained.labels(outcome=outcome).inc(counts[outcome])
+        collector = bus.ACTIVE
+        if collector.enabled:
+            collector.emit("service.drain", self._now(), **counts)
 
     def _job_settled(self, job: Job) -> None:
         """Worker-pool completion hook: cache, uncoalesce, instrument."""
@@ -684,6 +1174,26 @@ class VerificationService:
                     )
             elif job.state is JobState.FAILED:
                 self._count("jobs_failed")
+        if job.journal_key and self.journal is not None:
+            try:
+                self.journal.record_settle(job.journal_key, job.state.value)
+            except ValueError:  # journal closed by a racing shutdown
+                pass
+        if job.breaker_key is not None:
+            # Breaker feedback: a completed answer over healthy content
+            # heals the breaker; a failure or a degraded answer is a
+            # strike. Jobs that never ran (rejected/shed/drained) only
+            # give back any half-open probe they may hold.
+            if job.state is JobState.DONE:
+                self.breakers.record(
+                    job.breaker_key, ok=not job.degraded_answer
+                )
+            elif job.state is JobState.FAILED and not isinstance(
+                job.error, BreakerOpenError
+            ):
+                self.breakers.record(job.breaker_key, ok=False)
+            else:
+                self.breakers.release(job.breaker_key)
         m = self.metrics
         priority = job.priority.name.lower()
         m.histogram("service.job_queue_seconds", labelnames=("priority",)).observe(

@@ -48,6 +48,17 @@ def env_int(name: str, default: int, minimum: int = 1) -> int:
     return default
 
 
+def env_float(name: str, default: float, minimum: float = 0.0) -> float:
+    """A float knob from the environment, clamped and fail-safe."""
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            return max(minimum, float(raw))
+        except ValueError:
+            pass
+    return default
+
+
 class DeploymentLostError(RuntimeError):
     """A job's backing state vanished mid-flight (evicted, deleted).
 
@@ -251,6 +262,28 @@ class SnapshotStore:
                 "SnapshotStore lookups by outcome",
                 ("result",),
             ).inc(result=result)
+
+    def evict(self, count: int = 1) -> int:
+        """Forcibly evict up to ``count`` LRU entries; returns how many.
+
+        Normal operation never needs this — capacity bounds residence on
+        its own. It exists for the service-level chaos plane
+        (:class:`~repro.chaos.service_plan.EvictionStorm`): a seeded
+        storm forces warm engines out from under in-flight jobs, and
+        resilience is proven when answers stay correct (rebuilt cold)
+        rather than fast.
+        """
+        evicted = 0
+        with self._lock:
+            for _ in range(max(0, count)):
+                if not self._entries:
+                    break
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+                if bus.ACTIVE.enabled:
+                    bus.ACTIVE.count("service.store_evictions")
+        return evicted
 
     # -- introspection --------------------------------------------------------
 

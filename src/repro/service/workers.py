@@ -62,11 +62,17 @@ class WorkerPool:
         self._on_start = on_start
         self._on_done = on_done
         self._on_retry = on_retry
+        #: Drain accounting hook: called with the final counts dict when
+        #: a draining stop completes (the service emits the
+        #: ``service.drain`` obs event from it).
+        self.on_drain: Optional[Callable[[dict], None]] = None
         #: The metrics registry job scopes install as the thread's
         #: ambient plane (set by the owning service; None = default).
         self.registry = None
         self._threads: list[threading.Thread] = []
         self._stopping = threading.Event()
+        self._draining = threading.Event()
+        self.drained_count = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -74,6 +80,7 @@ class WorkerPool:
         if self._threads:
             return
         self._stopping.clear()
+        self._draining.clear()
         for index in range(self.workers):
             thread = threading.Thread(
                 target=self._loop,
@@ -83,12 +90,45 @@ class WorkerPool:
             thread.start()
             self._threads.append(thread)
 
-    def stop(self, timeout: float = 5.0) -> None:
-        self._stopping.set()
+    def stop(self, timeout: float = 5.0, drain: bool = True) -> dict:
+        """Stop the pool; returns the drain counts.
+
+        ``drain=True`` (the default) finishes every queued job before
+        the workers exit, bounded by ``timeout``; whatever is still
+        queued past the deadline is rejected with a structured
+        ``draining`` detail — never silently dropped with its waiters
+        left blocking. ``drain=False`` restores the old prompt stop
+        (workers exit after their current job), but leftovers are still
+        rejected, not stranded.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        if drain:
+            self._draining.set()
+        else:
+            self._stopping.set()
         self.queue.close()
         for thread in self._threads:
-            thread.join(timeout)
-        self._threads = []
+            thread.join(max(0.05, deadline - time.monotonic()))
+        if any(thread.is_alive() for thread in self._threads):
+            # Drain ran out of time: force the prompt-stop path and give
+            # workers one more short window to notice.
+            self._draining.clear()
+            self._stopping.set()
+            for thread in self._threads:
+                thread.join(0.5)
+        self._threads = [t for t in self._threads if t.is_alive()]
+        leftovers = self.queue.drain_remaining()
+        for job in leftovers:
+            job.reject(
+                {"error": "draining", "detail": "service shut down before "
+                 "this job could run"}
+            )
+            if self._on_done is not None:
+                self._on_done(job)
+        counts = {"settled": self.drained_count, "rejected": len(leftovers)}
+        if drain and self.on_drain is not None:
+            self.on_drain(counts)
+        return counts
 
     @property
     def running(self) -> bool:
@@ -97,14 +137,18 @@ class WorkerPool:
     # -- execution ------------------------------------------------------------
 
     def _loop(self) -> None:
-        while not self._stopping.is_set():
+        while True:
+            if self._stopping.is_set() and not self._draining.is_set():
+                return
             job = self.queue.pop(timeout=0.2)
             if job is None:
-                if self._stopping.is_set():
+                if self._stopping.is_set() or self.queue.closed:
                     return
                 continue
             try:
                 self._run_one(job)
+                if self._draining.is_set():
+                    self.drained_count += 1
             except Exception:  # pragma: no cover - last-resort guard
                 logger.exception("worker crashed running job %s", job.id)
                 if not job.done:
